@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark harness.
+
+The full study is expensive, so one session-scoped run (the dedicated
+``StudyConfig.bench()`` preset, ~1:10000) backs every table/figure
+benchmark; each benchmark
+then times the analysis step that regenerates its table or figure, asserts
+the paper's qualitative shape, and writes the rendered artifact to
+``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.pipeline import run_study
+from repro.studyconfig import StudyConfig
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> StudyConfig:
+    """The configuration behind the benchmark study."""
+    return StudyConfig.bench(seed=2016)
+
+
+@pytest.fixture(scope="session")
+def study(bench_config):
+    """One full study shared by all table/figure benchmarks."""
+    return run_study(bench_config)
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    """Where rendered tables/figures are written."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def write_artifact(directory: pathlib.Path, name: str, content: str) -> None:
+    """Persist one rendered table/figure."""
+    (directory / f"{name}.txt").write_text(content + "\n")

@@ -1,0 +1,31 @@
+"""Helpers shared by the per-vendor figure benchmarks."""
+
+from __future__ import annotations
+
+from repro.analysis.timeseries import VendorSeries
+from repro.pipeline import StudyResult
+from repro.reporting.study import render_vendor_figure
+from repro.timeline import Month
+
+
+def series_for(study: StudyResult, vendor: str) -> VendorSeries:
+    """The vendor's series; fails loudly when the vendor was never seen."""
+    series = study.series.vendor(vendor)
+    assert series.points, f"no observations for {vendor}"
+    return series
+
+
+def regenerate(benchmark, study: StudyResult, vendor: str, figure: str) -> str:
+    """Benchmark the figure regeneration and return the rendering."""
+    return benchmark(render_vendor_figure, study, vendor, figure)
+
+
+def values_between(
+    series: VendorSeries, start: Month, end: Month, vulnerable: bool = True
+) -> list[float]:
+    """Series values (vulnerable or total) for months in [start, end]."""
+    return [
+        (p.vulnerable if vulnerable else p.total)
+        for p in series.points
+        if start <= p.month <= end
+    ]

@@ -1,0 +1,49 @@
+"""Figure 1: total HTTPS hosts and factorable hosts over six years.
+
+Paper shape: totals grow from ~11 M (EFF 2010) to ~38-40 M (Censys 2016)
+with visible methodology artifacts between eras; vulnerable hosts climb
+into 2012-2014, drop sharply around Heartbleed (April 2014), then climb
+again late in the study as newly vulnerable products (Figure 10) appear.
+"""
+
+from repro.analysis.timeseries import build_series
+from repro.reporting.study import render_figure1
+from repro.timeline import HEARTBLEED, Month
+import pytest
+
+from conftest import write_artifact
+
+pytestmark = pytest.mark.benchmark(min_rounds=1, max_time=0.5, warmup=False)
+
+
+def test_figure1_regeneration(benchmark, study, artifact_dir):
+    series = benchmark(
+        build_series,
+        study.snapshots,
+        study.store,
+        study.fingerprints.vendor_by_cert,
+        study.vulnerable_moduli(),
+    )
+    write_artifact(artifact_dir, "figure1", render_figure1(study))
+    overall = series.overall
+
+    # Totals triple over the study window.
+    assert overall.points[-1].total > 2.3 * overall.points[0].total
+
+    # The single largest vulnerable drop is at (or within a month of)
+    # Heartbleed — the paper's headline observation.
+    month, drop = overall.largest_drop(vulnerable=True)
+    assert abs(month - HEARTBLEED) <= 1, f"largest drop at {month}"
+    assert drop > 0
+
+    # Vulnerable counts rise again after 2015 (newly vulnerable vendors).
+    post_2015 = [p.vulnerable for p in overall.points if p.month >= Month(2015, 7)]
+    trough = min(
+        p.vulnerable for p in overall.points
+        if HEARTBLEED <= p.month < Month(2015, 7)
+    )
+    assert max(post_2015) > trough
+
+    # Every scan-source era contributes points.
+    sources = {p.source for p in overall.points}
+    assert sources == {"EFF", "P&Q", "Ecosystem", "Rapid7", "Censys"}

@@ -1,0 +1,53 @@
+"""Figure 3: Juniper — advisories did not stop the rise; Heartbleed did.
+
+Paper shape: vulnerable hosts kept increasing for ~two years after the
+April/July 2012 advisories; the single largest drop in both vulnerable and
+total fingerprinted hosts is April 2014 (Heartbleed), when ~30 k hosts
+(>9 k vulnerable) went offline; 1,100 / 1,200 / 250 IPs transitioned
+vulnerable->clean / clean->vulnerable / multiple times.
+"""
+
+from repro.timeline import HEARTBLEED, Month
+import pytest
+
+from conftest import write_artifact
+from figutil import regenerate, series_for, values_between
+
+pytestmark = pytest.mark.benchmark(min_rounds=1, max_time=0.5, warmup=False)
+
+
+def test_figure3_regeneration(benchmark, study, artifact_dir):
+    rendering = regenerate(benchmark, study, "Juniper", "Figure 3")
+    write_artifact(artifact_dir, "figure3_juniper", rendering)
+    series = series_for(study, "Juniper")
+
+    # Vulnerable hosts rose after the advisory (7/2012) toward Heartbleed.
+    at_advisory = values_between(series, Month(2012, 6), Month(2012, 9))
+    pre_heartbleed = values_between(series, Month(2013, 6), HEARTBLEED + (-1))
+    assert max(pre_heartbleed) > max(at_advisory)
+
+    # The largest drops (total and vulnerable) are at Heartbleed.
+    total_month, total_drop = series.largest_drop(vulnerable=False)
+    assert abs(total_month - HEARTBLEED) <= 1
+    assert total_drop > 0
+    vuln_month, vuln_drop = series.largest_drop(vulnerable=True)
+    assert abs(vuln_month - HEARTBLEED) <= 1
+    assert vuln_drop > 0
+
+    # Magnitudes: peak vulnerable in the paper's band (~30 k).
+    assert 15_000 < series.peak_vulnerable().vulnerable < 60_000
+
+    # No recovery to the pre-Heartbleed level afterwards.
+    post = values_between(series, HEARTBLEED, Month(2016, 5), vulnerable=False)
+    assert max(post) < max(
+        values_between(series, Month(2013, 1), HEARTBLEED + (-1), vulnerable=False)
+    )
+
+    # Transition structure (paper: 1,100 v->n / 1,200 n->v / 250 multiple):
+    # both directions plus flapping exist, and transitions are a small
+    # minority of observed IPs (~1.5% in the paper).
+    stats = study.transitions["Juniper"]
+    assert stats.to_nonvulnerable > 0
+    assert stats.to_vulnerable + stats.multiple > 0
+    changed = stats.to_nonvulnerable + stats.to_vulnerable + stats.multiple
+    assert changed < stats.ips_observed * 0.35

@@ -1,0 +1,35 @@
+"""Figure 4: Innominate mGuard — advisory, yet a constant vulnerable floor.
+
+Paper shape: the total mGuard population rose over the study (new devices
+are fixed), while the vulnerable population "has stayed mostly consistent
+during the four years since the public security advisory" (June 2012).
+"""
+
+from repro.timeline import Month, STUDY_END
+import pytest
+
+from conftest import write_artifact
+from figutil import regenerate, series_for, values_between
+
+pytestmark = pytest.mark.benchmark(min_rounds=1, max_time=0.5, warmup=False)
+
+
+def test_figure4_regeneration(benchmark, study, artifact_dir):
+    rendering = regenerate(benchmark, study, "Innominate", "Figure 4")
+    write_artifact(artifact_dir, "figure4_innominate", rendering)
+    series = series_for(study, "Innominate")
+
+    # Totals rise over the study.
+    totals = series.totals()
+    assert totals[-1] > totals[0] * 1.5
+
+    # The vulnerable population after the advisory is roughly flat:
+    # non-zero at the end, and bounded within a factor ~2.5 band.
+    post_advisory = values_between(series, Month(2012, 7), STUDY_END)
+    assert post_advisory[-1] > 0
+    positive = [v for v in post_advisory if v > 0]
+    assert max(positive) <= min(positive) * 2.5
+
+    # No Heartbleed shock for this fleet (industrial, not internet-edge).
+    _month, drop = series.largest_drop(vulnerable=True)
+    assert drop <= max(positive) * 0.5

@@ -1,0 +1,49 @@
+"""Figure 5: IBM RSA-II / BladeCenter — the 36-key clique, fading away.
+
+Paper shape: the vulnerable population was already declining by 2012 and
+drops markedly at Heartbleed; every key is a product of two of nine primes
+(36 possible moduli); apparent "patching" was IP churn — 350 of 1,728
+ever-vulnerable IPs later served unrelated certificates.
+"""
+
+from repro.timeline import HEARTBLEED, Month
+import pytest
+
+from conftest import write_artifact
+from figutil import regenerate, series_for, values_between
+
+pytestmark = pytest.mark.benchmark(min_rounds=1, max_time=0.5, warmup=False)
+
+
+def test_figure5_regeneration(benchmark, study, artifact_dir):
+    rendering = regenerate(benchmark, study, "IBM", "Figure 5")
+    write_artifact(artifact_dir, "figure5_ibm", rendering)
+    series = series_for(study, "IBM")
+
+    # Declining before disclosure: 2012 average below the 2010 start.
+    early = values_between(series, Month(2010, 7), Month(2011, 10))
+    at_disclosure = values_between(series, Month(2012, 6), Month(2012, 12))
+    assert max(at_disclosure) < max(early)
+
+    # Heartbleed leaves a visible step down.
+    before = values_between(series, Month(2013, 10), HEARTBLEED + (-1))
+    after = values_between(series, HEARTBLEED + 1, Month(2014, 10))
+    assert min(before) > max(after)
+
+    # Still a residual population at the end (unmaintained fleets linger).
+    assert series.points[-1].vulnerable > 0
+
+    # Clique structure: all factored IBM moduli come from <= 9 primes and
+    # <= 36 moduli.
+    (clique,) = study.fingerprints.degenerate_cliques
+    assert clique.label == "IBM"
+    assert len(clique.primes) <= 9
+    assert len(clique.moduli) <= 36
+
+    # The "patching" that is really IP churn (paper: 350 of 1,728).
+    stats = study.transitions.get("IBM")
+    assert stats is not None
+    assert stats.ips_ever_vulnerable > 0
+    reuse = study.ibm_ip_reuse
+    assert reuse.ips_ever_vulnerable > 0
+    assert reuse.later_served_other_certificate <= reuse.ips_ever_vulnerable

@@ -1,0 +1,37 @@
+"""Figure 6: Cisco small-business lines — rising through 2014, then down.
+
+Paper shape: "The number of broken Cisco hosts increased steadily through
+2014, although it has begun to decrease in the past year."  Cisco responded
+privately and never published an advisory.
+"""
+
+from repro.timeline import Month
+import pytest
+
+from conftest import write_artifact
+from figutil import regenerate, series_for, values_between
+
+pytestmark = pytest.mark.benchmark(min_rounds=1, max_time=0.5, warmup=False)
+
+
+def test_figure6_regeneration(benchmark, study, artifact_dir):
+    rendering = regenerate(benchmark, study, "Cisco", "Figure 6")
+    write_artifact(artifact_dir, "figure6_cisco", rendering)
+    series = series_for(study, "Cisco")
+
+    # Rising through 2014...
+    early = values_between(series, Month(2010, 7), Month(2011, 10))
+    peak_era = values_between(series, Month(2013, 6), Month(2015, 1))
+    assert max(peak_era) > max(early)
+
+    # ...then decreasing in the final year.
+    final_year = values_between(series, Month(2015, 7), Month(2016, 5))
+    assert final_year[-1] < max(peak_era)
+
+    # Peak magnitude in the paper's band (~8-10 k).
+    assert 4_000 < max(peak_era) < 20_000
+
+    # Cisco certificates expose the model in the OU; the fingerprinting
+    # layer must have recovered the Figure 7 model names.
+    models = set(study.fingerprints.model_by_cert.values())
+    assert {"RV120W", "RV220W", "RV180/180W", "SA520/540"} <= models

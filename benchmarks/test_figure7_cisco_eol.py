@@ -1,0 +1,55 @@
+"""Figure 7: Cisco end-of-life announcements vs device populations.
+
+Paper shape: "the end-of-life announcements marked the beginning of a slow
+decrease in the total number of devices online"; EOL announcements precede
+end-of-sale by several months; vulnerable hosts were found for all models
+except the RV082.
+"""
+
+from repro.analysis.eol import analyze_eol
+from repro.devices.catalog import DEVICE_CATALOG
+from repro.reporting.study import render_figure7
+import pytest
+
+from conftest import write_artifact
+
+pytestmark = pytest.mark.benchmark(min_rounds=1, max_time=0.5, warmup=False)
+
+
+def test_figure7_regeneration(benchmark, study, artifact_dir):
+    eol_dates = {
+        model.display_model: (model.eol, model.end_of_sale)
+        for model in DEVICE_CATALOG
+        if model.display_model and model.eol is not None
+    }
+    analyses = benchmark(
+        analyze_eol,
+        study.snapshots,
+        study.store,
+        study.fingerprints.model_by_cert,
+        eol_dates,
+    )
+    write_artifact(artifact_dir, "figure7_cisco_eol", render_figure7(study))
+    by_model = {a.model: a for a in analyses}
+
+    # All five Figure 7 models observed.
+    expected = {"RV082", "RV120W", "RV220W", "RV180/180W", "SA520/540"}
+    assert expected <= set(by_model)
+
+    for model in expected:
+        analysis = by_model[model]
+        # EOL precedes end-of-sale by several months.
+        assert analysis.eol is not None and analysis.end_of_sale is not None
+        assert 1 <= analysis.end_of_sale - analysis.eol <= 12
+        # Populations decline after the announcement.
+        assert analysis.declining_after_eol, model
+        # The peak is not long after EOL (the announcement marks the turn).
+        assert analysis.peak_month <= analysis.eol + 6, model
+
+    # "We identified vulnerable hosts associated with all the device models
+    # in this figure except the RV082."
+    vulnerable = study.vulnerable_moduli()
+    for cert_id, model in study.fingerprints.model_by_cert.items():
+        if model == "RV082":
+            entry = study.store[cert_id]
+            assert entry.certificate.public_key.n not in vulnerable

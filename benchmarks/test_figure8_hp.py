@@ -1,0 +1,42 @@
+"""Figure 8: HP iLO — a big fleet, a tiny vulnerable tail, a Heartbleed dent.
+
+Paper shape: ~100 k iLO interfaces; vulnerable hosts peaked around 2012 at
+a few tens and declined steadily; totals drop visibly after Heartbleed
+(iLO cards reportedly crashed when scanned for it).
+
+Scale note: the paper's HP vulnerable population (~30 hosts of ~110 k) is
+below the simulation's resolution at the benchmark scale — the per-model
+divisor needed to keep 110 k hosts tractable rounds ~30 weak hosts to ~0.
+The vulnerable-series assertions are therefore bounded rather than exact;
+DESIGN.md documents this floor.
+"""
+
+from repro.timeline import HEARTBLEED, Month
+import pytest
+
+from conftest import write_artifact
+from figutil import regenerate, series_for, values_between
+
+pytestmark = pytest.mark.benchmark(min_rounds=1, max_time=0.5, warmup=False)
+
+
+def test_figure8_regeneration(benchmark, study, artifact_dir):
+    rendering = regenerate(benchmark, study, "HP", "Figure 8")
+    write_artifact(artifact_dir, "figure8_hp", rendering)
+    series = series_for(study, "HP")
+
+    # A large fleet, ~100k at peak.
+    assert 60_000 < max(series.totals()) < 160_000
+
+    # Heartbleed dents the total population.
+    before = values_between(
+        series, Month(2013, 11), HEARTBLEED + (-1), vulnerable=False
+    )
+    after = values_between(
+        series, HEARTBLEED, Month(2014, 9), vulnerable=False
+    )
+    assert min(before) > min(after)
+    assert max(after) < max(before)
+
+    # The vulnerable tail is tiny relative to the fleet (paper: ~30/110k).
+    assert max(series.vulnerable()) < max(series.totals()) * 0.01

@@ -1,0 +1,69 @@
+"""Figure 9: the ten vendors that never responded to the notification.
+
+Paper shape: vulnerable populations decline gradually over the study for
+most of these vendors; for Thomson, Linksys, ZyXEL and McAfee the
+vulnerable decline closely tracks the overall fingerprint decline;
+Fritz!Box instead rises until its silent 2014 fix, then declines.
+"""
+
+import pytest
+
+from repro.reporting.study import render_vendor_figure
+from repro.timeline import Month, STUDY_END
+
+from conftest import write_artifact
+from figutil import series_for, values_between
+
+pytestmark = pytest.mark.benchmark(min_rounds=1, max_time=0.5, warmup=False)
+
+FIGURE9_VENDORS = (
+    "Thomson", "Fritz!Box", "Linksys", "Fortinet", "ZyXEL",
+    "Dell", "Kronos", "Xerox", "McAfee", "TP-LINK",
+)
+
+#: Vendors whose paper-scale vulnerable fleets are large enough to survive
+#: the simulation's resolution floor (see EXPERIMENTS.md deviation D4).
+DECLINE_ASSERTED = ("ZyXEL", "TP-LINK", "Kronos", "Xerox", "McAfee")
+
+#: "Thomson, Linksys, ZyXEL, and McAfee show a decline in the vulnerable
+#: population that closely tracks the decline in the overall number of
+#: hosts with that device fingerprint."
+TOTAL_TRACKING = ("Thomson", "Linksys", "ZyXEL", "McAfee")
+
+
+def test_figure9_regeneration(benchmark, study, artifact_dir):
+    def render_all():
+        return [
+            render_vendor_figure(study, vendor, "Figure 9")
+            for vendor in FIGURE9_VENDORS
+        ]
+
+    renderings = benchmark(render_all)
+    write_artifact(artifact_dir, "figure9_no_response", "\n\n".join(renderings))
+
+    # Every vendor observed throughout the study.
+    for vendor in FIGURE9_VENDORS:
+        series = series_for(study, vendor)
+        assert max(series.totals()) > 0, vendor
+
+    # Vulnerable populations decline from their early peaks.
+    for vendor in DECLINE_ASSERTED:
+        series = series_for(study, vendor)
+        early_peak = max(values_between(series, Month(2010, 7), Month(2013, 6)))
+        late = values_between(series, Month(2015, 6), STUDY_END)
+        assert early_peak > 0, vendor
+        assert max(late) < early_peak, vendor
+
+    # The decline tracks the shrinking fingerprint totals.
+    for vendor in TOTAL_TRACKING:
+        series = series_for(study, vendor)
+        totals = series.totals()
+        assert totals[-1] < max(totals), vendor
+
+    # Fritz!Box: marked increase before an eventual decline.
+    series = series_for(study, "Fritz!Box")
+    start = max(values_between(series, Month(2010, 7), Month(2011, 6)))
+    peak = max(series.vulnerable())
+    end = series.points[-1].vulnerable
+    assert peak > start
+    assert end < peak

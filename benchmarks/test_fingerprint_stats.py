@@ -1,0 +1,88 @@
+"""Section 3.3 statistics: labelling coverage and artifact counts.
+
+Paper anchors (at 1:1 scale): 26.3 M certificates labelled by subject
+heuristics across 18 vendors; 20,717 Fritz!Box certificates (many via
+shared primes); 3,229 certificates on IBM primes; 922 Rimon-intercepted
+IPs; 107 non-well-formed (bit-error) moduli; ~5 % of weak certificates
+from non-OpenSSL implementations.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.fingerprint.engine import fingerprint_study
+
+from conftest import write_artifact
+
+pytestmark = pytest.mark.benchmark(min_rounds=1, max_time=0.5, warmup=False)
+
+
+def test_fingerprint_pipeline_benchmark(benchmark, study, bench_config, artifact_dir):
+    report = benchmark.pedantic(
+        fingerprint_study,
+        args=(study.store, study.batch_result),
+        kwargs={
+            "openssl_table": bench_config.openssl_table(),
+            "check_safe_primes": False,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    assert len(report.factored_clean) == len(study.fingerprints.factored_clean)
+
+    # ---- labelling coverage -------------------------------------------
+    vendors = Counter(report.vendor_by_cert.values())
+    lines = [f"{vendor:24s} {count}" for vendor, count in vendors.most_common()]
+    lines.append("")
+    for rule, count in report.rule_counts.most_common():
+        lines.append(f"rule {rule:20s} {count}")
+    write_artifact(artifact_dir, "fingerprint_stats", "\n".join(lines))
+
+    # Subject heuristics labelled many vendors (paper: 18 via DN alone).
+    assert len(vendors) >= 15
+    # Every fingerprinting path fired.
+    for rule in ("system-generated", "vendor-in-o", "fritz-names",
+                 "banner", "shared-primes"):
+        assert report.rule_counts[rule] > 0, rule
+
+    # ---- artifact triage (Sections 3.3.3 / 3.3.5) ---------------------
+    # Bit errors present and triaged out (paper: 107 of 313,330 flagged).
+    assert report.bit_errors
+    flagged = study.batch_result.vulnerable_count()
+    assert len(report.bit_errors) < flagged * 0.8
+
+    # Exactly one key-substitution interceptor (Internet Rimon).
+    assert len(report.substitutions) == 1
+    finding = report.substitutions[0]
+    assert finding.certificate_count >= 5
+    assert finding.invalid_signatures > 0
+    # The interceptor's healthy key is never "factored".
+    assert finding.modulus not in report.factored_clean
+
+    # ---- OpenSSL share of weak keys (paper: ~5% non-OpenSSL) ----------
+    verdict_by_vendor = {v.vendor: v.verdict for v in report.openssl_verdicts}
+    openssl = non_openssl = 0
+    for n in report.factored_clean:
+        vendor = report.vendor_by_modulus.get(n)
+        verdict = verdict_by_vendor.get(vendor or "")
+        if verdict == "openssl":
+            openssl += 1
+        elif verdict == "not-openssl":
+            non_openssl += 1
+    assert openssl > non_openssl
+
+
+def test_exposure_statistic(benchmark, study):
+    """Section 1: most vulnerable devices are passively decryptable."""
+    from repro.analysis.exposure import analyze_exposure
+
+    exposure = benchmark(
+        analyze_exposure,
+        study.snapshots[-1],
+        study.store,
+        study.vulnerable_moduli(),
+    )
+    assert exposure.vulnerable_hosts > 0
+    # Paper: 74% support only RSA key exchange.
+    assert 0.45 < exposure.passive_fraction <= 1.0

@@ -1,0 +1,35 @@
+"""End-to-end pipeline benchmark at test scale, plus phase accounting.
+
+Times one complete study — world simulation, 51 monthly scans, protocol
+corpora, clustered batch GCD, fingerprinting, analysis — and records the
+shared benchmark study's per-phase timings as an artifact.
+"""
+
+import pytest
+
+from repro.pipeline import run_study
+from repro.studyconfig import StudyConfig
+
+from conftest import write_artifact
+
+pytestmark = pytest.mark.benchmark(warmup=False)
+
+
+def test_full_study_tiny(benchmark, study, artifact_dir):
+    result = benchmark.pedantic(
+        run_study, args=(StudyConfig.tiny(seed=99),), rounds=1, iterations=1
+    )
+    assert result.table1.vulnerable_moduli_raw > 0
+    assert len(result.snapshots) == 51
+
+    # Record the shared benchmark study's per-phase accounting too.
+    lines = [
+        f"{phase:18s} {seconds:8.2f}s" for phase, seconds in study.timings.items()
+    ]
+    if study.cluster_stats:
+        lines.append(
+            f"{'batchgcd cpu':18s} {study.cluster_stats.cpu_seconds:8.2f}s "
+            f"(k={study.cluster_stats.k}, {study.cluster_stats.tasks} tasks)"
+        )
+    write_artifact(artifact_dir, "phase_timings", "\n".join(lines))
+    assert study.timings["batch_gcd"] > 0

@@ -1,0 +1,47 @@
+"""Table 1: dataset summary (host records, moduli, vulnerable counts).
+
+Paper values: 1.53 B HTTPS host records, 81.2 M distinct moduli, 313,330
+vulnerable moduli (0.39 %), 2.96 M vulnerable host records.  The benchmark
+regenerates the table from the shared study and checks the magnitudes land
+within the documented tolerance of the paper's scale-corrected values.
+"""
+
+from repro.analysis.tables import build_table1
+from repro.reporting.study import render_table1
+import pytest
+
+from conftest import write_artifact
+
+pytestmark = pytest.mark.benchmark(min_rounds=1, max_time=0.5, warmup=False)
+
+
+def test_table1_regeneration(benchmark, study, artifact_dir):
+    table = benchmark(
+        build_table1,
+        study.snapshots,
+        study.store,
+        study.protocol_corpora,
+        study.vulnerable_moduli(),
+    )
+    write_artifact(artifact_dir, "table1", render_table1(study))
+
+    # Corpus magnitudes (scale-corrected) within ~2x of the paper.
+    assert 0.7e9 < table.https_host_records < 3.1e9
+    assert 40e6 < table.total_distinct_moduli < 165e6
+    assert 30e6 < table.distinct_https_moduli < 110e6
+
+    # Vulnerability magnitudes: the paper found 313 k vulnerable moduli and
+    # 2.96 M vulnerable host records.
+    assert 100_000 < table.vulnerable_moduli < 700_000
+    assert 1.0e6 < table.vulnerable_https_host_records < 6.5e6
+
+    # The headline fraction: well under 1 % of moduli factor.
+    assert 0.0008 < table.vulnerable_moduli_fraction < 0.008
+
+    # Internal consistency.
+    assert table.vulnerable_moduli_raw <= table.total_distinct_moduli_raw
+    assert table.distinct_https_moduli <= table.total_distinct_moduli
+    assert (
+        table.vulnerable_https_certificates_raw
+        >= table.vulnerable_moduli_raw * 0.5
+    )

@@ -1,0 +1,27 @@
+"""Table 2: the 37 notified vendors and their response categories."""
+
+from repro.analysis.tables import build_table2
+from repro.devices.vendors import ResponseCategory
+from repro.reporting.study import render_table2
+import pytest
+
+from conftest import write_artifact
+
+pytestmark = pytest.mark.benchmark(min_rounds=1, max_time=0.5, warmup=False)
+
+
+def test_table2_regeneration(benchmark, study, artifact_dir):
+    table = benchmark(build_table2)
+    write_artifact(artifact_dir, "table2", render_table2(study))
+
+    # "37 vendors were notified ... Only five released a public security
+    # advisory.  About half of the vendors acknowledged receipt."
+    assert table.notified_count == 37
+    assert table.public_advisory_count == 5
+    assert 10 <= table.acknowledged_count <= 20
+
+    advisories = table.by_category[ResponseCategory.PUBLIC_ADVISORY]
+    assert set(advisories) == {"Juniper", "Innominate", "IBM", "Intel", "Tropos"}
+    no_response = table.by_category[ResponseCategory.NO_RESPONSE]
+    # The majority never responded at all.
+    assert len(no_response) > table.notified_count / 3

@@ -1,0 +1,34 @@
+"""Table 3: earliest (EFF 7/2010) vs latest (Censys 2016) scan summary.
+
+Paper: 11.26 M -> 38.01 M TLS handshakes; 5.48 M -> 10.67 M distinct
+certificates (per-scan); nearly all keys RSA.
+"""
+
+from repro.analysis.tables import build_table3
+from repro.reporting.study import render_table3
+import pytest
+
+from conftest import write_artifact
+
+pytestmark = pytest.mark.benchmark(min_rounds=1, max_time=0.5, warmup=False)
+
+
+def test_table3_regeneration(benchmark, study, artifact_dir):
+    earliest, latest = benchmark(build_table3, study.snapshots, study.store)
+    write_artifact(artifact_dir, "table3", render_table3(study))
+
+    assert earliest.source == "EFF"
+    assert latest.source == "Censys"
+
+    # Growth shape: the ecosystem roughly tripled over the study.
+    ratio = latest.tls_handshakes / earliest.tls_handshakes
+    assert 2.3 < ratio < 4.5
+
+    # Magnitudes near the paper's endpoints.
+    assert 7e6 < earliest.tls_handshakes < 15e6
+    assert 30e6 < latest.tls_handshakes < 45e6
+
+    # Certificates and keys track handshakes (one certificate per host).
+    for column in (earliest, latest):
+        assert column.distinct_rsa_keys <= column.distinct_certificates
+        assert column.distinct_certificates <= column.tls_handshakes

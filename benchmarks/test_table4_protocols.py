@@ -1,0 +1,43 @@
+"""Table 4: per-protocol vulnerable hosts.
+
+Paper: HTTPS 59,628 vulnerable; SSH 723; IMAPS/POP3S/SMTPS all zero —
+"the majority of vulnerable keys were associated with HTTPS".
+"""
+
+from repro.analysis.tables import build_table4
+from repro.reporting.study import render_table4
+import pytest
+
+from conftest import write_artifact
+
+pytestmark = pytest.mark.benchmark(min_rounds=1, max_time=0.5, warmup=False)
+
+
+def test_table4_regeneration(benchmark, study, artifact_dir):
+    rows = benchmark(
+        build_table4,
+        study.snapshots,
+        study.store,
+        study.protocol_corpora,
+        study.vulnerable_moduli(),
+    )
+    write_artifact(artifact_dir, "table4", render_table4(study))
+    by_protocol = {row.protocol: row for row in rows}
+
+    # HTTPS dominates, in the paper's magnitude band.
+    https = by_protocol["HTTPS"]
+    assert 25_000 < https.vulnerable_hosts < 120_000
+
+    # SSH: a small vulnerable population (paper: 723).
+    ssh = by_protocol["SSH"]
+    assert 200 < ssh.vulnerable_hosts < 2_000
+    assert ssh.vulnerable_hosts < https.vulnerable_hosts / 10
+
+    # Mail protocols: zero.
+    for protocol in ("POP3S", "IMAPS", "SMTPS"):
+        assert by_protocol[protocol].vulnerable_hosts == 0
+
+    # Totals near the paper's scan sizes.
+    assert 30e6 < https.total_hosts < 45e6
+    assert 8e6 < ssh.total_hosts < 13e6
+    assert 5e6 < ssh.rsa_hosts < 8e6  # 6.26M of 10.7M SSH hosts had RSA keys

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""The Figure 2 algorithm: cluster-parallel batch GCD, measured.
+
+Builds a corpus with a known weak fraction, then compares the three
+engines — naive all-pairs, classic product/remainder tree, and the paper's
+k-subset clustered variant — for correctness and timing, including the
+k**2 total-work / parallel-speedup trade-off of Section 3.2.
+
+Run:  python examples/cluster_batchgcd_demo.py [--moduli 3000] [--processes 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import time
+
+from repro.core.batchgcd import batch_gcd
+from repro.core.clustered import ClusteredBatchGcd
+from repro.core.naive import naive_pairwise_gcd
+from repro.entropy.keygen import HealthyProfile, SharedPrimeProfile, WeakKeyFactory
+
+
+def build_corpus(count: int, weak_fraction: float, seed: int) -> list[int]:
+    """A corpus with ``weak_fraction`` of moduli drawn from a shared pool."""
+    rng = random.Random(seed)
+    factory = WeakKeyFactory(seed=seed, prime_bits=96)
+    weak_profile = SharedPrimeProfile(
+        profile_id="demo-fleet", boot_states=max(2, int(count * weak_fraction) // 4)
+    )
+    healthy_profile = HealthyProfile(profile_id="demo-healthy")
+    moduli = []
+    weak_count = int(count * weak_fraction)
+    for _ in range(weak_count):
+        moduli.append(weak_profile.generate(rng, factory).keypair.public.n)
+    for _ in range(count - weak_count):
+        moduli.append(healthy_profile.generate(rng, factory).keypair.public.n)
+    rng.shuffle(moduli)
+    return moduli
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--moduli", type=int, default=2000)
+    parser.add_argument("--weak-fraction", type=float, default=0.02)
+    parser.add_argument("--processes", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    print(f"building corpus: {args.moduli} moduli, "
+          f"{args.weak_fraction:.0%} from a flawed fleet...")
+    corpus = build_corpus(args.moduli, args.weak_fraction, args.seed)
+
+    started = time.perf_counter()
+    classic = batch_gcd(corpus)
+    classic_time = time.perf_counter() - started
+    print(f"\nclassic batch GCD:  {classic_time:8.2f}s  "
+          f"({classic.vulnerable_count()} moduli flagged)")
+
+    if args.moduli <= 3000:
+        started = time.perf_counter()
+        naive = naive_pairwise_gcd(corpus)
+        naive_time = time.perf_counter() - started
+        assert naive.divisors == classic.divisors
+        print(f"naive all-pairs:    {naive_time:8.2f}s  "
+              f"({naive_time / max(classic_time, 1e-9):.1f}x the classic engine "
+              "- quadratic, 'not feasible' at paper scale)")
+
+    print(f"\nk-subset clustered engine ({args.processes} worker processes):")
+    print(f"{'k':>4} {'tasks':>6} {'wall s':>8} {'cpu s':>8} {'work vs k=1':>12}")
+    base_cpu = None
+    for k in (1, 2, 4, 8, 16):
+        engine = ClusteredBatchGcd(k=k, processes=args.processes)
+        result = engine.run(corpus)
+        assert result.divisors == classic.divisors
+        stats = engine.last_stats
+        if base_cpu is None:
+            base_cpu = stats.cpu_seconds
+        print(f"{k:>4} {stats.tasks:>6} {stats.wall_seconds:>8.2f} "
+              f"{stats.cpu_seconds:>8.2f} {stats.cpu_seconds / base_cpu:>11.1f}x")
+    print("\ntotal work grows with k (the paper: quadratic in k), but the "
+          "k**2 independent tasks spread across the cluster - the paper ran "
+          "k=16 over 22 machines in 86 min vs 500 min for the classic "
+          "algorithm on one machine.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Simulate the 2012 vendor-notification campaign (Sections 2.5 and 5).
+
+Runs the stochastic disclosure-process model over the 37 notified vendors
+and prints a Table 2-shaped outcome, then the counterfactual the paper's
+Discussion suggests: what if every unreachable vendor had been routed
+through CERT/CC from day one?
+
+Run:  python examples/disclosure_campaign.py [--seed N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+from collections import Counter
+
+from repro.devices.vendors import notified_2012_vendors
+from repro.disclosure.process import NotificationCampaign
+from repro.reporting.text import render_table
+from repro.timeline import Month
+
+
+def summarize(label: str, cert_fraction: float, seeds: range) -> dict:
+    acked = advisories = contacts = cert_advisories = 0
+    for seed in seeds:
+        campaign = NotificationCampaign(Month(2012, 2), cert_fraction=cert_fraction)
+        summary = campaign.run(notified_2012_vendors(), random.Random(seed))
+        acked += summary.acknowledged
+        advisories += summary.advisories
+        contacts += summary.contacts_found
+        cert_advisories += summary.cert_assisted_advisories
+    n = len(seeds)
+    return {
+        "campaign": label,
+        "acknowledged": acked / n,
+        "advisories": advisories / n,
+        "contacts found": contacts / n,
+        "cert-assisted advisories": cert_advisories / n,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=2012)
+    args = parser.parse_args()
+
+    # One concrete campaign, vendor by vendor.
+    campaign = NotificationCampaign(Month(2012, 2), cert_fraction=0.6)
+    summary = campaign.run(notified_2012_vendors(), random.Random(args.seed))
+    rows = []
+    for outcome in summary.outcomes:
+        rows.append(
+            (
+                outcome.vendor,
+                outcome.channel.value,
+                str(outcome.acknowledged) if outcome.acknowledged else "-",
+                str(outcome.advisory) if outcome.advisory else "-",
+            )
+        )
+    print(render_table(
+        ["Vendor", "Channel", "Acknowledged", "Advisory"],
+        rows,
+        title="Simulated 2012 notification campaign "
+        f"({summary.acknowledged} acknowledged, {summary.advisories} advisories; "
+        "paper: ~half acknowledged, 5 advisories)",
+    ))
+
+    channels = Counter(o.channel.value for o in summary.outcomes)
+    print("\nchannels used:", dict(channels))
+
+    # Counterfactual: route everything through CERT (Section 5.1's
+    # recommendation) vs. never escalating.
+    print()
+    seeds = range(args.seed, args.seed + 40)
+    rows = []
+    for label, fraction in (("as run (60% CERT)", 0.6),
+                            ("no CERT escalation", 0.0),
+                            ("full CERT routing", 1.0)):
+        stats = summarize(label, fraction, seeds)
+        rows.append(
+            (
+                stats["campaign"],
+                f"{stats['acknowledged']:.1f}",
+                f"{stats['advisories']:.1f}",
+                f"{stats['cert-assisted advisories']:.1f}",
+            )
+        )
+    print(render_table(
+        ["Campaign", "Acked (mean)", "Advisories (mean)", "via CERT"],
+        rows,
+        title="Counterfactual campaigns (40 runs each)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""The DSA half of the 2012 disclosures: repeated nonces leak keys.
+
+Of the 61 vendors notified in 2012, those not covered by this paper's RSA
+analysis "produced vulnerable DSA signatures only" (Section 2.5).  The
+mechanism is the same boot-time entropy hole: a device whose pool state
+repeats reuses the per-signature nonce ``k``, and two signatures with a
+shared nonce reveal the private key with schoolbook algebra.
+
+Run:  python examples/dsa_nonce_reuse.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.crypto.dsa import (
+    DsaKeyPair,
+    generate_dsa_keypair,
+    generate_parameters,
+    recover_private_key_from_nonce_reuse,
+    sign,
+    verify,
+)
+from repro.entropy.boot import DeviceBootSimulator
+from repro.entropy.sources import BootClockSource
+
+
+def main() -> None:
+    rng = random.Random(61)
+    params = generate_parameters(rng, p_bits=256, q_bits=96)
+    device = generate_dsa_keypair(params, rng)
+    print(f"device SSH host key: q={params.q:#x}")
+
+    # The flawed firmware derives its signing nonce from the (unseeded)
+    # boot-time pool — which is identical on every boot.
+    boot = DeviceBootSimulator(premix_sources=[BootClockSource(distinct_values=1)])
+    nonce_boot1 = int.from_bytes(boot.boot(random.Random(1)).pool.read(16), "big")
+    nonce_boot2 = int.from_bytes(boot.boot(random.Random(2)).pool.read(16), "big")
+    assert nonce_boot1 == nonce_boot2
+    k = nonce_boot1 % params.q or 1
+    print("two boots produced the same signing nonce:", nonce_boot1 == nonce_boot2)
+
+    # Two protocol runs observed on the wire (SSH host authentication).
+    sig1 = sign(device, b"session-id-5f21|host-proof", nonce=k)
+    sig2 = sign(device, b"session-id-a9c4|host-proof", nonce=k)
+    assert verify(params, device.y, b"session-id-5f21|host-proof", sig1)
+    print(f"signatures share r = {sig1.r == sig2.r} (the observable telltale)")
+
+    # The attacker recovers the private key from public data alone.
+    x = recover_private_key_from_nonce_reuse(
+        params, b"session-id-5f21|host-proof", sig1,
+        b"session-id-a9c4|host-proof", sig2,
+    )
+    print(f"recovered private key matches: {x == device.x}")
+
+    # And can now impersonate the host.
+    impostor = DsaKeyPair(parameters=params, x=x, y=device.y)
+    forged = sign(impostor, b"welcome to the real server", rng=random.Random(3))
+    assert verify(params, device.y, b"welcome to the real server", forged)
+    print("forged a host signature that verifies under the device's key")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Root-cause demo: the boot-time entropy hole (Section 2.4), step by step.
+
+Shows *why* the weak keys exist, at the mechanism level:
+
+1. two headless devices boot from the same firmware image with no external
+   entropy — their urandom pools are byte-identical;
+2. both generate the first RSA prime from that state -> identical primes;
+3. a clock tick arrives mid-generation -> the second primes diverge;
+4. the resulting moduli look unrelated but share a factor, and a single
+   gcd() breaks both in microseconds;
+5. the patched boot (getrandom(2) semantics, Linux 2014) refuses to emit
+   key material before the pool is seeded, closing the hole.
+
+Run:  python examples/entropy_hole_demo.py
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.crypto.primes import generate_prime
+from repro.crypto.rsa import keypair_from_primes
+from repro.entropy.boot import DeviceBootSimulator
+from repro.entropy.pool import InsufficientEntropyError
+from repro.entropy.sources import (
+    BootClockSource,
+    HardwareRngSource,
+    NetworkInterruptSource,
+)
+
+
+def prime_from_pool(pool, bits: int = 128) -> int:
+    """Derive a prime deterministically from the pool state (flawed keygen)."""
+    seed = int.from_bytes(pool.read(32), "big")
+    return generate_prime(bits, random.Random(seed))
+
+
+def main() -> None:
+    # --- the flawed boot: nothing mixed before keygen --------------------
+    flawed = DeviceBootSimulator(
+        premix_sources=[BootClockSource(distinct_values=1)],
+        postmix_sources=[NetworkInterruptSource(events=6)],
+    )
+    device_a = flawed.boot(random.Random(101))
+    device_b = flawed.boot(random.Random(202))
+    print("flawed boot: pool seeded at keygen?",
+          device_a.seeded_at_keygen, "/", device_b.seeded_at_keygen)
+
+    p_a = prime_from_pool(device_a.pool)
+    p_b = prime_from_pool(device_b.pool)
+    print(f"first primes identical across devices: {p_a == p_b}")
+
+    # Divergence arrives before the second prime (packets, clock ticks).
+    flawed.continue_after_keygen(device_a, random.Random(303))
+    flawed.continue_after_keygen(device_b, random.Random(404))
+    q_a = prime_from_pool(device_a.pool)
+    q_b = prime_from_pool(device_b.pool)
+    print(f"second primes diverged:               {q_a != q_b}")
+
+    key_a = keypair_from_primes(p_a, q_a)
+    key_b = keypair_from_primes(p_b, q_b)
+    n_a, n_b = key_a.public.n, key_b.public.n
+    print(f"moduli look unrelated:                {n_a != n_b}")
+
+    # --- the one-line attack (Section 2.3) -------------------------------
+    shared = math.gcd(n_a, n_b)
+    print(f"gcd(N_a, N_b) recovers the shared prime: {shared == p_a}")
+    print(f"  q_a = N_a / p = {n_a // shared == q_a}")
+    print(f"  q_b = N_b / p = {n_b // shared == q_b}")
+
+    # --- the patched boot -------------------------------------------------
+    patched = DeviceBootSimulator(premix_sources=[HardwareRngSource()])
+    outcome = patched.boot(random.Random(505))
+    print("\npatched boot: pool seeded at keygen?", outcome.seeded_at_keygen)
+
+    # And the old behaviour would now raise instead of silently repeating:
+    unseeded = DeviceBootSimulator(premix_sources=[]).boot(random.Random(1))
+    try:
+        unseeded.pool.getrandom(32)
+    except InsufficientEntropyError as exc:
+        print(f"getrandom(2) on an unseeded pool refuses: {exc}")
+
+
+if __name__ == "__main__":
+    main()

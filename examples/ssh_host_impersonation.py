@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""SSH host impersonation with recovered keys — no warning shown.
+
+Table 4's SSH column (723 vulnerable RSA host keys) and the DSA-only
+vendors of Section 2.5 share a punchline: once a host key is recovered —
+by batch GCD for RSA, by nonce-reuse algebra for DSA — a client that has
+already pinned the host in known_hosts reconnects to the impostor
+*silently*. The scary "host key changed" warning only fires for key
+mismatches, and the impostor serves the genuine key.
+
+Run:  python examples/ssh_host_impersonation.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import batch_gcd
+from repro.crypto import dsa
+from repro.crypto.primes import generate_prime
+from repro.crypto.rsa import keypair_from_primes
+from repro.ssh import (
+    DsaHostKey,
+    HostImpersonator,
+    KnownHostsClient,
+    RsaHostKey,
+    SshServer,
+)
+
+
+def rsa_story(rng: random.Random) -> None:
+    print("--- RSA host keys (batch GCD) ---")
+    shared = generate_prime(96, rng)
+    fleet = [
+        SshServer(
+            host=f"gw-{i}.example",
+            host_key=RsaHostKey(keypair_from_primes(shared, generate_prime(96, rng))),
+        )
+        for i in range(3)
+    ]
+    client = KnownHostsClient()
+    for server in fleet:
+        client.connect(server, rng)
+    print(f"client pinned {len(client.known_hosts)} host keys")
+
+    moduli = [s.host_key.keypair.public.n for s in fleet]
+    factored = batch_gcd(moduli).resolve()
+    print(f"batch GCD factored {len(factored)}/{len(moduli)} host keys")
+
+    victim = fleet[0]
+    impostor = HostImpersonator().impersonate_rsa(
+        victim, factored[victim.host_key.keypair.public.n].p
+    )
+    client.connect(impostor, rng)  # no HostVerificationError: silent MITM
+    print(f"impersonated {victim.host}: client reconnected with NO warning")
+
+
+def dsa_story(rng: random.Random) -> None:
+    print("\n--- DSA host keys (nonce reuse) ---")
+    params = dsa.generate_parameters(rng, p_bits=256, q_bits=96)
+    keypair = dsa.generate_dsa_keypair(params, rng)
+    victim = SshServer(
+        host="plc.factory",
+        host_key=DsaHostKey(keypair=keypair, nonce_source=424242 % params.q),
+    )
+    client = KnownHostsClient()
+    client.connect(victim, rng)
+    print("client pinned the PLC's ssh-dss host key")
+
+    # Record two key exchanges off the wire.
+    _n1, digest1, sig1 = victim.key_exchange(client.version, rng)
+    _n2, digest2, sig2 = victim.key_exchange(client.version, rng)
+    print(f"two recorded exchanges share r: {sig1[0] == sig2[0]}")
+
+    impostor = HostImpersonator().impersonate_dsa_from_signatures(
+        victim, digest1, sig1, digest2, sig2
+    )
+    client.connect(impostor, rng)
+    print("recovered the DSA key from signatures alone; silent MITM again")
+
+
+def main() -> None:
+    rng = random.Random(2016)
+    rsa_story(rng)
+    dsa_story(rng)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""TLS-level attacks with factored keys: passive wiretap and active MITM.
+
+Reproduces Section 2.1's threat model on live (simulated) protocol runs:
+
+1. a weak-fleet firewall terminates TLS management sessions; a wiretap
+   records them — some RSA key transport, some DHE;
+2. batch GCD factors the fleet's moduli from public data only;
+3. the passive attacker decrypts every recorded RSA-kex session but none
+   of the DHE ones (forward secrecy) — the paper's "74% only support RSA
+   key exchange" is exactly the share with no such protection;
+4. the active attacker impersonates the device and defeats DHE too.
+
+Run:  python examples/tls_interception.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import batch_gcd
+from repro.crypto.certs import DistinguishedName, self_signed_certificate
+from repro.entropy.keygen import SharedPrimeProfile, WeakKeyFactory
+from repro.tls import (
+    ActiveMitm,
+    CipherSuite,
+    PassiveEavesdropper,
+    TlsClient,
+    TlsServer,
+    handshake,
+)
+
+
+def build_fleet(count: int, rng: random.Random) -> list[TlsServer]:
+    """A fleet of firewalls with the boot-time entropy hole."""
+    from datetime import date
+
+    factory = WeakKeyFactory(seed=99, prime_bits=128)
+    profile = SharedPrimeProfile(profile_id="fw-fleet", boot_states=4)
+    servers = []
+    for index in range(count):
+        key = profile.generate(rng, factory)
+        certificate = self_signed_certificate(
+            subject=DistinguishedName(O="Acme Firewalls", CN=f"fw-{index:03d}"),
+            keypair=key.keypair,
+            serial=index,
+            not_before=date(2012, 1, 1),
+            not_after=date(2022, 1, 1),
+        )
+        servers.append(
+            TlsServer(certificate=certificate, private_key=key.keypair.private)
+        )
+    return servers
+
+
+def main() -> None:
+    rng = random.Random(2016)
+    fleet = build_fleet(12, rng)
+    victim = fleet[0]
+
+    # --- 1. legitimate sessions, recorded off the wire ------------------
+    eve = PassiveEavesdropper()
+    secrets = []
+    for i in range(6):
+        suite = CipherSuite.RSA if i % 3 else CipherSuite.DHE_RSA
+        session = handshake(TlsClient(offered=(suite,)), victim, rng)
+        payload = f"admin-command-{i}".encode()
+        session.send(payload)
+        secrets.append((suite, payload))
+        eve.record(session.transcript)
+    print(f"recorded {len(eve.transcripts)} sessions "
+          f"({sum(1 for s, _ in secrets if s is CipherSuite.RSA)} RSA-kex, "
+          f"{sum(1 for s, _ in secrets if s is CipherSuite.DHE_RSA)} DHE)")
+
+    # --- 2. the batch-GCD step over public moduli ------------------------
+    moduli = [s.certificate.public_key.n for s in fleet]
+    factored = batch_gcd(moduli).resolve()
+    print(f"batch GCD factored {len(factored)}/{len(moduli)} fleet moduli")
+
+    n = victim.certificate.public_key.n
+    eve.learn_factor(n, factored[n].p)
+
+    # --- 3. passive decryption -------------------------------------------
+    decrypted = 0
+    for transcript, (suite, payload) in zip(eve.transcripts, secrets):
+        if eve.can_decrypt(transcript):
+            assert eve.decrypt(transcript) == [payload]
+            decrypted += 1
+        else:
+            assert suite is CipherSuite.DHE_RSA  # forward secrecy held
+    print(f"passively decrypted {decrypted} RSA-kex sessions; "
+          f"{eve.decryptable_fraction():.0%} of the wiretap readable "
+          "(DHE sessions stayed opaque)")
+
+    # --- 4. active impersonation defeats DHE ------------------------------
+    mitm = ActiveMitm()
+    mitm.learn_factor(n, factored[n].p)
+    session = mitm.intercept(TlsClient(), victim, rng)
+    assert session.transcript.suite is CipherSuite.DHE_RSA
+    session.send(b"credentials: admin / hunter2")
+    print("active MITM completed a DHE handshake as the victim "
+          "(genuine certificate, forged key-exchange signature)")
+
+
+if __name__ == "__main__":
+    main()

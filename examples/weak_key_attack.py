@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Attack walkthrough: from a public scan to decrypted admin traffic.
+
+Reproduces the threat model of Section 2.1 end to end:
+
+1. a fleet of firewalls with the boot-time entropy hole serves HTTPS
+   management interfaces (self-signed certificates, RSA-only key exchange);
+2. a passive attacker collects the public certificates — exactly what an
+   internet-wide scan sees;
+3. batch GCD factors the weak moduli; ``recover_private_key`` turns a
+   shared factor into a working private key;
+4. the attacker decrypts a recorded TLS-style session (RSA key transport)
+   and impersonates the device by re-signing its certificate content.
+
+Run:  python examples/weak_key_attack.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import batch_gcd
+from repro.crypto.rsa import recover_private_key
+from repro.devices.catalog import models_for_vendor
+from repro.devices.population import IpAllocator, ModelPopulation
+from repro.entropy.keygen import WeakKeyFactory
+from repro.timeline import Month
+
+
+def main() -> None:
+    rng = random.Random(7)
+    factory = WeakKeyFactory(seed=7, prime_bits=128)
+
+    # Deploy a Juniper-style fleet (Figure 3's devices) for two years.
+    (model,) = models_for_vendor("Juniper")
+    fleet = ModelPopulation(
+        model=model,
+        divisor=800,  # a small sample of the paper-scale fleet
+        factory=factory,
+        allocator=IpAllocator(rng),
+        rng=rng,
+    )
+    for month in Month.range(Month(2010, 7), Month(2012, 6)):
+        fleet.step(month)
+    print(f"fleet online: {fleet.online_count()} devices "
+          f"({fleet.weak_online_count()} currently serving weak keys)")
+
+    # --- 1. the attacker's view: public certificates only --------------
+    certificates = [d.certificate for d in fleet.online]
+    moduli = sorted({c.public_key.n for c in certificates})
+    print(f"collected {len(moduli)} distinct public moduli from the scan")
+
+    # --- 2. batch GCD ---------------------------------------------------
+    factored = batch_gcd(moduli).resolve()
+    print(f"factored {len(factored)} moduli with batch GCD")
+    if not factored:
+        raise SystemExit("no collisions in this sample; rerun with more devices")
+
+    # --- 3. private-key recovery ----------------------------------------
+    victim = next(
+        d for d in fleet.online if d.certificate.public_key.n in factored
+    )
+    fact = factored[victim.certificate.public_key.n]
+    private = recover_private_key(victim.certificate.public_key.n, 65537, fact.p)
+    print(f"recovered the private key of device at "
+          f"{victim.ip >> 24 & 255}.{victim.ip >> 16 & 255}."
+          f"{victim.ip >> 8 & 255}.{victim.ip & 255}")
+
+    # --- 4a. passive decryption of RSA key transport ---------------------
+    # A client encrypted its session secret to the device's public key;
+    # the attacker recorded the ciphertext off the wire.
+    session_secret = rng.getrandbits(100)
+    recorded_ciphertext = victim.certificate.public_key.encrypt(session_secret)
+    assert private.decrypt(recorded_ciphertext) == session_secret
+    print("decrypted a recorded RSA-key-exchange session "
+          "(74% of vulnerable devices support only this mode)")
+
+    # --- 4b. active impersonation ----------------------------------------
+    login_page = b"admin-login: send credentials here"
+    forged = private.sign(login_page)
+    assert victim.certificate.public_key.verify(login_page, forged)
+    print("forged a signature that validates under the device's certificate")
+
+    # Sanity: the attack never touched ground-truth internals.
+    assert victim.key.keypair.private.p in (fact.p, fact.q)
+    print("recovered factors match the device's true key generation")
+
+
+if __name__ == "__main__":
+    main()

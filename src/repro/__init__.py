@@ -1,0 +1,51 @@
+"""repro: a full reproduction of "Weak Keys Remain Widespread in Network
+Devices" (Hastings, Fried, Heninger — IMC 2016).
+
+The paper measured six years of internet-wide HTTPS scans, factored 313,330
+weak RSA moduli with a cluster-parallel batch GCD, fingerprinted the flawed
+device implementations, and analysed vendor and end-user (non-)response to
+the 2012 weak-key disclosures.
+
+This package rebuilds the measurement system end to end on a simulated
+internet (the paper's scan corpus is not redistributable), exercising the
+identical algorithms and analysis pipeline:
+
+>>> from repro import StudyConfig, run_study
+>>> result = run_study(StudyConfig.tiny())          # doctest: +SKIP
+>>> result.table1.vulnerable_moduli_raw             # doctest: +SKIP
+
+Subpackages:
+
+- :mod:`repro.numt` — number theory (trees, primality, gcd machinery).
+- :mod:`repro.crypto` — primes, RSA, certificates.
+- :mod:`repro.entropy` — the boot-time entropy-hole simulator.
+- :mod:`repro.core` — batch-GCD engines (naive, classic, clustered).
+- :mod:`repro.devices` — vendors, device models, population dynamics.
+- :mod:`repro.scans` — internet-wide scan simulation and artifacts.
+- :mod:`repro.fingerprint` — implementation fingerprinting.
+- :mod:`repro.analysis` — tables, figures, transitions, event studies.
+- :mod:`repro.reporting` — text rendering of tables and chart series.
+"""
+
+from repro.core import batch_gcd, clustered_batch_gcd, naive_pairwise_gcd
+from repro.pipeline import StudyResult, StudyWorld, build_world, run_study
+from repro.studyconfig import StudyConfig
+from repro.timeline import HEARTBLEED, Month, STUDY_END, STUDY_START
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HEARTBLEED",
+    "Month",
+    "STUDY_END",
+    "STUDY_START",
+    "StudyConfig",
+    "StudyResult",
+    "StudyWorld",
+    "batch_gcd",
+    "build_world",
+    "clustered_batch_gcd",
+    "naive_pairwise_gcd",
+    "run_study",
+    "__version__",
+]

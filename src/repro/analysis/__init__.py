@@ -1,0 +1,76 @@
+"""Longitudinal analysis: time series, transitions, tables, event studies.
+
+- :mod:`repro.analysis.timeseries` — Figures 1 and 3–10 series.
+- :mod:`repro.analysis.transitions` — per-IP vulnerable/non-vulnerable
+  transition statistics (Section 4.1).
+- :mod:`repro.analysis.tables` — Tables 1–5 builders.
+- :mod:`repro.analysis.heartbleed` — the April 2014 drop (Section 4.1).
+- :mod:`repro.analysis.eol` — Cisco end-of-life correlation (Figure 7).
+"""
+
+from repro.analysis.eol import ModelEolAnalysis, analyze_eol, build_model_series
+from repro.analysis.exposure import ExposureStats, analyze_exposure
+from repro.analysis.lifetimes import (
+    CertificateLifetimes,
+    analyze_certificate_lifetimes,
+)
+from repro.analysis.heartbleed import (
+    HeartbleedImpact,
+    VendorHeartbleedImpact,
+    analyze_heartbleed,
+)
+from repro.analysis.tables import (
+    Table1DatasetSummary,
+    Table2VendorResponses,
+    Table3ScanComparison,
+    Table4ProtocolRow,
+    Table5OpensslTable,
+    build_table1,
+    build_table2,
+    build_table3,
+    build_table4,
+    build_table5,
+)
+from repro.analysis.timeseries import (
+    GlobalSeries,
+    SeriesPoint,
+    VendorSeries,
+    build_series,
+)
+from repro.analysis.transitions import (
+    IpReuseStats,
+    TransitionStats,
+    analyze_ip_reuse,
+    analyze_transitions,
+)
+
+__all__ = [
+    "CertificateLifetimes",
+    "ExposureStats",
+    "GlobalSeries",
+    "HeartbleedImpact",
+    "IpReuseStats",
+    "ModelEolAnalysis",
+    "SeriesPoint",
+    "Table1DatasetSummary",
+    "Table2VendorResponses",
+    "Table3ScanComparison",
+    "Table4ProtocolRow",
+    "Table5OpensslTable",
+    "TransitionStats",
+    "VendorHeartbleedImpact",
+    "VendorSeries",
+    "analyze_certificate_lifetimes",
+    "analyze_eol",
+    "analyze_exposure",
+    "analyze_heartbleed",
+    "analyze_ip_reuse",
+    "analyze_transitions",
+    "build_model_series",
+    "build_series",
+    "build_table1",
+    "build_table2",
+    "build_table3",
+    "build_table4",
+    "build_table5",
+]

@@ -1,0 +1,109 @@
+"""End-of-life correlation for Cisco model populations (Figure 7).
+
+"We found that the end-of-life announcements marked the beginning of a slow
+decrease in the total number of devices online.  We also note that the
+end-of-life announcement typically preceded the end-of-sale date by several
+months."
+
+Cisco certificates expose the model in the distinguished name, so per-model
+series are built from the fingerprinting layer's ``model_by_cert`` labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.scans.records import CertificateStore, ScanSnapshot
+from repro.timeline import Month
+
+__all__ = ["ModelEolAnalysis", "build_model_series", "analyze_eol"]
+
+
+@dataclass(frozen=True, slots=True)
+class ModelEolAnalysis:
+    """One model row of Figure 7.
+
+    Attributes:
+        model: model name as shown in certificates (e.g. "RV082").
+        eol: end-of-life announcement month (None if never announced).
+        end_of_sale: final sale month where announced.
+        peak_month: month of the model's peak observed population.
+        population_at_eol: weighted population when EOL was announced.
+        population_at_end: weighted population in the final scan.
+        declining_after_eol: whether the post-EOL trend is downward.
+    """
+
+    model: str
+    eol: Month | None
+    end_of_sale: Month | None
+    peak_month: Month | None
+    population_at_eol: float
+    population_at_end: float
+    declining_after_eol: bool
+
+
+def build_model_series(
+    snapshots: list[ScanSnapshot],
+    store: CertificateStore,
+    model_by_cert: dict[int, str],
+) -> dict[str, list[tuple[Month, float]]]:
+    """Weighted monthly totals per certificate-exposed model."""
+    entries = store.entries()
+    series: dict[str, dict[Month, float]] = {}
+    for snapshot in snapshots:
+        for _ip, cert_id in snapshot.records():
+            model = model_by_cert.get(cert_id)
+            if model is None:
+                continue
+            bucket = series.setdefault(model, {})
+            bucket[snapshot.month] = bucket.get(snapshot.month, 0.0) + entries[
+                cert_id
+            ].weight
+    return {
+        model: sorted(points.items()) for model, points in series.items()
+    }
+
+
+def analyze_eol(
+    snapshots: list[ScanSnapshot],
+    store: CertificateStore,
+    model_by_cert: dict[int, str],
+    eol_dates: dict[str, tuple[Month | None, Month | None]],
+) -> list[ModelEolAnalysis]:
+    """Correlate per-model population trends with EOL announcements.
+
+    Args:
+        snapshots: HTTPS snapshots in month order.
+        store: certificate store.
+        model_by_cert: fingerprint model labels.
+        eol_dates: model -> (eol announcement, end of sale).
+    """
+    series = build_model_series(snapshots, store, model_by_cert)
+    analyses = []
+    for model, points in sorted(series.items()):
+        if not points:
+            continue
+        eol, end_of_sale = eol_dates.get(model, (None, None))
+        peak_month, _peak_value = max(points, key=lambda mp: mp[1])
+        at_eol = 0.0
+        if eol is not None:
+            on_or_before = [value for month, value in points if month <= eol]
+            at_eol = on_or_before[-1] if on_or_before else 0.0
+        at_end = points[-1][1]
+        declining = False
+        if eol is not None:
+            after = [value for month, value in points if month >= eol]
+            if len(after) >= 2:
+                declining = after[-1] < max(after)
+        analyses.append(
+            ModelEolAnalysis(
+                model=model,
+                eol=eol,
+                end_of_sale=end_of_sale,
+                peak_month=peak_month,
+                population_at_eol=at_eol,
+                population_at_end=at_end,
+                declining_after_eol=declining,
+            )
+        )
+    return analyses

@@ -1,0 +1,70 @@
+"""Exposure analysis: what an attacker could do with the factored keys.
+
+Section 1 of the paper: "74% of the 61,240 vulnerable devices present in
+our most recent scan data from April 2016 only support RSA key exchange,
+making them vulnerable to passive decryption by an attacker who is able to
+observe network traffic."  Hosts supporting (EC)DHE are still vulnerable to
+active man-in-the-middle attacks, but not passive decryption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.scans.records import CertificateStore, ScanSnapshot
+
+__all__ = ["ExposureStats", "analyze_exposure"]
+
+
+@dataclass(frozen=True, slots=True)
+class ExposureStats:
+    """Key-exchange exposure of the vulnerable population in one scan.
+
+    Attributes:
+        month: the scan analysed.
+        vulnerable_hosts: weighted vulnerable host count.
+        passively_decryptable: weighted vulnerable hosts that negotiate
+            only RSA key exchange.
+        vulnerable_hosts_raw: simulated vulnerable host count.
+        passively_decryptable_raw: simulated RSA-kex-only count.
+    """
+
+    month: "object"
+    vulnerable_hosts: float
+    passively_decryptable: float
+    vulnerable_hosts_raw: int
+    passively_decryptable_raw: int
+
+    @property
+    def passive_fraction(self) -> float:
+        """Share of vulnerable hosts open to passive decryption (paper: 74%)."""
+        if not self.vulnerable_hosts:
+            return 0.0
+        return self.passively_decryptable / self.vulnerable_hosts
+
+
+def analyze_exposure(
+    snapshot: ScanSnapshot,
+    store: CertificateStore,
+    vulnerable_moduli: set[int],
+) -> ExposureStats:
+    """Compute the passive-decryption exposure for one scan snapshot."""
+    entries = store.entries()
+    vulnerable_w = passive_w = 0.0
+    vulnerable_raw = passive_raw = 0
+    for _ip, cert_id in snapshot.records():
+        entry = entries[cert_id]
+        if entry.certificate.public_key.n not in vulnerable_moduli:
+            continue
+        vulnerable_w += entry.weight
+        vulnerable_raw += 1
+        if entry.only_rsa_kex:
+            passive_w += entry.weight
+            passive_raw += 1
+    return ExposureStats(
+        month=snapshot.month,
+        vulnerable_hosts=vulnerable_w,
+        passively_decryptable=passive_w,
+        vulnerable_hosts_raw=vulnerable_raw,
+        passively_decryptable_raw=passive_raw,
+    )

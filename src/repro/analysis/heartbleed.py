@@ -1,0 +1,128 @@
+"""Heartbleed-drop quantification (Sections 1 and 4.1).
+
+"The single largest drop in the number of vulnerable keys occurred shortly
+after the disclosure of the Heartbleed vulnerability in April 2014.  The
+decrease in vulnerable keys is confined to a handful of devices, for which
+there was an even larger concurrent drop in the total population of
+fingerprinted devices."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.timeseries import GlobalSeries, VendorSeries
+from repro.timeline import HEARTBLEED, Month
+
+__all__ = ["HeartbleedImpact", "VendorHeartbleedImpact", "analyze_heartbleed"]
+
+
+@dataclass(frozen=True, slots=True)
+class VendorHeartbleedImpact:
+    """One vendor's change across the Heartbleed month.
+
+    Attributes:
+        vendor: vendor name.
+        total_before, total_after: weighted totals in the scans bracketing
+            April 2014.
+        vulnerable_before, vulnerable_after: weighted vulnerable counts.
+    """
+
+    vendor: str
+    total_before: float
+    total_after: float
+    vulnerable_before: float
+    vulnerable_after: float
+
+    @property
+    def total_drop(self) -> float:
+        """Hosts lost across the event (positive = drop)."""
+        return self.total_before - self.total_after
+
+    @property
+    def vulnerable_drop(self) -> float:
+        """Vulnerable hosts lost across the event."""
+        return self.vulnerable_before - self.vulnerable_after
+
+
+@dataclass(frozen=True, slots=True)
+class HeartbleedImpact:
+    """Global and per-vendor impact of the April 2014 event."""
+
+    global_largest_vulnerable_drop_month: Month | None
+    global_vulnerable_drop: float
+    by_vendor: tuple[VendorHeartbleedImpact, ...]
+
+    @property
+    def drop_is_at_heartbleed(self) -> bool:
+        """True when the study's largest vulnerable drop is at April 2014."""
+        month = self.global_largest_vulnerable_drop_month
+        return month is not None and abs(month - HEARTBLEED) <= 1
+
+
+#: Months averaged on each side of April 2014; a window smooths the
+#: scan-coverage noise that single-month brackets suffer from.
+BRACKET_WINDOW = 3
+
+
+def _bracket(series: VendorSeries) -> tuple[float, float, float, float] | None:
+    """(total_before, total_after, vuln_before, vuln_after) around 2014-04.
+
+    Each side is the mean over a ``BRACKET_WINDOW``-month window.
+    """
+    before = [
+        p for p in series.points
+        if HEARTBLEED + (-BRACKET_WINDOW) <= p.month < HEARTBLEED
+    ]
+    after = [
+        p for p in series.points
+        if HEARTBLEED <= p.month < HEARTBLEED + BRACKET_WINDOW
+    ]
+    if not before or not after:
+        return None
+
+    def mean(points, attr):
+        return sum(getattr(p, attr) for p in points) / len(points)
+
+    return (
+        mean(before, "total"),
+        mean(after, "total"),
+        mean(before, "vulnerable"),
+        mean(after, "vulnerable"),
+    )
+
+
+def analyze_heartbleed(
+    series: GlobalSeries, vendors: list[str] | None = None
+) -> HeartbleedImpact:
+    """Quantify the Heartbleed drop globally and per vendor.
+
+    Args:
+        series: output of :func:`repro.analysis.timeseries.build_series`.
+        vendors: vendors to break out (None = all observed).
+    """
+    drop = series.overall.largest_drop(vulnerable=True)
+    impacts = []
+    names = vendors if vendors is not None else sorted(series.by_vendor)
+    for name in names:
+        vendor_series = series.by_vendor.get(name)
+        if vendor_series is None:
+            continue
+        bracket = _bracket(vendor_series)
+        if bracket is None:
+            continue
+        total_before, total_after, vuln_before, vuln_after = bracket
+        impacts.append(
+            VendorHeartbleedImpact(
+                vendor=name,
+                total_before=total_before,
+                total_after=total_after,
+                vulnerable_before=vuln_before,
+                vulnerable_after=vuln_after,
+            )
+        )
+    return HeartbleedImpact(
+        global_largest_vulnerable_drop_month=drop[0] if drop else None,
+        global_vulnerable_drop=drop[1] if drop else 0.0,
+        by_vendor=tuple(impacts),
+    )

@@ -1,0 +1,120 @@
+"""Certificate lifetime and replacement analysis (Section 4.1).
+
+"Examining certificate lifetimes and replacement on each host suggests
+that the vulnerable population of IBM devices was decreasing because
+devices (or their publicly accessible web interfaces) were taken offline
+altogether, and not because users patched the vulnerability and renewed
+their HTTPS certificates on the same device."
+
+This module measures exactly that: per vendor, how long each certificate
+is observed at an IP, how often hosts replace certificates at all, and
+what ended each vulnerable tenure — replacement on the same host (a
+potential patch) or disappearance (offlining).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.scans.records import CertificateStore, ScanSnapshot
+
+__all__ = ["CertificateLifetimes", "analyze_certificate_lifetimes"]
+
+
+@dataclass(frozen=True, slots=True)
+class CertificateLifetimes:
+    """Per-vendor certificate-tenure statistics.
+
+    Attributes:
+        vendor: vendor name.
+        tenures: number of (ip, certificate) tenures observed.
+        mean_tenure_scans: average scans a certificate stays on its IP.
+        max_tenure_scans: the longest observed tenure.
+        vulnerable_tenures: tenures serving a vulnerable key.
+        vulnerable_ended_by_replacement: vulnerable tenures that ended with
+            the same IP serving a different certificate in a later scan
+            (the renewal/patch signature).
+        vulnerable_ended_by_disappearance: vulnerable tenures whose IP never
+            reappears for this vendor (the offlining signature, which the
+            paper found to dominate).
+    """
+
+    vendor: str
+    tenures: int
+    mean_tenure_scans: float
+    max_tenure_scans: int
+    vulnerable_tenures: int
+    vulnerable_ended_by_replacement: int
+    vulnerable_ended_by_disappearance: int
+
+    @property
+    def offlining_dominates(self) -> bool:
+        """The paper's finding: disappearance beats renewal."""
+        return (
+            self.vulnerable_ended_by_disappearance
+            >= self.vulnerable_ended_by_replacement
+        )
+
+
+def analyze_certificate_lifetimes(
+    snapshots: list[ScanSnapshot],
+    store: CertificateStore,
+    vendor_by_cert: dict[int, str],
+    vulnerable_moduli: set[int],
+    vendor: str,
+) -> CertificateLifetimes:
+    """Measure certificate tenures for one vendor's hosts.
+
+    A *tenure* is a maximal run of scans in which one IP serves one
+    certificate (gaps in coverage are tolerated: the run is delimited by
+    the first and last sighting of that pair).
+    """
+    entries = store.entries()
+    vuln_flags = [e.certificate.public_key.n in vulnerable_moduli for e in entries]
+
+    # (ip, cert_id) -> [first scan index, last scan index]
+    spans: dict[tuple[int, int], list[int]] = {}
+    last_seen_for_ip: dict[int, int] = {}
+    for scan_index, snapshot in enumerate(snapshots):
+        for ip, cert_id in snapshot.records():
+            if vendor_by_cert.get(cert_id) != vendor:
+                continue
+            key = (ip, cert_id)
+            span = spans.get(key)
+            if span is None:
+                spans[key] = [scan_index, scan_index]
+            else:
+                span[1] = scan_index
+            last_seen_for_ip[ip] = scan_index
+
+    if not spans:
+        return CertificateLifetimes(
+            vendor=vendor, tenures=0, mean_tenure_scans=0.0,
+            max_tenure_scans=0, vulnerable_tenures=0,
+            vulnerable_ended_by_replacement=0,
+            vulnerable_ended_by_disappearance=0,
+        )
+
+    lengths = [last - first + 1 for first, last in spans.values()]
+    vulnerable_tenures = replacement = disappearance = 0
+    for (ip, cert_id), (first, last) in spans.items():
+        if not vuln_flags[cert_id]:
+            continue
+        vulnerable_tenures += 1
+        if last_seen_for_ip[ip] > last:
+            # The IP appears again later with some other certificate of
+            # this vendor: a replacement on a live host.
+            replacement += 1
+        elif last < len(snapshots) - 1:
+            # The tenure ended before the study did, and the IP never
+            # returned: the host (or its interface) went away.
+            disappearance += 1
+    return CertificateLifetimes(
+        vendor=vendor,
+        tenures=len(spans),
+        mean_tenure_scans=sum(lengths) / len(lengths),
+        max_tenure_scans=max(lengths),
+        vulnerable_tenures=vulnerable_tenures,
+        vulnerable_ended_by_replacement=replacement,
+        vulnerable_ended_by_disappearance=disappearance,
+    )

@@ -1,0 +1,160 @@
+"""Monthly time series of total and vulnerable hosts (Figures 1, 3–10).
+
+Counts are reported in *paper-scale estimated units*: each record
+contributes the weight of the population it was simulated from.  Raw
+simulated counts are retained alongside, so noise floors are visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.scans.records import CertificateStore, ScanSnapshot
+from repro.timeline import Month
+
+__all__ = ["SeriesPoint", "VendorSeries", "GlobalSeries", "build_series"]
+
+
+@dataclass(frozen=True, slots=True)
+class SeriesPoint:
+    """One month's observation for one series.
+
+    Attributes:
+        month: scan month.
+        source: scan source name.
+        total: weighted (paper-scale) host count.
+        vulnerable: weighted vulnerable host count.
+        total_raw: simulated host count.
+        vulnerable_raw: simulated vulnerable host count.
+    """
+
+    month: Month
+    source: str
+    total: float
+    vulnerable: float
+    total_raw: int
+    vulnerable_raw: int
+
+
+@dataclass(slots=True)
+class VendorSeries:
+    """A vendor's (or the global) host/vulnerable series over the study."""
+
+    name: str
+    points: list[SeriesPoint] = field(default_factory=list)
+
+    def month_point(self, month: Month) -> SeriesPoint | None:
+        """The point for a given month, if scanned."""
+        for point in self.points:
+            if point.month == month:
+                return point
+        return None
+
+    def totals(self) -> list[float]:
+        """Weighted totals in month order."""
+        return [p.total for p in self.points]
+
+    def vulnerable(self) -> list[float]:
+        """Weighted vulnerable counts in month order."""
+        return [p.vulnerable for p in self.points]
+
+    def peak_vulnerable(self) -> SeriesPoint | None:
+        """The point with the highest vulnerable count."""
+        return max(self.points, key=lambda p: p.vulnerable, default=None)
+
+    def largest_drop(self, vulnerable: bool = True) -> tuple[Month, float] | None:
+        """The month-over-month drop with the largest magnitude.
+
+        Returns:
+            ``(month, drop)`` where ``month`` is the later month of the pair
+            and ``drop`` is positive for a decrease.
+        """
+        best: tuple[Month, float] | None = None
+        for before, after in zip(self.points, self.points[1:]):
+            values = (before.vulnerable, after.vulnerable) if vulnerable else (
+                before.total, after.total
+            )
+            drop = values[0] - values[1]
+            if best is None or drop > best[1]:
+                best = (after.month, drop)
+        return best
+
+
+@dataclass(slots=True)
+class GlobalSeries:
+    """Figure 1: all HTTPS hosts and all vulnerable hosts, by scan source."""
+
+    overall: VendorSeries
+    by_vendor: dict[str, VendorSeries]
+
+    def vendor(self, name: str) -> VendorSeries:
+        """Series for one vendor (empty series if never observed)."""
+        return self.by_vendor.get(name, VendorSeries(name=name))
+
+
+def build_series(
+    snapshots: list[ScanSnapshot],
+    store: CertificateStore,
+    vendor_by_cert: dict[int, str],
+    vulnerable_moduli: set[int],
+) -> GlobalSeries:
+    """Aggregate snapshots into global and per-vendor monthly series.
+
+    Args:
+        snapshots: HTTPS snapshots in month order.
+        store: the certificate store the snapshots reference.
+        vendor_by_cert: fingerprinting output (cert id -> vendor).
+        vulnerable_moduli: factored, artifact-free moduli.
+    """
+    entries = store.entries()
+    weights = [e.weight for e in entries]
+    vulnerable_flags = [
+        e.certificate.public_key.n in vulnerable_moduli for e in entries
+    ]
+    vendors = [vendor_by_cert.get(cert_id) for cert_id in range(len(entries))]
+
+    overall = VendorSeries(name="(all)")
+    accumulators: dict[str, VendorSeries] = {}
+    for snapshot in snapshots:
+        total = vulnerable = 0.0
+        total_raw = vulnerable_raw = 0
+        per_vendor: dict[str, list[float]] = {}
+        for _ip, cert_id in snapshot.records():
+            weight = weights[cert_id]
+            vuln = vulnerable_flags[cert_id]
+            total += weight
+            total_raw += 1
+            if vuln:
+                vulnerable += weight
+                vulnerable_raw += 1
+            vendor = vendors[cert_id]
+            if vendor is not None:
+                bucket = per_vendor.setdefault(vendor, [0.0, 0.0, 0, 0])
+                bucket[0] += weight
+                bucket[2] += 1
+                if vuln:
+                    bucket[1] += weight
+                    bucket[3] += 1
+        overall.points.append(
+            SeriesPoint(
+                month=snapshot.month,
+                source=snapshot.source,
+                total=total,
+                vulnerable=vulnerable,
+                total_raw=total_raw,
+                vulnerable_raw=vulnerable_raw,
+            )
+        )
+        for vendor, (w_total, w_vuln, r_total, r_vuln) in per_vendor.items():
+            series = accumulators.setdefault(vendor, VendorSeries(name=vendor))
+            series.points.append(
+                SeriesPoint(
+                    month=snapshot.month,
+                    source=snapshot.source,
+                    total=w_total,
+                    vulnerable=w_vuln,
+                    total_raw=int(r_total),
+                    vulnerable_raw=int(r_vuln),
+                )
+            )
+    return GlobalSeries(overall=overall, by_vendor=accumulators)

@@ -1,0 +1,189 @@
+"""Certificate transition analysis per IP address (Section 4.1).
+
+The paper examined, per vendor, how hosts moved between vulnerable and
+non-vulnerable certificates across scans: for Juniper, 1,100 IPs went
+vulnerable -> non-vulnerable, 1,200 the other way, and 250 flapped multiple
+times — strong evidence that "patching" signals were mostly churn, not
+fixes.  For IBM, 350 of 1,728 ever-vulnerable IPs later served a
+non-vulnerable certificate, traced to IP reassignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.scans.records import CertificateStore, ScanSnapshot
+
+__all__ = ["IpReuseStats", "TransitionStats", "analyze_ip_reuse", "analyze_transitions"]
+
+
+@dataclass(frozen=True, slots=True)
+class TransitionStats:
+    """Per-vendor IP transition counts over the whole study.
+
+    Attributes:
+        vendor: vendor name.
+        ips_observed: distinct IPs that ever served this vendor's
+            certificates.
+        ips_ever_vulnerable: distinct IPs that ever served a vulnerable key.
+        to_nonvulnerable: IPs whose status changed vulnerable ->
+            non-vulnerable exactly once.
+        to_vulnerable: IPs whose status changed non-vulnerable ->
+            vulnerable exactly once.
+        multiple: IPs that changed status more than once.
+        ever_served_nonvulnerable_after_vulnerable: IPs that served any
+            non-vulnerable certificate in a scan after serving a vulnerable
+            one (the paper's IBM churn statistic).
+    """
+
+    vendor: str
+    ips_observed: int
+    ips_ever_vulnerable: int
+    to_nonvulnerable: int
+    to_vulnerable: int
+    multiple: int
+    ever_served_nonvulnerable_after_vulnerable: int
+
+
+@dataclass(frozen=True, slots=True)
+class IpReuseStats:
+    """IP-reassignment analysis for one vendor (the paper's IBM check).
+
+    The paper found that apparent IBM "patching" was address churn: 350 of
+    the 1,728 IPs that ever served a vulnerable IBM certificate later
+    served some *other* certificate — different subjects indicating IP
+    reassignment, "and not because users patched the vulnerability and
+    renewed their HTTPS certificates on the same device".
+
+    Attributes:
+        vendor: the vendor whose vulnerable IPs are tracked.
+        ips_ever_vulnerable: IPs that ever served the vendor's vulnerable
+            certificates.
+        later_served_other_certificate: of those, IPs that subsequently
+            appeared with any certificate that is not a vulnerable
+            certificate of this vendor.
+        later_served_other_vendor: the subset whose later certificate was
+            attributed to a different vendor (or unattributed) — the
+            clearest churn signal.
+    """
+
+    vendor: str
+    ips_ever_vulnerable: int
+    later_served_other_certificate: int
+    later_served_other_vendor: int
+
+
+def analyze_ip_reuse(
+    snapshots: list[ScanSnapshot],
+    store: CertificateStore,
+    vendor_by_cert: dict[int, str],
+    vulnerable_moduli: set[int],
+    vendor: str,
+) -> IpReuseStats:
+    """Trace what ever-vulnerable IPs of one vendor served afterwards."""
+    entries = store.entries()
+    vuln_flags = [e.certificate.public_key.n in vulnerable_moduli for e in entries]
+
+    first_vulnerable_scan: dict[int, int] = {}
+    for scan_index, snapshot in enumerate(snapshots):
+        for ip, cert_id in snapshot.records():
+            if (
+                vuln_flags[cert_id]
+                and vendor_by_cert.get(cert_id) == vendor
+                and ip not in first_vulnerable_scan
+            ):
+                first_vulnerable_scan[ip] = scan_index
+
+    reused: set[int] = set()
+    reused_other_vendor: set[int] = set()
+    for scan_index, snapshot in enumerate(snapshots):
+        for ip, cert_id in snapshot.records():
+            first = first_vulnerable_scan.get(ip)
+            if first is None or scan_index <= first:
+                continue
+            cert_vendor = vendor_by_cert.get(cert_id)
+            if vuln_flags[cert_id] and cert_vendor == vendor:
+                continue
+            reused.add(ip)
+            if cert_vendor != vendor:
+                reused_other_vendor.add(ip)
+    return IpReuseStats(
+        vendor=vendor,
+        ips_ever_vulnerable=len(first_vulnerable_scan),
+        later_served_other_certificate=len(reused),
+        later_served_other_vendor=len(reused_other_vendor),
+    )
+
+
+def analyze_transitions(
+    snapshots: list[ScanSnapshot],
+    store: CertificateStore,
+    vendor_by_cert: dict[int, str],
+    vulnerable_moduli: set[int],
+    vendors: list[str] | None = None,
+) -> dict[str, TransitionStats]:
+    """Compute per-vendor transition statistics.
+
+    Args:
+        snapshots: HTTPS snapshots in month order.
+        store: certificate store.
+        vendor_by_cert: fingerprint labels.
+        vulnerable_moduli: factored, artifact-free moduli.
+        vendors: restrict to these vendors (None = all labelled vendors).
+    """
+    entries = store.entries()
+    vuln_flags = [e.certificate.public_key.n in vulnerable_moduli for e in entries]
+    wanted = set(vendors) if vendors is not None else None
+
+    # Per (vendor, ip): ordered list of statuses, deduplicated per scan.
+    histories: dict[str, dict[int, list[bool]]] = {}
+    for snapshot in snapshots:
+        seen_this_scan: dict[tuple[str, int], bool] = {}
+        for ip, cert_id in snapshot.records():
+            vendor = vendor_by_cert.get(cert_id)
+            if vendor is None or (wanted is not None and vendor not in wanted):
+                continue
+            key = (vendor, ip)
+            status = vuln_flags[cert_id]
+            # An IP can surface twice in one scan (chain artifacts); treat
+            # "any vulnerable certificate this scan" as vulnerable.
+            seen_this_scan[key] = seen_this_scan.get(key, False) or status
+        for (vendor, ip), status in seen_this_scan.items():
+            histories.setdefault(vendor, {}).setdefault(ip, []).append(status)
+
+    stats: dict[str, TransitionStats] = {}
+    for vendor, by_ip in histories.items():
+        ever_vulnerable = 0
+        to_nonvuln = to_vuln = multiple = churned = 0
+        for statuses in by_ip.values():
+            if any(statuses):
+                ever_vulnerable += 1
+            changes = [
+                (a, b) for a, b in zip(statuses, statuses[1:]) if a != b
+            ]
+            if len(changes) > 1:
+                multiple += 1
+            elif len(changes) == 1:
+                if changes[0] == (True, False):
+                    to_nonvuln += 1
+                else:
+                    to_vuln += 1
+            # The IBM churn statistic: any non-vulnerable observation after
+            # the first vulnerable one.
+            saw_vulnerable = False
+            for status in statuses:
+                if status:
+                    saw_vulnerable = True
+                elif saw_vulnerable:
+                    churned += 1
+                    break
+        stats[vendor] = TransitionStats(
+            vendor=vendor,
+            ips_observed=len(by_ip),
+            ips_ever_vulnerable=ever_vulnerable,
+            to_nonvulnerable=to_nonvuln,
+            to_vulnerable=to_vuln,
+            multiple=multiple,
+            ever_served_nonvulnerable_after_vulnerable=churned,
+        )
+    return stats

@@ -1,0 +1,112 @@
+"""A fastgcd-style command-line batch-GCD tool.
+
+The authors published their efficient batch-GCD implementation on
+factorable.net; this is the equivalent interface for this package:
+
+    repro-batchgcd moduli.txt --k 16 --processes 8 -o factors.txt
+
+Input: one modulus per line, hexadecimal (an optional ``0x`` prefix and
+blank/comment lines are tolerated).  Output: one line per *vulnerable*
+modulus — ``<modulus> <factor> <cofactor>`` in hex — plus a summary on
+stderr.  Moduli that were flagged but could not be split (duplicate
+inputs) are reported with ``-`` placeholders.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.core.clustered import ClusteredBatchGcd
+
+__all__ = ["main", "read_moduli", "format_results"]
+
+
+def read_moduli(lines) -> list[int]:
+    """Parse hex moduli, skipping blanks and ``#`` comments.
+
+    Raises:
+        ValueError: on an unparsable line or a modulus < 2.
+    """
+    moduli = []
+    for lineno, raw in enumerate(lines, start=1):
+        text = raw.strip()
+        if not text or text.startswith("#"):
+            continue
+        try:
+            value = int(text, 16)
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: not a hex integer: {text!r}") from exc
+        if value < 2:
+            raise ValueError(f"line {lineno}: modulus must be >= 2")
+        moduli.append(value)
+    return moduli
+
+
+def format_results(result) -> list[str]:
+    """Render the vulnerable moduli as output lines."""
+    factored = result.resolve()
+    lines = []
+    for index in result.vulnerable_indices:
+        n = result.moduli[index]
+        fact = factored.get(n)
+        if fact is None:
+            lines.append(f"{n:x} - -")
+        else:
+            lines.append(f"{n:x} {fact.p:x} {fact.q:x}")
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-batchgcd",
+        description="Factor RSA moduli that share primes, via batch GCD "
+        "(the computation of 'Weak Keys Remain Widespread', IMC 2016).",
+    )
+    parser.add_argument("input", help="file of hex moduli, one per line ('-' for stdin)")
+    parser.add_argument("-o", "--output", help="output file (default stdout)")
+    parser.add_argument("--k", type=int, default=16, help="subset count (default 16)")
+    parser.add_argument(
+        "--processes", type=int, default=None,
+        help="worker processes (default: in-process)",
+    )
+    parser.add_argument(
+        "--dedup", action="store_true",
+        help="drop duplicate moduli before the computation",
+    )
+    args = parser.parse_args(argv)
+
+    if args.input == "-":
+        moduli = read_moduli(sys.stdin)
+    else:
+        moduli = read_moduli(Path(args.input).read_text().splitlines())
+    if args.dedup:
+        moduli = list(dict.fromkeys(moduli))
+    print(f"read {len(moduli)} moduli", file=sys.stderr)
+
+    started = time.perf_counter()
+    engine = ClusteredBatchGcd(k=args.k, processes=args.processes)
+    result = engine.run(moduli)
+    elapsed = time.perf_counter() - started
+
+    lines = format_results(result)
+    if args.output:
+        Path(args.output).write_text("\n".join(lines) + ("\n" if lines else ""))
+    else:
+        for line in lines:
+            print(line)
+    stats = engine.last_stats
+    print(
+        f"{result.vulnerable_count()} vulnerable of {len(moduli)} moduli "
+        f"in {elapsed:.2f}s (k={stats.k}, {stats.tasks} tasks, "
+        f"cpu {stats.cpu_seconds:.2f}s)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,34 @@
+"""Batch-GCD factoring of weak RSA moduli (the paper's core computation).
+
+Three interchangeable engines compute, for every modulus in a corpus, its
+greatest common divisor with the product of all the *other* moduli:
+
+- :mod:`repro.core.naive` — the quadratic all-pairs baseline (Section 3.2
+  notes it "is not feasible for the dataset sizes used in this paper"; the
+  benchmark harness demonstrates the crossover).
+- :mod:`repro.core.batchgcd` — Bernstein's quasilinear product-tree /
+  remainder-tree algorithm, as used by the original 2012 studies.
+- :mod:`repro.core.clustered` — the paper's contribution: the k-subset
+  modification (Figure 2) that trades a factor-k increase in total work for
+  cluster-parallel execution, avoiding the giant central product that
+  bottlenecks the classic algorithm.
+
+All engines produce a :class:`repro.core.results.BatchGcdResult`, which also
+performs factor recovery — including the pairwise fallback for moduli that
+share *both* primes with other moduli (divisor == N).
+"""
+
+from repro.core.batchgcd import batch_gcd, batch_gcd_divisors
+from repro.core.clustered import ClusteredBatchGcd, clustered_batch_gcd
+from repro.core.naive import naive_pairwise_gcd
+from repro.core.results import BatchGcdResult, FactoredModulus
+
+__all__ = [
+    "BatchGcdResult",
+    "ClusteredBatchGcd",
+    "FactoredModulus",
+    "batch_gcd",
+    "batch_gcd_divisors",
+    "clustered_batch_gcd",
+    "naive_pairwise_gcd",
+]

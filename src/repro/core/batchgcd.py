@@ -1,0 +1,49 @@
+"""Bernstein's quasilinear batch GCD (the classic single-machine algorithm).
+
+As described in Section 3.2 of the paper:
+
+1. A product tree computes ``P``, the product of all input moduli.
+2. A remainder tree computes ``z_i = P mod N_i**2`` for every ``N_i``.
+3. For each ``N_i``, output ``gcd(N_i, z_i / N_i)``.  A result above 1 means
+   ``N_i`` shares a factor with at least one other modulus in the corpus.
+
+The ``mod N_i**2`` (rather than ``mod N_i``) is what makes step 3 work:
+``z_i / N_i`` is congruent, modulo ``N_i``, to the product of all the *other*
+moduli — exactly the quantity whose GCD with ``N_i`` exposes shared primes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.results import BatchGcdResult
+from repro.numt.trees import product_tree, remainder_tree_squared
+
+__all__ = ["batch_gcd_divisors", "batch_gcd"]
+
+
+def batch_gcd_divisors(moduli: Sequence[int]) -> list[int]:
+    """Return ``gcd(N_i, (P mod N_i**2) / N_i)`` for each modulus.
+
+    Raises:
+        ValueError: if any modulus is < 2 (zero and one would corrupt the
+            product tree silently).
+    """
+    if any(m < 2 for m in moduli):
+        raise ValueError("all moduli must be >= 2")
+    if not moduli:
+        return []
+    if len(moduli) == 1:
+        return [1]
+    tree = product_tree(list(moduli))
+    remainders = remainder_tree_squared(tree)
+    divisors = []
+    for n, z in zip(moduli, remainders):
+        divisors.append(math.gcd(n, z // n))
+    return divisors
+
+
+def batch_gcd(moduli: Sequence[int]) -> BatchGcdResult:
+    """Run the classic batch GCD over a corpus and wrap the result."""
+    return BatchGcdResult(list(moduli), batch_gcd_divisors(moduli))

@@ -1,0 +1,173 @@
+"""The paper's cluster-parallel k-subset batch GCD (Section 3.2, Figure 2).
+
+The classic algorithm bottlenecks at the root of the product tree: a single
+product of all 81 million moduli, multiplied and reduced single-threadedly.
+The paper's modification divides the corpus into ``k`` subsets, computes the
+per-subset products ``P_1 .. P_k``, and then runs a remainder tree for
+*every product against every subset* — ``k**2`` independent tasks whose
+largest operand is ``k`` times smaller than the full product.  Total work
+grows (quadratically in ``k``), but the tasks parallelise across a cluster;
+the paper ran k=16 over 22 machines in 86 minutes versus 500 minutes for the
+unmodified algorithm on one large machine.
+
+Correctness: modulus ``N_i`` in subset ``s`` shares a factor with some other
+modulus iff one of the following fires —
+
+- against its own subset's product (``j == s``): the classic test
+  ``gcd(N_i, (P_s mod N_i**2) / N_i) > 1``;
+- against a foreign product (``j != s``): ``N_i`` does not divide ``P_j``,
+  so the test is simply ``gcd(N_i, P_j mod N_i) > 1``.
+
+Since every pair of moduli is covered by some (subset, product) pairing, the
+union (lcm) of the per-pass divisors equals the classic algorithm's output
+for squarefree moduli (every well-formed RSA modulus is squarefree).  On
+degenerate inputs where a repeated prime's *multiplicity* in N is matched
+only by combining several subsets (e.g. N = p**2 with single factors of p
+spread across subsets), the reported divisor may be a proper divisor of the
+classic one — the vulnerable/clean flagging is identical either way, which
+is what the paper's pipeline consumes.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.results import BatchGcdResult
+from repro.numt.trees import (
+    product_tree,
+    remainder_tree,
+    remainder_tree_squared,
+    tree_product,
+)
+
+__all__ = ["ClusteredBatchGcd", "ClusterRunStats", "clustered_batch_gcd"]
+
+
+@dataclass(slots=True)
+class ClusterRunStats:
+    """Accounting for one clustered run (the paper reports both times).
+
+    Attributes:
+        k: number of subsets.
+        tasks: number of (subset, product) tasks executed (``k**2``).
+        wall_seconds: end-to-end elapsed time.
+        cpu_seconds: sum of per-task compute times (the "1089 CPU hours"
+            figure of the paper, at simulation scale).
+    """
+
+    k: int
+    tasks: int
+    wall_seconds: float
+    cpu_seconds: float
+
+
+def _subset_pass(
+    subset: Sequence[int], product: int, own_subset: bool
+) -> tuple[list[int], float]:
+    """One (subset, product) task: partial divisors for the subset's moduli."""
+    start = time.perf_counter()
+    tree = product_tree(list(subset))
+    if own_subset:
+        remainders = remainder_tree_squared(tree)
+        divisors = [math.gcd(n, z // n) for n, z in zip(subset, remainders)]
+    else:
+        remainders = remainder_tree(product, tree)
+        divisors = [math.gcd(n, z) for n, z in zip(subset, remainders)]
+    return divisors, time.perf_counter() - start
+
+
+def _run_task(args: tuple[int, int, list[int], int, bool]) -> tuple[int, int, list[int], float]:
+    """Process-pool entry point (top level so it pickles)."""
+    subset_index, product_index, subset, product, own = args
+    divisors, seconds = _subset_pass(subset, product, own)
+    return subset_index, product_index, divisors, seconds
+
+
+class ClusteredBatchGcd:
+    """The k-subset cluster-parallel batch-GCD engine.
+
+    Args:
+        k: number of subsets (the paper used 16 for 81 M moduli).
+        processes: worker processes for the ``k**2`` tasks.  ``None`` runs
+            in-process (a "simulated cluster", still exercising the exact
+            task decomposition); values >= 1 use a process pool.
+    """
+
+    def __init__(self, k: int = 16, processes: int | None = None) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if processes is not None and processes < 1:
+            raise ValueError("processes must be >= 1 or None")
+        self.k = k
+        self.processes = processes
+        self.last_stats: ClusterRunStats | None = None
+
+    def run(self, moduli: Sequence[int]) -> BatchGcdResult:
+        """Run the clustered computation over a corpus.
+
+        Raises:
+            ValueError: if any modulus is < 2.
+        """
+        if any(m < 2 for m in moduli):
+            raise ValueError("all moduli must be >= 2")
+        corpus = list(moduli)
+        if len(corpus) < 2:
+            self.last_stats = ClusterRunStats(self.k, 0, 0.0, 0.0)
+            return BatchGcdResult(corpus, [1] * len(corpus))
+        k = min(self.k, len(corpus))
+        started = time.perf_counter()
+        # Round-robin partition: subset s holds corpus[s::k].
+        subsets = [corpus[s::k] for s in range(k)]
+        products = [tree_product(subset) for subset in subsets]
+        tasks = [
+            (i, j, subsets[i], products[j], i == j)
+            for i in range(k)
+            for j in range(k)
+        ]
+        partials: dict[tuple[int, int], list[int]] = {}
+        cpu_seconds = 0.0
+        if self.processes is None:
+            for task in tasks:
+                i, j, divisors, seconds = _run_task(task)
+                partials[(i, j)] = divisors
+                cpu_seconds += seconds
+        else:
+            with ProcessPoolExecutor(max_workers=self.processes) as pool:
+                for i, j, divisors, seconds in pool.map(_run_task, tasks):
+                    partials[(i, j)] = divisors
+                    cpu_seconds += seconds
+        divisors = self._aggregate(corpus, k, partials)
+        self.last_stats = ClusterRunStats(
+            k=k,
+            tasks=len(tasks),
+            wall_seconds=time.perf_counter() - started,
+            cpu_seconds=cpu_seconds,
+        )
+        return BatchGcdResult(corpus, divisors)
+
+    @staticmethod
+    def _aggregate(
+        corpus: list[int], k: int, partials: dict[tuple[int, int], list[int]]
+    ) -> list[int]:
+        """lcm-combine the k per-product passes for every modulus."""
+        combined = [1] * len(corpus)
+        for (i, _j), divisors in partials.items():
+            for pos, d in enumerate(divisors):
+                corpus_index = i + pos * k
+                if d > 1:
+                    current = combined[corpus_index]
+                    combined[corpus_index] = current * d // math.gcd(current, d)
+        # Divisors from different passes can overlap in prime content;
+        # normalise back to an actual divisor of N.
+        return [math.gcd(d, n) for d, n in zip(combined, corpus)]
+
+
+def clustered_batch_gcd(
+    moduli: Sequence[int], k: int = 16, processes: int | None = None
+) -> BatchGcdResult:
+    """Convenience wrapper: run :class:`ClusteredBatchGcd` once."""
+    return ClusteredBatchGcd(k=k, processes=processes).run(moduli)

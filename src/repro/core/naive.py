@@ -1,0 +1,62 @@
+"""Naive all-pairs GCD baseline.
+
+Quadratic in the number of moduli.  The paper keeps it around only to note
+that it "is not feasible for the dataset sizes used in this paper"; we keep
+it as the correctness oracle for the tree-based engines and as the baseline
+side of the Figure 2 scaling benchmark.
+
+The contract matches the batch engines exactly: the reported divisor for
+``N_i`` is ``gcd(N_i, P / N_i)`` where ``P`` is the product of the whole
+corpus — including prime *multiplicity* (a prime appearing in two other
+moduli can contribute its square).  For well-formed RSA corpora the
+distinction is invisible, but artifact inputs (bit-error moduli, degenerate
+keys) exercise it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.results import BatchGcdResult
+
+__all__ = ["naive_pairwise_gcd"]
+
+
+def _extract_shared(remaining: int, other: int) -> tuple[int, int]:
+    """Peel gcd(remaining, other) with full multiplicity.
+
+    Returns:
+        ``(extracted, new_remaining)`` where ``extracted`` is the exact
+        shared content between ``remaining`` and ``other`` (per-prime
+        exponent ``min(v_p(remaining), v_p(other))``).
+    """
+    extracted = 1
+    g = math.gcd(remaining, other)
+    while g > 1:
+        extracted *= g
+        remaining //= g
+        other //= g
+        g = math.gcd(remaining, math.gcd(other, g))
+    return extracted, remaining
+
+
+def naive_pairwise_gcd(moduli: Sequence[int]) -> BatchGcdResult:
+    """Compute each modulus's shared divisor by brute-force pairwise GCDs.
+
+    For each ``N_i`` the other moduli are folded in one at a time, each
+    contributing the shared content still present in the running cofactor of
+    ``N_i``; the product of contributions equals ``gcd(N_i, P / N_i)``.
+    """
+    n = len(moduli)
+    divisors = [1] * n
+    for i in range(n):
+        remaining = moduli[i]
+        acc = 1
+        for j in range(n):
+            if j == i or remaining == 1:
+                continue
+            extracted, remaining = _extract_shared(remaining, moduli[j])
+            acc *= extracted
+        divisors[i] = acc
+    return BatchGcdResult(list(moduli), divisors)

@@ -1,0 +1,187 @@
+"""DSA and the repeated-nonce flaw (the disclosures' other half).
+
+Of the 61 vendors notified in 2012, 37 concerned weak RSA keys; "the
+remainder produced vulnerable DSA signatures only" (paper Section 2.5),
+and Moxa's public disclosure concerned DSA. The paper excludes DSA from
+its measurement (its corpus is RSA), but the flaw class belongs to the
+same entropy-hole family: a device whose pool state repeats will reuse the
+per-signature nonce ``k``, and two signatures sharing a nonce leak the
+private key algebraically.
+
+This module provides a small, complete DSA so that flaw is runnable:
+parameter generation, keygen, signing (with an injectable nonce source to
+model the flaw), verification, and the classic nonce-reuse key recovery.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+from repro.crypto.primes import generate_prime
+from repro.numt.arith import modinv
+from repro.numt.primality import is_probable_prime
+
+__all__ = [
+    "DsaParameters",
+    "DsaKeyPair",
+    "DsaSignature",
+    "generate_parameters",
+    "generate_dsa_keypair",
+    "sign",
+    "verify",
+    "recover_private_key_from_nonce_reuse",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class DsaParameters:
+    """A DSA domain: primes ``p``, ``q`` (with ``q | p-1``) and generator ``g``."""
+
+    p: int
+    q: int
+    g: int
+
+
+@dataclass(frozen=True, slots=True)
+class DsaKeyPair:
+    """A DSA key pair over some domain parameters."""
+
+    parameters: DsaParameters
+    x: int  # private
+    y: int  # public: g^x mod p
+
+
+@dataclass(frozen=True, slots=True)
+class DsaSignature:
+    """An (r, s) DSA signature."""
+
+    r: int
+    s: int
+
+
+def _hash_to_int(message: bytes, q: int) -> int:
+    return int.from_bytes(hashlib.sha256(message).digest(), "big") % q
+
+
+def generate_parameters(
+    rng: random.Random, p_bits: int = 256, q_bits: int = 96
+) -> DsaParameters:
+    """Generate a DSA domain by the classic ``p = q*m + 1`` search."""
+    if q_bits >= p_bits:
+        raise ValueError("q must be smaller than p")
+    q = generate_prime(q_bits, rng)
+    while True:
+        m = rng.getrandbits(p_bits - q_bits) | (1 << (p_bits - q_bits - 1))
+        p = q * m + 1
+        if p.bit_length() == p_bits and is_probable_prime(p):
+            break
+    # A generator of the order-q subgroup.
+    while True:
+        h = rng.randrange(2, p - 1)
+        g = pow(h, (p - 1) // q, p)
+        if g > 1:
+            return DsaParameters(p=p, q=q, g=g)
+
+
+def generate_dsa_keypair(
+    parameters: DsaParameters, rng: random.Random
+) -> DsaKeyPair:
+    """Generate a key pair over the given domain."""
+    x = rng.randrange(1, parameters.q)
+    return DsaKeyPair(
+        parameters=parameters, x=x, y=pow(parameters.g, x, parameters.p)
+    )
+
+
+def sign(
+    keypair: DsaKeyPair, message: bytes, nonce: int | None = None,
+    rng: random.Random | None = None,
+) -> DsaSignature:
+    """Sign a message.
+
+    Args:
+        keypair: the signing key.
+        message: the message to sign.
+        nonce: the per-signature secret ``k``.  Healthy implementations
+            draw it fresh from a seeded pool; the entropy-hole flaw is
+            modelled by passing the *same* value twice.
+        rng: randomness source used when ``nonce`` is None.
+
+    Raises:
+        ValueError: if neither nonce nor rng is provided, or the nonce is
+            out of range.
+    """
+    params = keypair.parameters
+    while True:
+        if nonce is not None:
+            k = nonce
+            if not 0 < k < params.q:
+                raise ValueError("nonce out of range")
+        elif rng is not None:
+            k = rng.randrange(1, params.q)
+        else:
+            raise ValueError("provide a nonce or an rng")
+        r = pow(params.g, k, params.p) % params.q
+        if r == 0:
+            if nonce is not None:
+                raise ValueError("degenerate nonce (r == 0)")
+            continue
+        h = _hash_to_int(message, params.q)
+        s = modinv(k, params.q) * (h + keypair.x * r) % params.q
+        if s == 0:
+            if nonce is not None:
+                raise ValueError("degenerate nonce (s == 0)")
+            continue
+        return DsaSignature(r=r, s=s)
+
+
+def verify(
+    parameters: DsaParameters, y: int, message: bytes, signature: DsaSignature
+) -> bool:
+    """Verify a DSA signature against a public key ``y``."""
+    r, s = signature.r, signature.s
+    if not (0 < r < parameters.q and 0 < s < parameters.q):
+        return False
+    w = modinv(s, parameters.q)
+    h = _hash_to_int(message, parameters.q)
+    u1 = h * w % parameters.q
+    u2 = r * w % parameters.q
+    v = (
+        pow(parameters.g, u1, parameters.p)
+        * pow(y, u2, parameters.p)
+        % parameters.p
+        % parameters.q
+    )
+    return v == r
+
+
+def recover_private_key_from_nonce_reuse(
+    parameters: DsaParameters,
+    message1: bytes,
+    signature1: DsaSignature,
+    message2: bytes,
+    signature2: DsaSignature,
+) -> int:
+    """Recover the private key from two signatures sharing a nonce.
+
+    With a shared ``k``: ``k = (h1 - h2) / (s1 - s2) mod q`` and then
+    ``x = (s1*k - h1) / r mod q`` — the attack that made the DSA-only
+    vendors' entropy failures exploitable.
+
+    Raises:
+        ValueError: if the signatures do not actually share a nonce
+            (``r`` values differ) or the algebra degenerates.
+    """
+    if signature1.r != signature2.r:
+        raise ValueError("signatures do not share a nonce (r differs)")
+    q = parameters.q
+    h1 = _hash_to_int(message1, q)
+    h2 = _hash_to_int(message2, q)
+    s_delta = (signature1.s - signature2.s) % q
+    if s_delta == 0:
+        raise ValueError("identical signatures carry no new information")
+    k = (h1 - h2) * modinv(s_delta, q) % q
+    x = (signature1.s * k - h1) * modinv(signature1.r, q) % q
+    return x

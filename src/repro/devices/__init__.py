@@ -1,0 +1,62 @@
+"""Device and vendor world model: who made the devices, how they respond.
+
+- :mod:`repro.devices.vendors` — the vendor registry (Table 2 response
+  categories, Table 5 OpenSSL classification, advisory dates).
+- :mod:`repro.devices.models` — device-model specifications.
+- :mod:`repro.devices.catalog` — the concrete catalog calibrated to the
+  paper's Figures 1 and 3–10.
+- :mod:`repro.devices.certfactory` — per-vendor certificate conventions.
+- :mod:`repro.devices.population` — monthly fleet dynamics (deploy, retire,
+  churn, regenerate, patch, Heartbleed).
+"""
+
+from repro.devices.catalog import DEVICE_CATALOG, catalog_models, models_for_vendor
+from repro.devices.certfactory import build_certificate, format_ip
+from repro.devices.models import (
+    DeviceModel,
+    HeartbleedBehavior,
+    KeygenKind,
+    KeygenSpec,
+    PopulationSchedule,
+    SubjectStyle,
+)
+from repro.devices.population import (
+    Device,
+    DivisorLimits,
+    IpAllocator,
+    ModelPopulation,
+    resolve_divisor,
+)
+from repro.devices.vendors import (
+    VENDORS,
+    ResponseCategory,
+    Vendor,
+    notified_2012_vendors,
+    vendor,
+    vendors_in_category,
+)
+
+__all__ = [
+    "DEVICE_CATALOG",
+    "Device",
+    "DeviceModel",
+    "DivisorLimits",
+    "HeartbleedBehavior",
+    "IpAllocator",
+    "KeygenKind",
+    "KeygenSpec",
+    "ModelPopulation",
+    "PopulationSchedule",
+    "ResponseCategory",
+    "SubjectStyle",
+    "VENDORS",
+    "Vendor",
+    "build_certificate",
+    "catalog_models",
+    "format_ip",
+    "models_for_vendor",
+    "notified_2012_vendors",
+    "resolve_divisor",
+    "vendor",
+    "vendors_in_category",
+]

@@ -1,0 +1,817 @@
+"""The device catalog: every product line, calibrated to the paper's figures.
+
+Populations are specified at *paper scale* (absolute host counts read off
+Figures 1 and 3–10) and divided by the study's ``scale`` factor at build
+time.  Each entry records, in its comments, which figure/table it encodes.
+
+Calibration sources:
+
+- Figure 3  — Juniper: totals 40–80 k, vulnerable rising to ~30 k, Heartbleed
+  drop of ~30 k total / ~9 k vulnerable, 169 k IPs over the study.
+- Figure 4  — Innominate: total rising, vulnerable flat (~300; 561 IPs ever).
+- Figure 5  — IBM: vulnerable-only series, declining from ~2 k, Heartbleed
+  drop (1,728 IPs ever; 3,229 certificates).
+- Figure 6  — Cisco: vulnerable rising through 2014 to ~8–10 k, then decline.
+- Figure 7  — Cisco model EOL dates (RV082, RV120W, RV220W, RV180/180W,
+  SA520/540).
+- Figure 8  — HP iLO: totals ~100 k, vulnerable peaking ~30 in 2012,
+  Heartbleed drop in totals.
+- Figure 9  — ten no-response vendors.
+- Figure 10 — newly vulnerable vendors (ADTRAN, D-Link, Huawei, Sangfor,
+  Schmid Telecom).
+- Section 3.3 — Fritz!Box (20,717 certs), Siemens (~15 k certs, 2,441 with
+  an IBM modulus), Dell/Xerox shared primes (416 certs), McAfee SnapGear.
+"""
+
+from __future__ import annotations
+
+from repro.devices.models import (
+    DeviceModel,
+    HeartbleedBehavior,
+    KeygenKind,
+    KeygenSpec,
+    PopulationSchedule,
+    SubjectStyle,
+)
+from repro.timeline import HEARTBLEED, Month, STUDY_END, STUDY_START
+
+__all__ = ["DEVICE_CATALOG", "catalog_models", "models_for_vendor"]
+
+
+def _m(y: int, m: int) -> Month:
+    return Month(y, m)
+
+
+_PRE_HEARTBLEED = HEARTBLEED + (-1)
+
+
+DEVICE_CATALOG: tuple[DeviceModel, ...] = (
+    # ------------------------------------------------------------------ #
+    # Figure 3: Juniper SRX branch devices.  Public advisory April 2012,  #
+    # yet the vulnerable population kept rising until Heartbleed, when    #
+    # ~30 k fingerprinted hosts (including >9 k vulnerable) went offline. #
+    # Not OpenSSL (Table 5).  ScreenOS/SRX devices only support RSA kex   #
+    # in our model (74 % of vulnerable hosts support only RSA kex).       #
+    # ------------------------------------------------------------------ #
+    DeviceModel(
+        model_id="juniper-srx",
+        vendor="Juniper",
+        subject_style=SubjectStyle.SYSTEM_GENERATED,
+        keygen=KeygenSpec(
+            kind=KeygenKind.SHARED_PRIME,
+            profile_id="juniper-srx",
+            boot_states=9_000,
+            openssl_style=False,
+            vulnerable_until=_m(2014, 6),
+            vulnerable_fraction=0.48,
+        ),
+        schedule=PopulationSchedule(
+            points=(
+                (STUDY_START, 30_000),
+                (_m(2011, 10), 45_000),
+                (_m(2012, 6), 58_000),
+                (_PRE_HEARTBLEED, 80_000),
+                (HEARTBLEED, 50_000),
+                (_m(2015, 7), 46_000),
+                (STUDY_END, 44_000),
+            ),
+            cert_regen_rate=0.022,
+        ),
+        heartbleed=HeartbleedBehavior(
+            offline_fraction=0.375, vulnerable_bias=1.6, patch_fraction=0.02
+        ),
+        supports_only_rsa_kex=True,
+    ),
+    # ------------------------------------------------------------------ #
+    # Figure 4: Innominate mGuard industrial appliances.  Advisory June   #
+    # 2012; vulnerable population stayed roughly fixed for four years     #
+    # while the total population rose (new devices fixed, old unpatched). #
+    # ------------------------------------------------------------------ #
+    DeviceModel(
+        model_id="innominate-mguard",
+        vendor="Innominate",
+        subject_style=SubjectStyle.VENDOR_IN_O,
+        keygen=KeygenSpec(
+            kind=KeygenKind.SHARED_PRIME,
+            profile_id="innominate-mguard",
+            boot_states=60,
+            openssl_style=True,
+            vulnerable_until=_m(2012, 7),
+            vulnerable_fraction=0.75,
+        ),
+        schedule=PopulationSchedule(
+            points=(
+                (STUDY_START, 450),
+                (_m(2012, 6), 600),
+                (_m(2014, 6), 900),
+                (STUDY_END, 1_300),
+            ),
+            churn_rate=0.002,
+            cert_regen_rate=0.004,
+        ),
+    ),
+    # ------------------------------------------------------------------ #
+    # Figure 5: IBM Remote Supervisor Adapter II / BladeCenter MM.        #
+    # Nine possible primes, 36 possible moduli; population declining from #
+    # 2012 and a marked Heartbleed drop.  Certificates carry the owning   #
+    # organisation's names, so only the prime clique fingerprints them.   #
+    # ------------------------------------------------------------------ #
+    DeviceModel(
+        model_id="ibm-rsa2",
+        vendor="IBM",
+        subject_style=SubjectStyle.OWNER_NAMED,
+        keygen=KeygenSpec(
+            kind=KeygenKind.IBM_NINE_PRIME,
+            profile_id="ibm-rsa2",
+            openssl_style=True,
+        ),
+        schedule=PopulationSchedule(
+            points=(
+                (STUDY_START, 1_450),
+                (_m(2012, 6), 1_100),
+                (_PRE_HEARTBLEED, 800),
+                (HEARTBLEED, 480),
+                (STUDY_END, 320),
+            ),
+            churn_rate=0.001,
+            ip_churn_rate=0.012,
+            cert_regen_rate=0.0,
+        ),
+        heartbleed=HeartbleedBehavior(offline_fraction=0.4, vulnerable_bias=1.0),
+    ),
+    # ------------------------------------------------------------------ #
+    # Section 3.3.2: Siemens Building Automation.  ~15 k certificates;    #
+    # 2,441 served a single modulus from the IBM clique beginning in      #
+    # February 2013; 18 vulnerable certificates were non-IBM.             #
+    # ------------------------------------------------------------------ #
+    DeviceModel(
+        model_id="siemens-building-ibm",
+        vendor="Siemens",
+        subject_style=SubjectStyle.SIEMENS_BUILDING,
+        keygen=KeygenSpec(
+            kind=KeygenKind.FIXED_IBM_MODULUS,
+            profile_id="ibm-rsa2",  # shares the IBM prime clique
+            vulnerable_from=_m(2013, 2),
+        ),
+        schedule=PopulationSchedule(
+            points=(
+                (_m(2013, 2), 400),
+                (_m(2014, 6), 900),
+                (STUDY_END, 1_100),
+            ),
+            churn_rate=0.002,
+            cert_regen_rate=0.0,
+        ),
+    ),
+    DeviceModel(
+        model_id="siemens-building",
+        vendor="Siemens",
+        subject_style=SubjectStyle.SIEMENS_BUILDING,
+        keygen=KeygenSpec(
+            kind=KeygenKind.SHARED_PRIME,
+            profile_id="siemens-building",
+            boot_states=12_000,
+            openssl_style=False,
+            vulnerable_fraction=0.004,  # 18 of ~15,000 certificates
+        ),
+        schedule=PopulationSchedule(
+            points=(
+                (STUDY_START, 6_000),
+                (_m(2013, 6), 10_000),
+                (STUDY_END, 13_000),
+            ),
+            churn_rate=0.002,
+        ),
+    ),
+    # ------------------------------------------------------------------ #
+    # Figures 6 and 7: Cisco small-business routers and security          #
+    # appliances.  Model names appear in the certificate OU; EOL          #
+    # announcements mark the start of population declines.  Private      #
+    # response, no advisory; vulnerable counts rose through 2014.         #
+    # ------------------------------------------------------------------ #
+    DeviceModel(
+        model_id="cisco-rv082",
+        vendor="Cisco",
+        display_model="RV082",
+        subject_style=SubjectStyle.MODEL_IN_OU,
+        keygen=KeygenSpec(
+            kind=KeygenKind.HEALTHY,  # the one Figure 7 model with no
+            profile_id="cisco-rv082",  # identified vulnerable hosts
+        ),
+        schedule=PopulationSchedule(
+            points=(
+                (STUDY_START, 40_000),
+                (_m(2012, 9), 52_000),  # EOL announced
+                (STUDY_END, 24_000),
+            ),
+        ),
+        eol=_m(2012, 9),
+        end_of_sale=_m(2013, 3),
+    ),
+    DeviceModel(
+        model_id="cisco-rv120w",
+        vendor="Cisco",
+        display_model="RV120W",
+        subject_style=SubjectStyle.MODEL_IN_OU,
+        keygen=KeygenSpec(
+            kind=KeygenKind.SHARED_PRIME,
+            profile_id="cisco-rv",
+            boot_states=900,
+            openssl_style=True,
+            vulnerable_until=_m(2014, 9),
+            vulnerable_fraction=0.08,
+        ),
+        schedule=PopulationSchedule(
+            points=(
+                (_m(2011, 3), 0),
+                (_m(2014, 2), 36_000),  # EOL announced early 2014
+                (STUDY_END, 22_000),
+            ),
+        ),
+        eol=_m(2014, 2),
+        end_of_sale=_m(2014, 8),
+    ),
+    DeviceModel(
+        model_id="cisco-rv220w",
+        vendor="Cisco",
+        display_model="RV220W",
+        subject_style=SubjectStyle.MODEL_IN_OU,
+        keygen=KeygenSpec(
+            kind=KeygenKind.SHARED_PRIME,
+            profile_id="cisco-rv",
+            boot_states=900,
+            openssl_style=True,
+            vulnerable_until=_m(2014, 9),
+            vulnerable_fraction=0.10,
+        ),
+        schedule=PopulationSchedule(
+            points=(
+                (_m(2011, 1), 0),
+                (_m(2015, 1), 30_000),  # EOL announced 2015
+                (STUDY_END, 25_000),
+            ),
+        ),
+        eol=_m(2015, 1),
+        end_of_sale=_m(2015, 7),
+    ),
+    DeviceModel(
+        model_id="cisco-rv180",
+        vendor="Cisco",
+        display_model="RV180/180W",
+        subject_style=SubjectStyle.MODEL_IN_OU,
+        keygen=KeygenSpec(
+            kind=KeygenKind.SHARED_PRIME,
+            profile_id="cisco-rv",
+            boot_states=900,
+            openssl_style=True,
+            vulnerable_until=_m(2014, 12),
+            vulnerable_fraction=0.08,
+        ),
+        schedule=PopulationSchedule(
+            points=(
+                (_m(2012, 1), 0),
+                (_m(2015, 9), 26_000),  # EOL announced late 2015
+                (STUDY_END, 24_000),
+            ),
+        ),
+        eol=_m(2015, 9),
+        end_of_sale=_m(2016, 3),
+    ),
+    DeviceModel(
+        model_id="cisco-sa520",
+        vendor="Cisco",
+        display_model="SA520/540",
+        subject_style=SubjectStyle.MODEL_IN_OU,
+        keygen=KeygenSpec(
+            kind=KeygenKind.SHARED_PRIME,
+            profile_id="cisco-sa",
+            boot_states=500,
+            openssl_style=True,
+            vulnerable_until=_m(2013, 6),
+            vulnerable_fraction=0.11,
+        ),
+        schedule=PopulationSchedule(
+            points=(
+                (STUDY_START, 14_000),
+                (_m(2013, 1), 20_000),  # EOL announced 2013
+                (STUDY_END, 9_000),
+            ),
+        ),
+        eol=_m(2013, 1),
+        end_of_sale=_m(2013, 7),
+    ),
+    # ------------------------------------------------------------------ #
+    # Figure 8: HP Integrated Lights-Out cards.  Vulnerable count peaked  #
+    # in 2012 (~30) and declined steadily; totals dropped after           #
+    # Heartbleed (iLO cards crashed when scanned).                        #
+    # ------------------------------------------------------------------ #
+    DeviceModel(
+        model_id="hp-ilo",
+        vendor="HP",
+        subject_style=SubjectStyle.VENDOR_IN_O,
+        keygen=KeygenSpec(
+            kind=KeygenKind.SHARED_PRIME,
+            profile_id="hp-ilo",
+            boot_states=25,
+            openssl_style=True,
+            vulnerable_until=_m(2012, 3),
+            vulnerable_fraction=0.0006,
+        ),
+        schedule=PopulationSchedule(
+            points=(
+                (STUDY_START, 60_000),
+                (_m(2012, 4), 95_000),
+                (_PRE_HEARTBLEED, 110_000),
+                (HEARTBLEED, 88_000),
+                (STUDY_END, 96_000),
+            ),
+        ),
+        heartbleed=HeartbleedBehavior(offline_fraction=0.2, vulnerable_bias=1.4),
+    ),
+    # ------------------------------------------------------------------ #
+    # Figure 9: the ten vendors that never responded.                     #
+    # ------------------------------------------------------------------ #
+    DeviceModel(
+        model_id="thomson-cablemodem",
+        vendor="Thomson",
+        subject_style=SubjectStyle.VENDOR_IN_O,
+        keygen=KeygenSpec(
+            kind=KeygenKind.SHARED_PRIME,
+            profile_id="thomson-cablemodem",
+            boot_states=1_500,
+            openssl_style=True,
+            vulnerable_until=_m(2012, 1),
+            vulnerable_fraction=0.0015,
+        ),
+        schedule=PopulationSchedule(
+            points=(
+                (STUDY_START, 160_000),
+                (_m(2012, 2), 130_000),
+                (_m(2014, 2), 70_000),
+                (STUDY_END, 30_000),
+            ),
+            churn_rate=0.004,
+        ),
+    ),
+    DeviceModel(
+        model_id="avm-fritzbox",
+        vendor="Fritz!Box",
+        subject_style=SubjectStyle.FRITZ_DOMAIN,
+        keygen=KeygenSpec(
+            kind=KeygenKind.SHARED_PRIME,
+            profile_id="avm-fritzbox",
+            boot_states=2_800,
+            openssl_style=True,
+            vulnerable_until=_m(2014, 2),  # fixed for new devices in 2014
+            vulnerable_fraction=0.045,
+        ),
+        schedule=PopulationSchedule(
+            points=(
+                (STUDY_START, 220_000),
+                (_m(2013, 6), 420_000),
+                (STUDY_END, 520_000),
+            ),
+            churn_rate=0.016,  # consumer DSL modems are replaced often
+        ),
+    ),
+    DeviceModel(
+        model_id="linksys-router",
+        vendor="Linksys",
+        subject_style=SubjectStyle.VENDOR_IN_O,
+        keygen=KeygenSpec(
+            kind=KeygenKind.SHARED_PRIME,
+            profile_id="linksys-router",
+            boot_states=500,
+            openssl_style=True,
+            vulnerable_until=_m(2012, 6),
+            vulnerable_fraction=0.003,
+        ),
+        schedule=PopulationSchedule(
+            points=(
+                (STUDY_START, 150_000),
+                (_m(2012, 6), 120_000),
+                (STUDY_END, 45_000),
+            ),
+        ),
+    ),
+    DeviceModel(
+        model_id="fortinet-fortigate",
+        vendor="Fortinet",
+        subject_style=SubjectStyle.VENDOR_IN_O,
+        keygen=KeygenSpec(
+            kind=KeygenKind.SHARED_PRIME,
+            profile_id="fortinet-fortigate",
+            boot_states=40,
+            openssl_style=False,
+            vulnerable_until=_m(2012, 9),
+            vulnerable_fraction=0.0003,
+        ),
+        schedule=PopulationSchedule(
+            points=(
+                (STUDY_START, 60_000),
+                (_m(2013, 6), 140_000),
+                (STUDY_END, 190_000),
+            ),
+        ),
+    ),
+    DeviceModel(
+        model_id="zyxel-zywall",
+        vendor="ZyXEL",
+        subject_style=SubjectStyle.VENDOR_IN_O,
+        keygen=KeygenSpec(
+            kind=KeygenKind.SHARED_PRIME,
+            profile_id="zyxel-zywall",
+            boot_states=2_200,
+            openssl_style=False,
+            vulnerable_until=_m(2013, 6),
+            vulnerable_fraction=0.06,
+        ),
+        schedule=PopulationSchedule(
+            points=(
+                (STUDY_START, 70_000),
+                (_m(2012, 10), 62_000),
+                (STUDY_END, 28_000),
+            ),
+            churn_rate=0.012,
+        ),
+        supports_only_rsa_kex=True,
+    ),
+    DeviceModel(
+        model_id="dell-imaging",
+        vendor="Dell",
+        subject_style=SubjectStyle.DELL_IMAGING,
+        keygen=KeygenSpec(
+            kind=KeygenKind.SHARED_PRIME,
+            # Same pool as Xerox: the printers are manufactured by Fuji
+            # Xerox, and shared primes between the two brands are exactly
+            # how the paper identified the partnership (416 certificates).
+            profile_id="xerox-fuji-imaging",
+            boot_states=220,
+            openssl_style=True,
+            vulnerable_until=_m(2013, 1),
+            vulnerable_fraction=0.005,
+        ),
+        schedule=PopulationSchedule(
+            points=(
+                (STUDY_START, 32_000),
+                (_m(2013, 1), 26_000),
+                (STUDY_END, 12_000),
+            ),
+        ),
+    ),
+    DeviceModel(
+        model_id="kronos-intouch",
+        vendor="Kronos",
+        subject_style=SubjectStyle.VENDOR_IN_O,
+        keygen=KeygenSpec(
+            kind=KeygenKind.SHARED_PRIME,
+            profile_id="kronos-intouch",
+            boot_states=350,
+            openssl_style=False,
+            vulnerable_until=_m(2013, 6),
+            vulnerable_fraction=0.095,
+        ),
+        schedule=PopulationSchedule(
+            points=(
+                (STUDY_START, 6_500),
+                (_m(2013, 6), 5_500),
+                (STUDY_END, 3_000),
+            ),
+        ),
+    ),
+    DeviceModel(
+        model_id="xerox-printer",
+        vendor="Xerox",
+        subject_style=SubjectStyle.VENDOR_IN_O,
+        keygen=KeygenSpec(
+            kind=KeygenKind.SHARED_PRIME,
+            profile_id="xerox-fuji-imaging",  # shared with Dell Imaging
+            boot_states=220,
+            openssl_style=False,
+            vulnerable_until=_m(2013, 6),
+            vulnerable_fraction=0.10,
+        ),
+        schedule=PopulationSchedule(
+            points=(
+                (STUDY_START, 7_000),
+                (_m(2013, 6), 5_800),
+                (STUDY_END, 3_200),
+            ),
+        ),
+    ),
+    DeviceModel(
+        model_id="mcafee-snapgear",
+        vendor="McAfee",
+        subject_style=SubjectStyle.DEFAULT_NAMES,
+        keygen=KeygenSpec(
+            kind=KeygenKind.SHARED_PRIME,
+            profile_id="mcafee-snapgear",
+            boot_states=250,
+            openssl_style=True,
+            vulnerable_until=_m(2013, 1),
+            vulnerable_fraction=0.08,
+        ),
+        schedule=PopulationSchedule(
+            points=(
+                (STUDY_START, 5_500),
+                (_m(2012, 6), 4_800),
+                (STUDY_END, 1_800),
+            ),
+        ),
+        http_content="SnapGear Management Console",
+    ),
+    DeviceModel(
+        model_id="tplink-router",
+        vendor="TP-LINK",
+        subject_style=SubjectStyle.VENDOR_IN_O,
+        keygen=KeygenSpec(
+            kind=KeygenKind.SHARED_PRIME,
+            profile_id="tplink-router",
+            boot_states=1_500,
+            openssl_style=True,
+            vulnerable_until=_m(2014, 6),
+            vulnerable_fraction=0.9,
+        ),
+        schedule=PopulationSchedule(
+            points=(
+                (STUDY_START, 5_800),
+                (_m(2013, 2), 5_200),
+                (STUDY_END, 2_600),
+            ),
+            cert_regen_rate=0.010,
+        ),
+        supports_only_rsa_kex=True,
+    ),
+    # ------------------------------------------------------------------ #
+    # Figure 10: vendors with newly vulnerable products after 2012.       #
+    # ------------------------------------------------------------------ #
+    DeviceModel(
+        model_id="adtran-netvanta",
+        vendor="ADTRAN",
+        subject_style=SubjectStyle.VENDOR_IN_O,
+        keygen=KeygenSpec(
+            kind=KeygenKind.SHARED_PRIME,
+            profile_id="adtran-netvanta",
+            boot_states=40,
+            openssl_style=True,
+            vulnerable_from=_m(2015, 2),  # newly introduced in 2015
+            vulnerable_fraction=0.012,
+        ),
+        schedule=PopulationSchedule(
+            points=(
+                (STUDY_START, 45_000),
+                (_m(2015, 1), 70_000),
+                (STUDY_END, 78_000),
+            ),
+        ),
+    ),
+    DeviceModel(
+        model_id="dlink-router",
+        vendor="D-Link",
+        subject_style=SubjectStyle.VENDOR_IN_O,
+        keygen=KeygenSpec(
+            kind=KeygenKind.SHARED_PRIME,
+            profile_id="dlink-router",
+            boot_states=3_500,
+            openssl_style=True,
+            vulnerable_from=_m(2013, 9),  # small in 2012, then dramatic
+            vulnerable_fraction=0.14,
+        ),
+        schedule=PopulationSchedule(
+            points=(
+                (STUDY_START, 90_000),
+                (_m(2013, 9), 120_000),
+                (STUDY_END, 180_000),
+            ),
+            churn_rate=0.020,
+        ),
+        supports_only_rsa_kex=True,
+    ),
+    DeviceModel(
+        model_id="dlink-router-2012",
+        vendor="D-Link",
+        subject_style=SubjectStyle.VENDOR_IN_O,
+        keygen=KeygenSpec(
+            kind=KeygenKind.SHARED_PRIME,
+            profile_id="dlink-router",
+            boot_states=60,
+            openssl_style=True,
+            vulnerable_until=_m(2012, 6),
+            vulnerable_fraction=0.004,
+        ),
+        schedule=PopulationSchedule(
+            points=(
+                (STUDY_START, 25_000),
+                (_m(2013, 9), 15_000),
+                (STUDY_END, 5_000),
+            ),
+        ),
+    ),
+    DeviceModel(
+        model_id="huawei-gateway",
+        vendor="Huawei",
+        subject_style=SubjectStyle.VENDOR_IN_O,
+        keygen=KeygenSpec(
+            kind=KeygenKind.SHARED_PRIME,
+            profile_id="huawei-gateway",
+            boot_states=400,
+            openssl_style=False,
+            vulnerable_from=_m(2015, 4),  # first vulnerable hosts 4/2015
+            vulnerable_fraction=0.10,
+        ),
+        schedule=PopulationSchedule(
+            points=(
+                (_m(2013, 1), 8_000),
+                (_m(2015, 4), 30_000),
+                (STUDY_END, 55_000),
+            ),
+            churn_rate=0.016,
+        ),
+        supports_only_rsa_kex=True,
+    ),
+    DeviceModel(
+        model_id="sangfor-vpn",
+        vendor="Sangfor",
+        subject_style=SubjectStyle.VENDOR_IN_O,
+        keygen=KeygenSpec(
+            kind=KeygenKind.SHARED_PRIME,
+            profile_id="sangfor-vpn",
+            boot_states=8,
+            openssl_style=True,
+            vulnerable_from=_m(2015, 1),
+            vulnerable_fraction=0.0008,
+        ),
+        schedule=PopulationSchedule(
+            points=(
+                (STUDY_START, 8_000),
+                (_m(2014, 6), 26_000),
+                (STUDY_END, 38_000),
+            ),
+        ),
+    ),
+    DeviceModel(
+        model_id="schmid-watson",
+        vendor="Schmid Telecom",
+        subject_style=SubjectStyle.VENDOR_IN_O,
+        keygen=KeygenSpec(
+            kind=KeygenKind.SHARED_PRIME,
+            profile_id="schmid-watson",
+            boot_states=120,
+            openssl_style=True,
+            vulnerable_from=_m(2014, 6),
+            vulnerable_fraction=0.80,
+        ),
+        schedule=PopulationSchedule(
+            points=(
+                (STUDY_START, 500),
+                (_m(2014, 10), 1_100),
+                (STUDY_END, 1_400),
+            ),
+            churn_rate=0.012,
+        ),
+    ),
+    # ------------------------------------------------------------------ #
+    # Smaller fingerprinted vendors (Table 5 completeness).  Each gets a  #
+    # modest population with a modest vulnerable share.                   #
+    # ------------------------------------------------------------------ #
+    DeviceModel(
+        model_id="2wire-gateway",
+        vendor="2-Wire",
+        subject_style=SubjectStyle.VENDOR_IN_O,
+        keygen=KeygenSpec(
+            kind=KeygenKind.SHARED_PRIME, profile_id="2wire-gateway",
+            boot_states=120, openssl_style=True,
+            vulnerable_until=_m(2013, 1), vulnerable_fraction=0.04,
+        ),
+        schedule=PopulationSchedule(
+            points=((STUDY_START, 9_000), (STUDY_END, 4_000),),
+        ),
+    ),
+    DeviceModel(
+        model_id="conel-router",
+        vendor="Conel s.r.o.",
+        subject_style=SubjectStyle.VENDOR_IN_O,
+        keygen=KeygenSpec(
+            kind=KeygenKind.SHARED_PRIME, profile_id="conel-router",
+            boot_states=50, openssl_style=True,
+            vulnerable_until=_m(2013, 6), vulnerable_fraction=0.30,
+        ),
+        schedule=PopulationSchedule(
+            points=((STUDY_START, 900), (STUDY_END, 1_400),),
+        ),
+    ),
+    DeviceModel(
+        model_id="draytek-vigor",
+        vendor="DrayTek",
+        subject_style=SubjectStyle.VENDOR_IN_O,
+        keygen=KeygenSpec(
+            kind=KeygenKind.SHARED_PRIME, profile_id="draytek-vigor",
+            boot_states=200, openssl_style=False,
+            vulnerable_until=_m(2013, 6), vulnerable_fraction=0.06,
+        ),
+        schedule=PopulationSchedule(
+            points=((STUDY_START, 12_000), (STUDY_END, 9_000),),
+        ),
+    ),
+    DeviceModel(
+        model_id="mitrastar-gateway",
+        vendor="MitraStar",
+        subject_style=SubjectStyle.VENDOR_IN_O,
+        keygen=KeygenSpec(
+            kind=KeygenKind.SHARED_PRIME, profile_id="mitrastar-gateway",
+            boot_states=150, openssl_style=True,
+            vulnerable_until=_m(2014, 1), vulnerable_fraction=0.12,
+        ),
+        schedule=PopulationSchedule(
+            points=((_m(2011, 6), 0), (_m(2014, 1), 6_000), (STUDY_END, 7_000),),
+        ),
+    ),
+    DeviceModel(
+        model_id="netgear-prosafe",
+        vendor="Netgear",
+        subject_style=SubjectStyle.VENDOR_IN_O,
+        keygen=KeygenSpec(
+            kind=KeygenKind.SHARED_PRIME, profile_id="netgear-prosafe",
+            boot_states=400, openssl_style=True,
+            vulnerable_until=_m(2013, 1), vulnerable_fraction=0.015,
+        ),
+        schedule=PopulationSchedule(
+            points=((STUDY_START, 40_000), (STUDY_END, 25_000),),
+        ),
+    ),
+    DeviceModel(
+        model_id="nti-monitor",
+        vendor="NTI",
+        subject_style=SubjectStyle.VENDOR_IN_O,
+        keygen=KeygenSpec(
+            kind=KeygenKind.SHARED_PRIME, profile_id="nti-monitor",
+            boot_states=30, openssl_style=True,
+            vulnerable_until=_m(2013, 1), vulnerable_fraction=0.25,
+        ),
+        schedule=PopulationSchedule(
+            points=((STUDY_START, 700), (STUDY_END, 500),),
+        ),
+    ),
+    DeviceModel(
+        model_id="allegro-rompager",
+        vendor="Allegro",
+        subject_style=SubjectStyle.VENDOR_IN_O,
+        keygen=KeygenSpec(
+            kind=KeygenKind.SHARED_PRIME, profile_id="allegro-rompager",
+            boot_states=90, openssl_style=True,
+            vulnerable_until=_m(2013, 1), vulnerable_fraction=0.06,
+        ),
+        schedule=PopulationSchedule(
+            points=((STUDY_START, 5_000), (STUDY_END, 2_500),),
+        ),
+    ),
+    DeviceModel(
+        model_id="bridgewave-radio",
+        vendor="BridgeWave",
+        subject_style=SubjectStyle.VENDOR_IN_O,
+        keygen=KeygenSpec(
+            kind=KeygenKind.SHARED_PRIME, profile_id="bridgewave-radio",
+            boot_states=25, openssl_style=True,
+            vulnerable_until=_m(2013, 1), vulnerable_fraction=0.35,
+        ),
+        schedule=PopulationSchedule(
+            points=((STUDY_START, 400), (STUDY_END, 250),),
+        ),
+    ),
+    DeviceModel(
+        model_id="servertech-pdu",
+        vendor="ServerTech",
+        subject_style=SubjectStyle.VENDOR_IN_O,
+        keygen=KeygenSpec(
+            kind=KeygenKind.SHARED_PRIME, profile_id="servertech-pdu",
+            boot_states=60, openssl_style=True,
+            vulnerable_until=_m(2013, 6), vulnerable_fraction=0.18,
+        ),
+        schedule=PopulationSchedule(
+            points=((STUDY_START, 1_500), (STUDY_END, 1_000),),
+        ),
+    ),
+    DeviceModel(
+        model_id="skystream-encoder",
+        vendor="SkyStream Networks",
+        subject_style=SubjectStyle.VENDOR_IN_O,
+        keygen=KeygenSpec(
+            kind=KeygenKind.SHARED_PRIME, profile_id="skystream-encoder",
+            boot_states=20, openssl_style=True,
+            vulnerable_until=_m(2012, 6), vulnerable_fraction=0.30,
+        ),
+        schedule=PopulationSchedule(
+            points=((STUDY_START, 350), (STUDY_END, 150),),
+        ),
+    ),
+)
+
+
+def catalog_models() -> tuple[DeviceModel, ...]:
+    """The full calibrated catalog."""
+    return DEVICE_CATALOG
+
+
+def models_for_vendor(vendor_name: str) -> list[DeviceModel]:
+    """All catalog models belonging to one vendor."""
+    return [m for m in DEVICE_CATALOG if m.vendor == vendor_name]

@@ -1,0 +1,214 @@
+"""Device-model specifications: keygen behaviour, certificates, population.
+
+A :class:`DeviceModel` is the unit of simulation: one product line with a
+characteristic certificate subject convention, a key-generation behaviour
+(healthy or one of the flaws), and a population trajectory over the study
+window.  The concrete catalog calibrated to the paper's figures lives in
+:mod:`repro.devices.catalog`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.timeline import Month
+
+__all__ = [
+    "SubjectStyle",
+    "KeygenKind",
+    "KeygenSpec",
+    "HeartbleedBehavior",
+    "PopulationSchedule",
+    "DeviceModel",
+]
+
+
+class SubjectStyle(Enum):
+    """Certificate subject conventions observed in the wild (Section 3.3.1)."""
+
+    #: "O=<vendor>" in the distinguished name (HP, Xerox, TP-LINK, Conel).
+    VENDOR_IN_O = "vendor-in-o"
+    #: Vendor in O and the model name in OU (Cisco small-business lines).
+    MODEL_IN_OU = "model-in-ou"
+    #: The Juniper convention: every certificate has CN="system generated".
+    SYSTEM_GENERATED = "system-generated"
+    #: All-default fields (McAfee SnapGear); vendor identified from the
+    #: HTTPS content instead.
+    DEFAULT_NAMES = "default-names"
+    #: Fritz!Box: CN under myfritz.net plus fritz.box-family SANs.
+    FRITZ_DOMAIN = "fritz-domain"
+    #: Subject carries only the host's IP address in octets.
+    IP_ONLY = "ip-only"
+    #: Owner-supplied organisation names (IBM RSA-II cards: the customer's
+    #: own identity, not IBM's — fingerprintable only via the prime clique).
+    OWNER_NAMED = "owner-named"
+    #: Siemens Building Automation interfaces (vendor named in subject).
+    SIEMENS_BUILDING = "siemens-building"
+    #: "OU=Dell Imaging Group" printers (share primes with Xerox).
+    DELL_IMAGING = "dell-imaging"
+    #: Ordinary web servers (the background HTTPS ecosystem).
+    WEB_SERVER = "web-server"
+
+
+class KeygenKind(Enum):
+    """Which key-generation behaviour a model exhibits."""
+
+    HEALTHY = "healthy"
+    SHARED_PRIME = "shared-prime"
+    IBM_NINE_PRIME = "ibm-nine-prime"
+    #: A single fixed modulus drawn from the IBM clique, shared by every
+    #: affected unit (the Siemens overlap of Section 3.3.2).
+    FIXED_IBM_MODULUS = "fixed-ibm-modulus"
+
+
+@dataclass(frozen=True, slots=True)
+class KeygenSpec:
+    """Key-generation parameters for one model.
+
+    Attributes:
+        kind: behaviour class.
+        profile_id: namespace for derived primes.  Models that share
+            manufacturing (Dell Imaging / Xerox) use the *same* profile_id so
+            their keys draw from one prime pool — which is exactly what the
+            shared-prime extrapolation fingerprint detects.
+        boot_states: size of the boot-state space at paper scale (scaled
+            down with the population); smaller means more shared primes.
+        openssl_style: whether primes follow the OpenSSL rejection rule
+            (drives Table 5).
+        vulnerable_from: first month in which *newly deployed* units carry
+            the flawed firmware (None = from the beginning of the study).
+        vulnerable_until: last month of flawed deployments (None = flawed
+            forever; the paper found several vendors fixed new devices
+            silently, which a finite value models).
+        vulnerable_fraction: probability that any single key generation on
+            flawed firmware produces a weak key (generations that happened
+            to gather entropy are healthy).  Drawn independently at every
+            deploy *and* regeneration, which is what produces the
+            bidirectional vulnerable/non-vulnerable host transitions of
+            Section 4.1.
+    """
+
+    kind: KeygenKind
+    profile_id: str
+    boot_states: int = 1000
+    openssl_style: bool = True
+    vulnerable_from: Month | None = None
+    vulnerable_until: Month | None = None
+    vulnerable_fraction: float = 1.0
+
+    def window_contains(self, month: Month) -> bool:
+        """True when deployments in ``month`` fall in the flawed window."""
+        if self.kind is KeygenKind.HEALTHY:
+            return False
+        if self.vulnerable_from is not None and month < self.vulnerable_from:
+            return False
+        if self.vulnerable_until is not None and month > self.vulnerable_until:
+            return False
+        return True
+
+
+@dataclass(frozen=True, slots=True)
+class HeartbleedBehavior:
+    """What a model's fleet did in April 2014 (Section 4.1).
+
+    Attributes:
+        offline_fraction: fraction of the fleet taken offline (crashed under
+            scanning, firewalled, or disabled) in the Heartbleed month.
+        vulnerable_bias: how much more likely a weak-keyed unit was to go
+            offline than a healthy one (Juniper NetScreen and HP iLO devices
+            crashed when scanned; those fleets skew old/vulnerable).
+        patch_fraction: fraction of surviving weak units whose owners applied
+            a patch that also regenerated the key.
+    """
+
+    offline_fraction: float = 0.0
+    vulnerable_bias: float = 1.0
+    patch_fraction: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class PopulationSchedule:
+    """A piecewise-linear target for a model's online population.
+
+    Attributes:
+        points: ``(month, population-at-paper-scale)`` knots; the simulator
+            interpolates linearly between consecutive knots and holds the
+            last value.  The shapes in Figures 3–10 are encoded here.
+        churn_rate: monthly fraction of units replaced by new units (drives
+            certificate turnover and the growth of distinct moduli).
+        ip_churn_rate: monthly fraction of units that move to a new IP
+            address while keeping their certificate (the paper traced
+            apparent IBM "patching" to exactly this).
+        cert_regen_rate: monthly fraction of units that regenerate their
+            self-signed certificate in place — on flawed firmware this draws
+            a *new* boot state, producing the vulnerable/non-vulnerable
+            transitions observed for Juniper.
+        cert_renewal_rate: monthly fraction of units that re-issue their
+            certificate *keeping the same key pair* (expiry-driven renewal).
+            Renewals are why the paper's corpus holds 1.44 M vulnerable
+            certificates over only 313 k vulnerable moduli.
+        patch_rate: monthly fraction of weak units whose owners patch after
+            the vendor's advisory (the paper measured this to be ~0).
+    """
+
+    points: tuple[tuple[Month, int], ...]
+    churn_rate: float = 0.006
+    ip_churn_rate: float = 0.004
+    cert_regen_rate: float = 0.003
+    cert_renewal_rate: float = 0.006
+    patch_rate: float = 0.0
+
+    def target(self, month: Month, scale: int) -> int:
+        """Interpolated online population for ``month`` at ``1/scale``."""
+        points = self.points
+        if not points:
+            return 0
+        if month < points[0][0]:
+            # The model does not exist before its first knot.
+            return 0
+        if month == points[0][0]:
+            return round(points[0][1] / scale)
+        for (m0, v0), (m1, v1) in zip(points, points[1:]):
+            if m0 <= month <= m1:
+                span = m1 - m0
+                frac = (month - m0) / span if span else 1.0
+                return round((v0 + (v1 - v0) * frac) / scale)
+        return round(points[-1][1] / scale)
+
+
+@dataclass(frozen=True, slots=True)
+class DeviceModel:
+    """One simulated product line.
+
+    Attributes:
+        model_id: unique id, e.g. ``"cisco-rv082"``.
+        vendor: canonical vendor name (key into the vendor registry).
+        display_model: model string placed in certificates where the vendor's
+            convention includes one (Cisco's OU).
+        subject_style: certificate subject convention.
+        keygen: key-generation behaviour.
+        schedule: population trajectory and churn behaviour.
+        heartbleed: the fleet's April 2014 behaviour.
+        eol: end-of-life announcement month, if any (Figure 7); the
+            population schedule encodes the resulting decline, this field
+            feeds the EOL-correlation analysis.
+        end_of_sale: final sale date where announced.
+        http_content: identifying text served over HTTPS (SnapGear console),
+            used by content-based fingerprinting.
+        supports_only_rsa_kex: True for devices that negotiate only RSA key
+            exchange (74 % of vulnerable devices in the April 2016 scan),
+            making them passively decryptable.
+    """
+
+    model_id: str
+    vendor: str
+    subject_style: SubjectStyle
+    keygen: KeygenSpec
+    schedule: PopulationSchedule
+    display_model: str | None = None
+    heartbleed: HeartbleedBehavior = field(default_factory=HeartbleedBehavior)
+    eol: Month | None = None
+    end_of_sale: Month | None = None
+    http_content: str = ""
+    supports_only_rsa_kex: bool = False

@@ -1,0 +1,243 @@
+"""The vendor registry: disclosure responses, advisories, and classifications.
+
+Encodes the paper's vendor-level ground truth:
+
+- Table 2 — the 37 vendors notified about weak TLS/SSH RSA keys in
+  February–March 2012 and their response category.  The published table's
+  column assignment is only partially recoverable from the text layout; the
+  assignments below are exact wherever the paper's body names the vendor
+  (Sections 2.5, 4.1–4.3) and marked ``reconstructed=True`` otherwise.
+- Table 5 — which vendors' factored keys satisfy the OpenSSL prime
+  fingerprint.
+- Section 4 — advisory dates, notification dates, and the vendors newly
+  notified in May 2016.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.timeline import Month
+
+__all__ = [
+    "ResponseCategory",
+    "Vendor",
+    "VENDORS",
+    "vendor",
+    "vendors_in_category",
+    "notified_2012_vendors",
+]
+
+
+class ResponseCategory(Enum):
+    """How a vendor responded to the 2012 vulnerability notification."""
+
+    PUBLIC_ADVISORY = "public advisory"
+    PRIVATE_RESPONSE = "private response"
+    AUTO_RESPONSE = "auto-response"
+    NO_RESPONSE = "no response"
+    #: Vendors first notified during the 2016 follow-up (Section 4.4).
+    NOTIFIED_2016 = "notified 2016"
+    #: Identified only by fingerprinting; never notified.
+    NOT_NOTIFIED = "not notified"
+
+
+@dataclass(frozen=True, slots=True)
+class Vendor:
+    """One vendor's disclosure-process ground truth.
+
+    Attributes:
+        name: canonical vendor name used by the fingerprinting layer.
+        response: response category (Table 2 / Section 4.4).
+        uses_openssl: Table 5 classification of the vendor's *vulnerable*
+            implementation (None when no factored keys attribute to it).
+        notified: month of first notification, if any.
+        advisory: month the vendor published a security advisory, if any.
+        reconstructed: True when the Table 2 category could not be pinned to
+            the paper's body text and was reconstructed from the table layout.
+        notes: free-form provenance notes quoting the paper.
+    """
+
+    name: str
+    response: ResponseCategory
+    uses_openssl: bool | None = None
+    notified: Month | None = None
+    advisory: Month | None = None
+    reconstructed: bool = False
+    notes: str = ""
+
+
+_N2012 = Month(2012, 2)
+_N2016 = Month(2016, 5)
+
+
+def _v(*args, **kwargs) -> Vendor:
+    return Vendor(*args, **kwargs)
+
+
+#: Every vendor the study touches, keyed by canonical name.
+VENDORS: dict[str, Vendor] = {
+    v.name: v
+    for v in [
+        # --- Public security advisory (Section 4.1; five vendors) ---------
+        _v("Juniper", ResponseCategory.PUBLIC_ADVISORY, uses_openssl=False,
+           notified=_N2012, advisory=Month(2012, 4),
+           notes="SRX branch devices; Security Bulletin 4/2012, Out-of-Cycle "
+                 "Notice 7/2012; vulnerable hosts rose for two years after."),
+        _v("Innominate", ResponseCategory.PUBLIC_ADVISORY, uses_openssl=True,
+           notified=_N2012, advisory=Month(2012, 6),
+           notes="mGuard industrial security appliances; advisory June 2012."),
+        _v("IBM", ResponseCategory.PUBLIC_ADVISORY, uses_openssl=True,
+           notified=_N2012, advisory=Month(2012, 9),
+           notes="RSA-II / BladeCenter MM: nine possible primes, 36 moduli; "
+                 "CVE-2012-2187."),
+        _v("Intel", ResponseCategory.PUBLIC_ADVISORY, notified=_N2012,
+           advisory=Month(2012, 7),
+           notes="Advisory concerned SSH host keys (port 22), outside the "
+                 "HTTPS analysis."),
+        _v("Tropos", ResponseCategory.PUBLIC_ADVISORY, notified=_N2012,
+           advisory=Month(2012, 7),
+           notes="Advisory concerned SSH host keys, outside the HTTPS "
+                 "analysis."),
+        # --- Private substantive response (Section 4.2) -------------------
+        _v("Cisco", ResponseCategory.PRIVATE_RESPONSE, uses_openssl=True,
+           notified=_N2012,
+           notes="Small-business router lines; responded privately, never "
+                 "released an advisory; model names in certificate OU."),
+        _v("HP", ResponseCategory.PRIVATE_RESPONSE, uses_openssl=True,
+           notified=_N2012,
+           notes="Integrated Lights-Out management cards; iLO reported to "
+                 "crash when scanned for Heartbleed."),
+        _v("Pogoplug", ResponseCategory.PRIVATE_RESPONSE, notified=_N2012,
+           reconstructed=True),
+        _v("Sentry", ResponseCategory.PRIVATE_RESPONSE, notified=_N2012,
+           reconstructed=True),
+        _v("Emerson", ResponseCategory.PRIVATE_RESPONSE, notified=_N2012,
+           reconstructed=True),
+        _v("Haivision", ResponseCategory.PRIVATE_RESPONSE, notified=_N2012,
+           reconstructed=True),
+        _v("AudioCodes", ResponseCategory.PRIVATE_RESPONSE, notified=_N2012,
+           reconstructed=True),
+        _v("Kyocera", ResponseCategory.PRIVATE_RESPONSE, notified=_N2012,
+           reconstructed=True),
+        # --- Auto-response only (Table 2) ----------------------------------
+        _v("Brocade", ResponseCategory.AUTO_RESPONSE, notified=_N2012,
+           reconstructed=True),
+        _v("NTI", ResponseCategory.AUTO_RESPONSE, uses_openssl=True,
+           notified=_N2012, reconstructed=True),
+        _v("Hillstone Networks", ResponseCategory.AUTO_RESPONSE,
+           notified=_N2012, reconstructed=True),
+        _v("2-Wire", ResponseCategory.AUTO_RESPONSE, uses_openssl=True,
+           notified=_N2012, reconstructed=True,
+           notes="Listed as 2Wire in Table 5 (satisfies OpenSSL fingerprint)."),
+        _v("Motorola", ResponseCategory.AUTO_RESPONSE, notified=_N2012,
+           reconstructed=True),
+        _v("Pronto", ResponseCategory.AUTO_RESPONSE, notified=_N2012,
+           reconstructed=True),
+        _v("BelAir", ResponseCategory.AUTO_RESPONSE, notified=_N2012,
+           reconstructed=True),
+        _v("JDSU", ResponseCategory.AUTO_RESPONSE, notified=_N2012,
+           reconstructed=True),
+        # --- No response to the 2012 notification (Section 4.3) -----------
+        _v("ZyXEL", ResponseCategory.NO_RESPONSE, uses_openssl=False,
+           notified=_N2012),
+        _v("McAfee", ResponseCategory.NO_RESPONSE, uses_openssl=True,
+           notified=_N2012,
+           notes="SnapGear appliances; all-default certificate subjects, "
+                 "identified from the management-console page."),
+        _v("TP-LINK", ResponseCategory.NO_RESPONSE, uses_openssl=True,
+           notified=_N2012),
+        _v("Fortinet", ResponseCategory.NO_RESPONSE, uses_openssl=False,
+           notified=_N2012),
+        _v("Dell", ResponseCategory.NO_RESPONSE, uses_openssl=True,
+           notified=_N2012,
+           notes="Dell Imaging Group printers share primes with Xerox "
+                 "(manufactured by Fuji Xerox)."),
+        _v("Technicolor", ResponseCategory.NO_RESPONSE, notified=_N2012,
+           reconstructed=True,
+           notes="Thomson-branded cable modems fingerprint as 'Thomson'."),
+        _v("Sinetica", ResponseCategory.NO_RESPONSE, notified=_N2012,
+           reconstructed=True),
+        _v("D-Link", ResponseCategory.NO_RESPONSE, uses_openssl=True,
+           notified=_N2012,
+           notes="Did not respond in 2012 or to the May 2016 re-notification; "
+                 "vulnerable population grew dramatically after 2012."),
+        _v("Xerox", ResponseCategory.NO_RESPONSE, uses_openssl=False,
+           notified=_N2012),
+        _v("SkyStream Networks", ResponseCategory.NO_RESPONSE,
+           uses_openssl=True, notified=_N2012, reconstructed=True),
+        _v("Ruckus", ResponseCategory.NO_RESPONSE, notified=_N2012,
+           reconstructed=True),
+        _v("Kronos", ResponseCategory.NO_RESPONSE, uses_openssl=False,
+           notified=_N2012),
+        _v("Simton", ResponseCategory.NO_RESPONSE, notified=_N2012,
+           reconstructed=True),
+        _v("Linksys", ResponseCategory.NO_RESPONSE, uses_openssl=True,
+           notified=_N2012),
+        _v("AVM", ResponseCategory.NO_RESPONSE, uses_openssl=True,
+           notified=_N2012,
+           notes="Fritz!Box DSL modems; fingerprinted via myfritz.net names, "
+                 "fritz.box SANs, and shared-prime extrapolation."),
+        _v("MRV", ResponseCategory.NO_RESPONSE, notified=_N2012,
+           reconstructed=True),
+        # --- Newly vulnerable products, notified May 2016 (Section 4.4) ---
+        _v("Huawei", ResponseCategory.NOTIFIED_2016, uses_openssl=False,
+           notified=_N2016, advisory=Month(2016, 8),
+           notes="First vulnerable hosts April 2015, India business unit; "
+                 "advisory and update August 2016; CVE-2016-6670."),
+        _v("ADTRAN", ResponseCategory.NOTIFIED_2016, uses_openssl=True,
+           notified=_N2016,
+           notes="Responded substantively to the 2016 notification; HTTPS "
+                 "RSA flaw newly introduced in 2015. Listed as AdTran in "
+                 "Table 5."),
+        _v("Sangfor", ResponseCategory.NOTIFIED_2016, uses_openssl=True,
+           notified=_N2016,
+           notes="Support-form request was closed without response."),
+        _v("Schmid Telecom", ResponseCategory.NOTIFIED_2016,
+           uses_openssl=True, notified=_N2016,
+           notes="Only an information-request web form; no response. All "
+                 "vulnerable certificates identify an Indian subsidiary."),
+        # --- Fingerprinted but never notified ------------------------------
+        _v("Thomson", ResponseCategory.NOT_NOTIFIED, uses_openssl=True,
+           notes="Brand on Technicolor cable modems; fingerprint vendor for "
+                 "the Figure 9 'Thomson' series."),
+        _v("Fritz!Box", ResponseCategory.NOT_NOTIFIED, uses_openssl=True,
+           notes="Product fingerprint for AVM devices (Figure 9 series)."),
+        _v("Siemens", ResponseCategory.NOT_NOTIFIED, uses_openssl=False,
+           notes="Building Automation interfaces; 2,441 certificates served "
+                 "a modulus from the IBM nine-prime clique from Feb 2013."),
+        _v("Conel s.r.o.", ResponseCategory.NOT_NOTIFIED, uses_openssl=True,
+           notes="Identified via O=vendor certificate subjects."),
+        _v("Allegro", ResponseCategory.NOT_NOTIFIED, uses_openssl=True),
+        _v("AdTran", ResponseCategory.NOT_NOTIFIED, uses_openssl=True,
+           notes="Alias of ADTRAN used in Table 5."),
+        _v("BridgeWave", ResponseCategory.NOT_NOTIFIED, uses_openssl=True),
+        _v("DrayTek", ResponseCategory.NOT_NOTIFIED, uses_openssl=False),
+        _v("MitraStar", ResponseCategory.NOT_NOTIFIED, uses_openssl=True),
+        _v("Netgear", ResponseCategory.NOT_NOTIFIED, uses_openssl=True),
+        _v("Schmid", ResponseCategory.NOT_NOTIFIED, uses_openssl=True,
+           notes="Alias of Schmid Telecom used in Table 5."),
+        _v("ServerTech", ResponseCategory.NOT_NOTIFIED, uses_openssl=True),
+    ]
+}
+
+
+def vendor(name: str) -> Vendor:
+    """Look up a vendor by canonical name.
+
+    Raises:
+        KeyError: for unknown vendors (typo guard for fingerprint rules).
+    """
+    return VENDORS[name]
+
+
+def vendors_in_category(category: ResponseCategory) -> list[Vendor]:
+    """All vendors in a response category, in registry order."""
+    return [v for v in VENDORS.values() if v.response is category]
+
+
+def notified_2012_vendors() -> list[Vendor]:
+    """The Table 2 population: vendors notified in the 2012 disclosure."""
+    excluded = (ResponseCategory.NOTIFIED_2016, ResponseCategory.NOT_NOTIFIED)
+    return [v for v in VENDORS.values() if v.response not in excluded]

@@ -1,0 +1,21 @@
+"""The responsible-disclosure process (paper Sections 2.5, 4.4 and 5.1).
+
+Models the notification campaign the authors ran in 2012 (and repeated in
+2016): hunting for a security contact, falling back to ``security@`` /
+``support@`` addresses, CERT/CC coordination, and the vendors' eventual
+(non-)responses — the machinery behind Table 2.
+"""
+
+from repro.disclosure.process import (
+    CampaignSummary,
+    ContactChannel,
+    DisclosureOutcome,
+    NotificationCampaign,
+)
+
+__all__ = [
+    "CampaignSummary",
+    "ContactChannel",
+    "DisclosureOutcome",
+    "NotificationCampaign",
+]

@@ -1,0 +1,196 @@
+"""A stochastic model of the vulnerability-notification process.
+
+Reproduces the mechanics the paper documents:
+
+- Section 2.5: the authors found a discoverable security contact for only
+  a minority of vendors (16 of 42 across both campaigns), fell back to
+  ``security@`` / ``support@`` addresses, and were later helped by
+  CERT/CC and ICS-CERT; coordination via CERT "resulted in at least two
+  additional public security advisories".
+- Table 2: of 37 vendors, 5 published advisories, roughly half
+  acknowledged receipt in some form, and the rest auto-responded or went
+  silent.
+- Section 5.1: response likelihood improves when a dedicated contact
+  exists and when a coordinator is involved (Arora et al.).
+
+Vendors' *behavioural propensities* come from their registry category, so
+one simulated campaign regenerates a Table 2-shaped outcome distribution —
+and counterfactual campaigns (e.g. "everyone routed through CERT") can be
+compared against it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.devices.vendors import ResponseCategory, Vendor
+from repro.timeline import Month
+
+__all__ = [
+    "ContactChannel",
+    "DisclosureOutcome",
+    "CampaignSummary",
+    "NotificationCampaign",
+]
+
+
+class ContactChannel(Enum):
+    """How the researchers reached (or failed to reach) a vendor."""
+
+    SECURITY_PAGE = "dedicated security contact"
+    PERSONAL_CONNECTION = "personal connection"
+    GENERIC_ALIAS = "security@/support@ alias"
+    WEB_FORM = "support web form"
+    CERT_COORDINATION = "CERT/CC coordination"
+
+
+@dataclass(frozen=True, slots=True)
+class DisclosureOutcome:
+    """One vendor's simulated path through the disclosure process.
+
+    Attributes:
+        vendor: vendor name.
+        channel: how contact was attempted.
+        contact_found: whether a dedicated contact was discoverable.
+        acknowledged: month of substantive acknowledgement (None = never).
+        advisory: month a public advisory appeared (None = never).
+        via_cert: whether CERT coordination was involved.
+        response_days: days from notification to first substantive
+            response (None = never responded).
+    """
+
+    vendor: str
+    channel: ContactChannel
+    contact_found: bool
+    acknowledged: Month | None
+    advisory: Month | None
+    via_cert: bool
+    response_days: int | None
+
+
+@dataclass(slots=True)
+class CampaignSummary:
+    """Aggregate outcomes of one simulated campaign (a Table 2 analogue)."""
+
+    outcomes: list[DisclosureOutcome] = field(default_factory=list)
+
+    @property
+    def notified(self) -> int:
+        """Vendors notified."""
+        return len(self.outcomes)
+
+    @property
+    def contacts_found(self) -> int:
+        """Vendors with a discoverable security contact."""
+        return sum(1 for o in self.outcomes if o.contact_found)
+
+    @property
+    def acknowledged(self) -> int:
+        """Vendors that substantively acknowledged."""
+        return sum(1 for o in self.outcomes if o.acknowledged is not None)
+
+    @property
+    def advisories(self) -> int:
+        """Vendors that published a public advisory."""
+        return sum(1 for o in self.outcomes if o.advisory is not None)
+
+    @property
+    def cert_assisted_advisories(self) -> int:
+        """Advisories that came out of CERT coordination."""
+        return sum(
+            1 for o in self.outcomes if o.advisory is not None and o.via_cert
+        )
+
+    def mean_response_days(self) -> float | None:
+        """Average response latency among responders."""
+        days = [o.response_days for o in self.outcomes if o.response_days]
+        return sum(days) / len(days) if days else None
+
+
+#: Per-category behavioural propensities, calibrated so a simulated 2012
+#: campaign over the 37 notified vendors lands on Table 2's aggregates:
+#: (P[acknowledge | contacted], P[advisory | acknowledged], response-mean-days).
+_CATEGORY_BEHAVIOUR: dict[ResponseCategory, tuple[float, float, int]] = {
+    ResponseCategory.PUBLIC_ADVISORY: (0.95, 0.9, 21),
+    ResponseCategory.PRIVATE_RESPONSE: (0.9, 0.05, 35),
+    ResponseCategory.AUTO_RESPONSE: (0.1, 0.0, 2),
+    ResponseCategory.NO_RESPONSE: (0.04, 0.0, 60),
+    ResponseCategory.NOTIFIED_2016: (0.5, 0.25, 60),
+    ResponseCategory.NOT_NOTIFIED: (0.0, 0.0, 0),
+}
+
+#: Section 2.5 / 4.4: 16 of 42 vendors had a discoverable reporting contact.
+CONTACT_DISCOVERY_PROBABILITY = 16 / 42
+
+#: Arora et al. / the paper's own experience: a coordinator measurably
+#: raises the odds of a substantive response and of an advisory.
+CERT_ACKNOWLEDGE_BOOST = 1.6
+CERT_ADVISORY_BOOST = 1.5
+
+
+class NotificationCampaign:
+    """Simulates one notification campaign over a set of vendors.
+
+    Args:
+        notified_at: the campaign month (February 2012 in the paper).
+        cert_fraction: fraction of unreachable vendors escalated through
+            CERT/CC (the authors escalated most of them, eventually).
+    """
+
+    def __init__(self, notified_at: Month, cert_fraction: float = 0.6) -> None:
+        self.notified_at = notified_at
+        self.cert_fraction = cert_fraction
+
+    def run(self, vendors: list[Vendor], rng: random.Random) -> CampaignSummary:
+        """Simulate the campaign over the given vendors."""
+        summary = CampaignSummary()
+        for vendor in vendors:
+            summary.outcomes.append(self._notify(vendor, rng))
+        return summary
+
+    def _notify(self, vendor: Vendor, rng: random.Random) -> DisclosureOutcome:
+        ack_p, advisory_p, mean_days = _CATEGORY_BEHAVIOUR[vendor.response]
+        contact_found = rng.random() < CONTACT_DISCOVERY_PROBABILITY
+        via_cert = False
+        if contact_found:
+            channel = (
+                ContactChannel.PERSONAL_CONNECTION
+                if rng.random() < 0.15
+                else ContactChannel.SECURITY_PAGE
+            )
+        elif rng.random() < self.cert_fraction:
+            channel = ContactChannel.CERT_COORDINATION
+            via_cert = True
+        else:
+            channel = (
+                ContactChannel.GENERIC_ALIAS
+                if rng.random() < 0.7
+                else ContactChannel.WEB_FORM
+            )
+        effective_ack = ack_p
+        effective_advisory = advisory_p
+        if via_cert:
+            effective_ack = min(1.0, ack_p * CERT_ACKNOWLEDGE_BOOST)
+            effective_advisory = min(1.0, advisory_p * CERT_ADVISORY_BOOST)
+        elif not contact_found and channel is ContactChannel.GENERIC_ALIAS:
+            # Mail to a guessed alias often bounces or lands unread.
+            effective_ack = ack_p * 0.7
+
+        acknowledged = advisory = None
+        response_days = None
+        if rng.random() < effective_ack:
+            response_days = max(1, round(rng.expovariate(1 / mean_days)))
+            acknowledged = self.notified_at + max(0, response_days // 30)
+            if rng.random() < effective_advisory:
+                advisory = acknowledged + rng.randrange(1, 5)
+        return DisclosureOutcome(
+            vendor=vendor.name,
+            channel=channel,
+            contact_found=contact_found,
+            acknowledged=acknowledged,
+            advisory=advisory,
+            via_cert=via_cert,
+            response_days=response_days,
+        )

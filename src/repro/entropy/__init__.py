@@ -1,0 +1,55 @@
+"""Entropy-failure simulation: how weak keys actually come to exist.
+
+The paper (Section 2.4) traces the weak-key epidemic to a common pattern on
+headless, embedded and low-resource devices: the OS random number generator
+has incorporated *no external entropy* by the time an application generates a
+long-term key.  Devices with identical boot states then generate identical
+first primes, diverge slightly (a clock tick, a packet arrival) during
+generation of the second prime, and emit distinct moduli sharing one factor.
+
+This package models that mechanism end to end:
+
+- :mod:`repro.entropy.pool` — a /dev/urandom-style extract-expand pool with
+  entropy accounting and a ``getrandom``-style blocking read (the 2014 Linux
+  fix).
+- :mod:`repro.entropy.sources` — boot-time entropy sources of varying
+  quality (wall clock, MAC address, network interrupts, hardware RNG).
+- :mod:`repro.entropy.boot` — the boot-sequence simulator that replays the
+  "boot-time entropy hole" and its patched counterpart.
+- :mod:`repro.entropy.keygen` — vendor keygen profiles built on top: shared-
+  prime populations, the IBM nine-prime bug, and healthy generation.
+"""
+
+from repro.entropy.boot import BootOutcome, DeviceBootSimulator
+from repro.entropy.keygen import (
+    HealthyProfile,
+    IbmNinePrimeProfile,
+    KeygenProfile,
+    SharedPrimeProfile,
+    WeakKeyFactory,
+)
+from repro.entropy.pool import EntropyPool, InsufficientEntropyError
+from repro.entropy.sources import (
+    BootClockSource,
+    EntropySource,
+    HardwareRngSource,
+    MacAddressSource,
+    NetworkInterruptSource,
+)
+
+__all__ = [
+    "BootClockSource",
+    "BootOutcome",
+    "DeviceBootSimulator",
+    "EntropyPool",
+    "EntropySource",
+    "HardwareRngSource",
+    "HealthyProfile",
+    "IbmNinePrimeProfile",
+    "InsufficientEntropyError",
+    "KeygenProfile",
+    "MacAddressSource",
+    "NetworkInterruptSource",
+    "SharedPrimeProfile",
+    "WeakKeyFactory",
+]

@@ -1,0 +1,104 @@
+"""A /dev/urandom-style entropy pool with entropy accounting.
+
+The pool is an extract-expand construction over SHA-256: inputs are hashed
+into a running state, and output blocks are derived from the state plus an
+output counter (so reads never repeat, but two pools that mixed identical
+inputs produce identical output streams — the root cause of the weak-key
+flaw).
+
+Entropy *credits* are tracked separately from the state, mirroring the Linux
+kernel: ``read`` (like ``/dev/urandom``) always answers, even before the pool
+has been credibly seeded; ``getrandom`` (like the 2014 system call, paper
+Section 2.5) raises :class:`InsufficientEntropyError` until the credited
+entropy crosses the seed threshold.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["EntropyPool", "InsufficientEntropyError", "SEED_THRESHOLD_BITS"]
+
+# Linux considers the CRNG initialised once 128 bits of entropy are credited.
+SEED_THRESHOLD_BITS = 128
+
+
+class InsufficientEntropyError(RuntimeError):
+    """Raised by :meth:`EntropyPool.getrandom` before the pool is seeded."""
+
+
+class EntropyPool:
+    """Deterministic extract-expand entropy pool.
+
+    Attributes:
+        entropy_bits: total entropy credited by :meth:`mix` so far.
+    """
+
+    def __init__(self) -> None:
+        self._state = hashlib.sha256(b"repro-entropy-pool-v1").digest()
+        self._counter = 0
+        self.entropy_bits = 0.0
+
+    def mix(self, data: bytes, entropy_bits: float = 0.0) -> None:
+        """Mix ``data`` into the pool, crediting ``entropy_bits`` of entropy.
+
+        Mixing is order-sensitive, like the kernel input pool: the same
+        inputs in the same order yield the same output stream.
+        """
+        self._state = hashlib.sha256(self._state + data).digest()
+        if entropy_bits < 0:
+            raise ValueError("entropy credit cannot be negative")
+        self.entropy_bits += entropy_bits
+
+    @property
+    def is_seeded(self) -> bool:
+        """True once the credited entropy reaches the kernel seed threshold."""
+        return self.entropy_bits >= SEED_THRESHOLD_BITS
+
+    def read(self, nbytes: int) -> bytes:
+        """Nonblocking read (``/dev/urandom`` semantics).
+
+        Always returns output — even from a never-mixed pool.  This is the
+        behaviour that made the boot-time entropy hole exploitable.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        out = bytearray()
+        while len(out) < nbytes:
+            block = hashlib.sha256(
+                self._state + self._counter.to_bytes(8, "big")
+            ).digest()
+            self._counter += 1
+            out.extend(block)
+        # Reads perturb the state so the stream never repeats within one pool.
+        self._state = hashlib.sha256(self._state + b"reseed" + bytes(out[:32])).digest()
+        return bytes(out[:nbytes])
+
+    def getrandom(self, nbytes: int) -> bytes:
+        """Blocking-until-seeded read (``getrandom(2)`` semantics, 2014 fix).
+
+        Raises:
+            InsufficientEntropyError: if the pool has not yet been credibly
+                seeded; a correctly patched device never generates a key from
+                this state.
+        """
+        if not self.is_seeded:
+            raise InsufficientEntropyError(
+                f"pool holds {self.entropy_bits:.0f} credited bits, "
+                f"needs {SEED_THRESHOLD_BITS}"
+            )
+        return self.read(nbytes)
+
+    def fork(self) -> "EntropyPool":
+        """Return an identical copy (two devices with the same boot history)."""
+        clone = EntropyPool()
+        clone._state = self._state
+        clone._counter = self._counter
+        clone.entropy_bits = self.entropy_bits
+        return clone
+
+    def state_fingerprint(self) -> str:
+        """Hex digest identifying the current pool state (for tests/analysis)."""
+        return hashlib.sha256(
+            self._state + self._counter.to_bytes(8, "big") + b"fp"
+        ).hexdigest()

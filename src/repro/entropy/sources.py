@@ -1,0 +1,110 @@
+"""Boot-time entropy sources of varying quality.
+
+Each source models one input the kernel might mix at boot.  The crucial
+distinction is between *distinctness* and *entropy*: a MAC address is unique
+per device but publicly known (zero secrecy), and a coarse boot clock takes
+only a handful of values across a fleet of devices booted from the same
+firmware image.  Devices whose only inputs are low-entropy sources land in a
+small set of possible pool states — the precondition for shared primes.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+__all__ = [
+    "EntropySource",
+    "BootClockSource",
+    "MacAddressSource",
+    "NetworkInterruptSource",
+    "HardwareRngSource",
+]
+
+
+class EntropySource(ABC):
+    """A source of boot-time input to the entropy pool."""
+
+    #: human-readable source name used in boot logs and analysis output
+    name: str = "abstract"
+
+    @abstractmethod
+    def sample(self, rng: random.Random) -> tuple[bytes, float]:
+        """Draw one boot's worth of input.
+
+        Returns:
+            ``(data, entropy_bits)`` — the bytes mixed into the pool and the
+            entropy the kernel would credit for them.
+        """
+
+
+class BootClockSource(EntropySource):
+    """The real-time clock at first key generation.
+
+    Embedded devices frequently boot with the clock at the epoch or at the
+    firmware build timestamp; resolution is coarse.  ``distinct_values``
+    controls how many clock readings the whole fleet can observe.
+    """
+
+    name = "boot-clock"
+
+    def __init__(self, distinct_values: int = 64) -> None:
+        if distinct_values < 1:
+            raise ValueError("distinct_values must be >= 1")
+        self.distinct_values = distinct_values
+
+    def sample(self, rng: random.Random) -> tuple[bytes, float]:
+        reading = rng.randrange(self.distinct_values)
+        # The kernel credits timer inputs almost nothing.
+        credited = min(1.0, self.distinct_values.bit_length() / 8)
+        return reading.to_bytes(8, "big"), credited
+
+
+class MacAddressSource(EntropySource):
+    """The NIC MAC address: device-unique, but attacker-knowable.
+
+    Mixing it makes pool states distinct across devices *if* it is mixed
+    before first use; many flawed firmwares generated keys before the network
+    stack initialised.  Credited entropy is zero because the value is public.
+    """
+
+    name = "mac-address"
+
+    def sample(self, rng: random.Random) -> tuple[bytes, float]:
+        mac = rng.getrandbits(48).to_bytes(6, "big")
+        return mac, 0.0
+
+
+class NetworkInterruptSource(EntropySource):
+    """Inter-arrival jitter of early network interrupts.
+
+    A headless device that has seen a few packets gets a little true
+    entropy; ``events`` bounds how many arrivals happened before keygen.
+    """
+
+    name = "network-interrupts"
+
+    def __init__(self, events: int = 4, jitter_bits_per_event: float = 1.5) -> None:
+        if events < 0:
+            raise ValueError("events must be >= 0")
+        self.events = events
+        self.jitter_bits_per_event = jitter_bits_per_event
+
+    def sample(self, rng: random.Random) -> tuple[bytes, float]:
+        timings = bytes(rng.getrandbits(8) for _ in range(max(self.events, 1)))
+        return timings, self.events * self.jitter_bits_per_event
+
+
+class HardwareRngSource(EntropySource):
+    """A hardware RNG delivering full-entropy seed material."""
+
+    name = "hardware-rng"
+
+    def __init__(self, nbytes: int = 32) -> None:
+        if nbytes < 1:
+            raise ValueError("nbytes must be >= 1")
+        self.nbytes = nbytes
+
+    def sample(self, rng: random.Random) -> tuple[bytes, float]:
+        data = rng.randbytes(self.nbytes)
+        return data, 8.0 * self.nbytes

@@ -1,0 +1,174 @@
+"""Artifact detection: bit errors and man-in-the-middle key substitution.
+
+Two classes of batch-GCD hits are *not* flawed key generation, and the
+paper set them aside before analysing vendors:
+
+- **Bit errors** (Section 3.3.5): a modulus corrupted in memory, on the
+  wire, or in storage behaves like a random integer — divisible by each
+  small prime ``q`` with probability ``1/q`` — so it surfaces with a
+  divisor that is a product of many small primes, its "factors" are not a
+  pair of equal-size primes, and it usually sits one bit away from a valid
+  modulus seen elsewhere in the corpus.
+- **Key substitution** (Section 3.3.3): an interceptor serving one fixed
+  modulus across many otherwise-unrelated certificates, each of which fails
+  signature verification because only the key was swapped.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.core.results import BatchGcdResult
+from repro.numt.primality import is_probable_prime
+from repro.numt.smooth import trial_factor
+from repro.scans.records import CertificateStore
+
+__all__ = [
+    "BitErrorFinding",
+    "SubstitutionFinding",
+    "detect_bit_errors",
+    "detect_key_substitution",
+    "is_well_formed_modulus",
+]
+
+#: A divisor whose smooth part (over primes below this bound) covers most of
+#: it indicates random corruption rather than shared keygen state.
+SMOOTH_BOUND = 10_000
+
+
+def is_well_formed_modulus(n: int, p: int, q: int) -> bool:
+    """True when ``n = p*q`` for two primes of equal bit length."""
+    return (
+        p * q == n
+        and abs(p.bit_length() - q.bit_length()) <= 1
+        and is_probable_prime(p)
+        and is_probable_prime(q)
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class BitErrorFinding:
+    """One modulus attributed to transmission/storage corruption.
+
+    Attributes:
+        modulus: the corrupted modulus.
+        divisor: the (smooth, composite) divisor batch GCD reported.
+        nearest_valid: a corpus modulus at Hamming distance 1, when found —
+            the "nearly identical valid certificate" the paper describes.
+    """
+
+    modulus: int
+    divisor: int
+    nearest_valid: int | None
+
+
+def detect_bit_errors(
+    result: BatchGcdResult, corpus: set[int] | None = None
+) -> list[BitErrorFinding]:
+    """Identify batch-GCD hits that are bit-error artifacts.
+
+    A flagged modulus is classified as a bit error when its reported divisor
+    does not split it into a well-formed RSA modulus and its divisor is
+    dominated by small primes.  When the full corpus is supplied, each
+    finding is additionally linked to a valid modulus one bit-flip away.
+    """
+    findings = []
+    corpus = corpus or set()
+    for index in result.vulnerable_indices:
+        n = result.moduli[index]
+        divisor = result.divisors[index]
+        if divisor <= 1 or divisor >= n:
+            continue
+        q = n // divisor
+        if is_well_formed_modulus(n, divisor, q):
+            continue
+        factors, cofactor = trial_factor(divisor, SMOOTH_BOUND)
+        distinct_small = len(factors)
+        if distinct_small < 2 and cofactor != 1:
+            # A single large shared factor is keygen flaw territory, not
+            # corruption.
+            continue
+        findings.append(
+            BitErrorFinding(
+                modulus=n,
+                divisor=divisor,
+                nearest_valid=_hamming_neighbour(n, corpus),
+            )
+        )
+    return findings
+
+
+def _hamming_neighbour(n: int, corpus: set[int]) -> int | None:
+    """Find a corpus member exactly one bit-flip from ``n``."""
+    for bit in range(n.bit_length() + 1):
+        candidate = n ^ (1 << bit)
+        if candidate != n and candidate in corpus:
+            return candidate
+    return None
+
+
+@dataclass(frozen=True, slots=True)
+class SubstitutionFinding:
+    """A fixed modulus served across many unrelated certificates.
+
+    Attributes:
+        modulus: the substituted modulus.
+        certificate_count: distinct certificates carrying it.
+        distinct_subjects: distinct subject DNs among them.
+        invalid_signatures: how many fail self-verification (all, for a key
+            swap that keeps the original signature bytes).
+    """
+
+    modulus: int
+    certificate_count: int
+    distinct_subjects: int
+    invalid_signatures: int
+
+
+def detect_key_substitution(
+    store: CertificateStore,
+    min_certificates: int = 5,
+    max_verify: int = 20,
+) -> list[SubstitutionFinding]:
+    """Find moduli shared by many certificates with differing subjects.
+
+    Legitimate shared default certificates repeat the *whole* certificate;
+    an interceptor substituting keys produces many distinct certificates
+    (different subjects/serials) carrying one modulus, none of which verify.
+
+    Args:
+        store: the scanned certificate corpus.
+        min_certificates: minimum distinct certificates per modulus.
+        max_verify: cap on signature verifications per candidate (they are
+            the expensive part).
+    """
+    by_modulus: dict[int, list[int]] = defaultdict(list)
+    for cert_id, entry in enumerate(store.entries()):
+        by_modulus[entry.certificate.public_key.n].append(cert_id)
+    findings = []
+    for modulus, cert_ids in by_modulus.items():
+        if len(cert_ids) < min_certificates:
+            continue
+        subjects = {
+            store[cid].certificate.subject.rfc4514() for cid in cert_ids
+        }
+        if len(subjects) < min_certificates:
+            continue
+        sample = cert_ids[:max_verify]
+        invalid = sum(
+            1 for cid in sample if not store[cid].certificate.verify_signature()
+        )
+        if invalid < len(sample):
+            # Some certificates genuinely verify with this key: a shared
+            # default key, not a substitution.
+            continue
+        findings.append(
+            SubstitutionFinding(
+                modulus=modulus,
+                certificate_count=len(cert_ids),
+                distinct_subjects=len(subjects),
+                invalid_signatures=invalid,
+            )
+        )
+    return findings

@@ -1,0 +1,124 @@
+"""Certificate-subject fingerprint rules (Section 3.3.1).
+
+Maps certificate metadata to vendors using the conventions the paper
+describes: vendor names in ``O=``, Cisco model names in ``OU=``, Juniper's
+``CN=system generated``, Fritz!Box's myfritz.net / fritz.box names, Dell's
+Imaging Group OU, Siemens Building Automation subjects, and content-based
+identification for all-default certificates (McAfee SnapGear).
+
+Rules fire on *observable* certificate data only; ground-truth simulation
+metadata is never consulted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.certs import Certificate
+
+__all__ = ["SubjectRule", "RuleMatch", "identify_by_subject", "SUBJECT_RULES"]
+
+
+@dataclass(frozen=True, slots=True)
+class RuleMatch:
+    """The result of a fingerprint rule firing.
+
+    Attributes:
+        vendor: canonical vendor name.
+        model: product model when the convention exposes one (Cisco).
+        rule: name of the rule that fired (for the labelling statistics).
+    """
+
+    vendor: str
+    rule: str
+    model: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class SubjectRule:
+    """A named predicate over certificate observables."""
+
+    name: str
+    description: str
+
+
+#: Vendors identifiable directly from an O= (organisation) attribute, as the
+#: paper observed for Hewlett-Packard, Xerox, TP-LINK and Conel s.r.o.
+#: (end users almost never change device-default subjects).
+_VENDOR_ORGANISATIONS = {
+    "Innominate": "Innominate",
+    "HP": "HP",
+    "Hewlett-Packard": "HP",
+    "Thomson": "Thomson",
+    "Fritz!Box": "Fritz!Box",
+    "Linksys": "Linksys",
+    "Fortinet": "Fortinet",
+    "ZyXEL": "ZyXEL",
+    "Kronos": "Kronos",
+    "Xerox": "Xerox",
+    "TP-LINK": "TP-LINK",
+    "ADTRAN": "ADTRAN",
+    "D-Link": "D-Link",
+    "Huawei": "Huawei",
+    "Sangfor": "Sangfor",
+    "Schmid Telecom": "Schmid Telecom",
+    "2-Wire": "2-Wire",
+    "Conel s.r.o.": "Conel s.r.o.",
+    "DrayTek": "DrayTek",
+    "MitraStar": "MitraStar",
+    "Netgear": "Netgear",
+    "NTI": "NTI",
+    "Allegro": "Allegro",
+    "BridgeWave": "BridgeWave",
+    "ServerTech": "ServerTech",
+    "SkyStream Networks": "SkyStream Networks",
+    "Cisco": "Cisco",
+}
+
+#: Banners that identify a vendor when the certificate itself cannot
+#: (Section 3.3.1: the SnapGear management-console home page).
+_BANNER_VENDORS = {
+    "SnapGear Management Console": "McAfee",
+}
+
+SUBJECT_RULES: tuple[SubjectRule, ...] = (
+    SubjectRule("system-generated", 'CN="system generated" (Juniper)'),
+    SubjectRule("dell-imaging", 'OU="Dell Imaging Group"'),
+    SubjectRule("siemens-building", "Siemens Building Technologies subject"),
+    SubjectRule("fritz-names", "myfritz.net CN or fritz.box SANs"),
+    SubjectRule("vendor-in-o", "vendor named in O="),
+    SubjectRule("banner", "vendor identified from served content"),
+)
+
+
+def identify_by_subject(
+    certificate: Certificate, banner: str = ""
+) -> RuleMatch | None:
+    """Apply the subject rules in specificity order.
+
+    Returns:
+        The first matching :class:`RuleMatch`, or None when the certificate
+        is unattributable from subject data alone (IP-only subjects,
+        owner-named IBM cards, ordinary web certificates) — those fall
+        through to shared-prime extrapolation.
+    """
+    subject = certificate.subject
+    if subject.CN == "system generated":
+        return RuleMatch(vendor="Juniper", rule="system-generated")
+    if subject.OU == "Dell Imaging Group":
+        return RuleMatch(vendor="Dell", rule="dell-imaging")
+    if "Siemens" in subject.O:
+        return RuleMatch(vendor="Siemens", rule="siemens-building")
+    if subject.CN.endswith(".myfritz.net") or subject.CN == "fritz.box":
+        return RuleMatch(vendor="Fritz!Box", rule="fritz-names")
+    if any("fritz" in san for san in certificate.subject_alt_names):
+        return RuleMatch(vendor="Fritz!Box", rule="fritz-names")
+    vendor = _VENDOR_ORGANISATIONS.get(subject.O)
+    if vendor is not None:
+        model = subject.OU or None
+        return RuleMatch(vendor=vendor, rule="vendor-in-o", model=model)
+    if banner:
+        banner_vendor = _BANNER_VENDORS.get(banner)
+        if banner_vendor is not None:
+            return RuleMatch(vendor=banner_vendor, rule="banner")
+    return None

@@ -1,0 +1,62 @@
+"""Number-theoretic primitives underpinning the batch-GCD computation.
+
+This package is self-contained (pure Python ``int`` arithmetic) and provides
+everything the higher layers need:
+
+- :mod:`repro.numt.sieve` — small-prime sieves used by prime generation and
+  by the OpenSSL prime fingerprint (Section 3.3.4 of the paper).
+- :mod:`repro.numt.primality` — Miller–Rabin probabilistic primality testing
+  and prime search.
+- :mod:`repro.numt.arith` — extended gcd, modular inverse, integer roots,
+  perfect-power detection and CRT.
+- :mod:`repro.numt.trees` — product trees and remainder trees, the building
+  blocks of Bernstein's batch-GCD algorithm (Section 3.2).
+- :mod:`repro.numt.smooth` — smooth-part extraction, used to recognise
+  bit-error artifacts whose spurious gcd divisors are products of many small
+  primes (Section 3.3.5).
+"""
+
+from repro.numt.arith import (
+    crt_pair,
+    egcd,
+    introot,
+    is_perfect_power,
+    modinv,
+)
+from repro.numt.primality import (
+    is_probable_prime,
+    next_prime,
+    random_prime,
+)
+from repro.numt.sieve import (
+    first_n_primes,
+    primes_below,
+    smallest_factor_below,
+)
+from repro.numt.smooth import smooth_part, trial_factor
+from repro.numt.trees import (
+    product_tree,
+    remainder_tree,
+    remainders_mod_squares,
+    tree_product,
+)
+
+__all__ = [
+    "crt_pair",
+    "egcd",
+    "first_n_primes",
+    "introot",
+    "is_perfect_power",
+    "is_probable_prime",
+    "modinv",
+    "next_prime",
+    "primes_below",
+    "product_tree",
+    "random_prime",
+    "remainder_tree",
+    "remainders_mod_squares",
+    "smallest_factor_below",
+    "smooth_part",
+    "tree_product",
+    "trial_factor",
+]

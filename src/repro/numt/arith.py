@@ -1,0 +1,91 @@
+"""Integer arithmetic helpers: egcd, modular inverse, roots, CRT."""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["egcd", "modinv", "introot", "is_perfect_power", "crt_pair"]
+
+
+def egcd(a: int, b: int) -> tuple[int, int, int]:
+    """Extended Euclid: return ``(g, x, y)`` with ``a*x + b*y == g == gcd(a, b)``."""
+    old_r, r = a, b
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_s, s = s, old_s - q * s
+        old_t, t = t, old_t - q * t
+    # Normalise so the gcd is non-negative.
+    if old_r < 0:
+        old_r, old_s, old_t = -old_r, -old_s, -old_t
+    return old_r, old_s, old_t
+
+
+def modinv(a: int, m: int) -> int:
+    """Return the inverse of ``a`` modulo ``m``.
+
+    Raises:
+        ValueError: if ``gcd(a, m) != 1`` (the inverse does not exist).  RSA
+            private-key computation relies on this to reject degenerate
+            exponent choices.
+    """
+    g, x, _ = egcd(a % m, m)
+    if g != 1:
+        raise ValueError(f"{a} is not invertible modulo {m} (gcd={g})")
+    return x % m
+
+
+def introot(n: int, k: int) -> int:
+    """Return ``floor(n ** (1/k))`` for non-negative ``n`` and ``k >= 1``."""
+    if n < 0:
+        raise ValueError("introot requires n >= 0")
+    if k < 1:
+        raise ValueError("introot requires k >= 1")
+    if k == 1 or n < 2:
+        return n
+    if k == 2:
+        return math.isqrt(n)
+    # Newton iteration seeded from the bit length.
+    x = 1 << (-(-n.bit_length() // k))
+    while True:
+        y = ((k - 1) * x + n // x ** (k - 1)) // k
+        if y >= x:
+            return x
+        x = y
+
+
+def is_perfect_power(n: int) -> tuple[int, int] | None:
+    """Return ``(base, exponent)`` with ``exponent >= 2`` if ``n`` is a perfect
+    power, else None.
+
+    Used to reject degenerate "RSA" moduli of the form p**2 when validating
+    well-formedness of scanned keys.
+    """
+    if n < 4:
+        return None
+    for k in range(2, n.bit_length() + 1):
+        root = introot(n, k)
+        if root < 2:
+            break
+        if root**k == n:
+            return root, k
+    return None
+
+
+def crt_pair(r1: int, m1: int, r2: int, m2: int) -> tuple[int, int]:
+    """Combine ``x = r1 (mod m1)`` and ``x = r2 (mod m2)`` for coprime moduli.
+
+    Returns:
+        ``(x, m1*m2)`` with ``0 <= x < m1*m2``.
+
+    Raises:
+        ValueError: if the moduli are not coprime.
+    """
+    g, p, _ = egcd(m1, m2)
+    if g != 1:
+        raise ValueError(f"moduli not coprime (gcd={g})")
+    lcm = m1 * m2
+    x = (r1 + (r2 - r1) * p % m2 * m1) % lcm
+    return x, lcm

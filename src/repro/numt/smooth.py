@@ -1,0 +1,46 @@
+"""Smooth-part extraction and trial factoring.
+
+Bit-flip artifacts (paper Section 3.3.5) show up in batch-GCD output as
+divisors that are products of many small primes: a corrupted modulus behaves
+like a random integer, divisible by each small prime ``q`` with probability
+``1/q``.  The fingerprinting layer uses :func:`smooth_part` to recognise such
+divisors and set the records aside rather than flag a flawed implementation.
+"""
+
+from __future__ import annotations
+
+from repro.numt.sieve import primes_below
+
+__all__ = ["smooth_part", "trial_factor"]
+
+
+def trial_factor(n: int, limit: int = 10_000) -> tuple[dict[int, int], int]:
+    """Trial-divide ``n`` by all primes below ``limit``.
+
+    Returns:
+        ``(factors, cofactor)`` where ``factors`` maps prime -> exponent and
+        ``cofactor`` is the unfactored remainder (1 if fully factored).
+    """
+    if n <= 0:
+        raise ValueError("trial_factor requires n >= 1")
+    factors: dict[int, int] = {}
+    remaining = n
+    for p in primes_below(limit):
+        if p * p > remaining:
+            break
+        while remaining % p == 0:
+            factors[p] = factors.get(p, 0) + 1
+            remaining //= p
+    if 1 < remaining < limit:
+        factors[remaining] = factors.get(remaining, 0) + 1
+        remaining = 1
+    return factors, remaining
+
+
+def smooth_part(n: int, limit: int = 10_000) -> int:
+    """Return the ``limit``-smooth part of ``n`` (product of small-prime powers)."""
+    factors, _ = trial_factor(n, limit)
+    result = 1
+    for p, e in factors.items():
+        result *= p**e
+    return result

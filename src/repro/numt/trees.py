@@ -1,0 +1,97 @@
+"""Product and remainder trees (Bernstein, "How to find smooth parts of integers").
+
+These are the two phases of the batch-GCD algorithm described in Section 3.2
+of the paper:
+
+1. A *product tree* multiplies ``n`` moduli pairwise in a binary tree,
+   yielding the product of all inputs at the root in ``O(M(total bits) log n)``
+   time instead of the ``O(n)`` sequential multiplications of a naive loop.
+2. A *remainder tree* pushes a value (here the root product ``P``) down the
+   same tree, reducing modulo each internal node, so that ``P mod Ni**2`` is
+   obtained for every leaf in quasilinear total time.
+
+The trees are represented level-by-level, leaves first, matching the diagram
+in Figure 2 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = [
+    "product_tree",
+    "tree_product",
+    "remainder_tree",
+    "remainder_tree_squared",
+    "remainders_mod_squares",
+]
+
+
+def product_tree(values: Sequence[int]) -> list[list[int]]:
+    """Build a product tree over ``values``.
+
+    Returns:
+        A list of levels; ``levels[0]`` is ``list(values)`` and each
+        subsequent level holds pairwise products of the previous one.  The
+        last level has a single element, the product of all inputs.  An empty
+        input yields ``[[1]]`` so the root is always well-defined.
+    """
+    level = list(values) if values else [1]
+    levels = [level]
+    while len(level) > 1:
+        nxt = [
+            level[i] * level[i + 1] if i + 1 < len(level) else level[i]
+            for i in range(0, len(level), 2)
+        ]
+        levels.append(nxt)
+        level = nxt
+    return levels
+
+
+def tree_product(values: Sequence[int]) -> int:
+    """Return the product of ``values`` using a product tree (1 when empty)."""
+    return product_tree(values)[-1][0]
+
+
+def remainder_tree(x: int, levels: list[list[int]]) -> list[int]:
+    """Reduce ``x`` down a product tree, returning ``x mod leaf`` per leaf.
+
+    Args:
+        x: the value to reduce (typically a product of moduli).
+        levels: a tree produced by :func:`product_tree`.
+    """
+    remainders = [x % levels[-1][0]]
+    # Walk from the level below the root back down to the leaves.
+    for level in reversed(levels[:-1]):
+        remainders = [remainders[i // 2] % node for i, node in enumerate(level)]
+    return remainders
+
+
+def remainder_tree_squared(levels: list[list[int]]) -> list[int]:
+    """Given a product tree over moduli, return ``P mod N_i**2`` per leaf.
+
+    Uses the fastgcd trick: instead of building a second tree over the
+    squares, the root product ``P`` is pushed down the *moduli* tree, reducing
+    the running remainder modulo the **square** of each node.  Correct because
+    ``N_i**2`` divides ``node**2`` for every ancestor node of leaf ``i``.
+    """
+    root = levels[-1][0]
+    remainders = [root]
+    for level in reversed(levels[:-1]):
+        remainders = [
+            remainders[i // 2] % (node * node) for i, node in enumerate(level)
+        ]
+    return remainders
+
+
+def remainders_mod_squares(x: int, moduli: Sequence[int]) -> list[int]:
+    """Return ``x mod Ni**2`` for each modulus, sharing one tree of squares.
+
+    The batch-GCD algorithm needs ``P mod Ni**2`` (not ``P mod Ni``) so that
+    ``(P mod Ni**2) / Ni`` retains the cofactor information required by the
+    final ``gcd(Ni, z_i / Ni)`` step.
+    """
+    if not moduli:
+        return []
+    squares = [n * n for n in moduli]
+    return remainder_tree(x, product_tree(squares))

@@ -1,0 +1,37 @@
+"""Text reporting: tables, ASCII charts, study renderers, CSV/JSON export."""
+
+from repro.reporting.export import (
+    global_series_to_csv,
+    series_to_csv,
+    study_to_json,
+)
+from repro.reporting.study import (
+    render_figure1,
+    render_figure7,
+    render_summary,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+    render_vendor_figure,
+)
+from repro.reporting.text import format_count, render_series_chart, render_table
+
+__all__ = [
+    "format_count",
+    "global_series_to_csv",
+    "render_figure1",
+    "render_figure7",
+    "render_series_chart",
+    "render_summary",
+    "render_table",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "render_table5",
+    "render_vendor_figure",
+    "series_to_csv",
+    "study_to_json",
+]

@@ -1,0 +1,141 @@
+"""Machine-readable exports: CSV and JSON for series and tables.
+
+These are what a downstream user plots with their own tooling; the text
+renderers in :mod:`repro.reporting.study` are for eyeballing.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any
+
+from repro.analysis.timeseries import GlobalSeries, VendorSeries
+from repro.pipeline import StudyResult
+
+__all__ = [
+    "series_to_csv",
+    "global_series_to_csv",
+    "study_to_json",
+]
+
+
+def series_to_csv(series: VendorSeries) -> str:
+    """One vendor's series as CSV (month, source, totals, vulnerable)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        ["month", "source", "total", "vulnerable", "total_raw", "vulnerable_raw"]
+    )
+    for point in series.points:
+        writer.writerow(
+            [
+                str(point.month),
+                point.source,
+                f"{point.total:.1f}",
+                f"{point.vulnerable:.1f}",
+                point.total_raw,
+                point.vulnerable_raw,
+            ]
+        )
+    return buffer.getvalue()
+
+
+def global_series_to_csv(series: GlobalSeries) -> str:
+    """All series (overall plus per vendor) as long-format CSV."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["vendor", "month", "source", "total", "vulnerable"])
+    for name, vendor_series in [("(all)", series.overall)] + sorted(
+        series.by_vendor.items()
+    ):
+        for point in vendor_series.points:
+            writer.writerow(
+                [
+                    name,
+                    str(point.month),
+                    point.source,
+                    f"{point.total:.1f}",
+                    f"{point.vulnerable:.1f}",
+                ]
+            )
+    return buffer.getvalue()
+
+
+def _table1_dict(result: StudyResult) -> dict[str, Any]:
+    t = result.table1
+    return {
+        "https_host_records": t.https_host_records,
+        "distinct_https_certificates": t.distinct_https_certificates,
+        "distinct_https_moduli": t.distinct_https_moduli,
+        "total_distinct_moduli": t.total_distinct_moduli,
+        "vulnerable_moduli": t.vulnerable_moduli,
+        "vulnerable_https_host_records": t.vulnerable_https_host_records,
+        "vulnerable_https_certificates": t.vulnerable_https_certificates,
+        "vulnerable_moduli_fraction": t.vulnerable_moduli_fraction,
+    }
+
+
+def study_to_json(result: StudyResult, indent: int | None = 2) -> str:
+    """The study's headline results as a JSON document.
+
+    Includes Table 1, Table 4, the Table 5 partition, the Heartbleed
+    impact, transitions, exposure, and per-vendor series.
+    """
+    payload: dict[str, Any] = {
+        "config": {
+            "seed": result.config.seed,
+            "scale": result.config.scale,
+            "start": str(result.config.start),
+            "end": str(result.config.end),
+        },
+        "table1": _table1_dict(result),
+        "table4": [
+            {
+                "protocol": row.protocol,
+                "scan_month": str(row.scan_month),
+                "total_hosts": row.total_hosts,
+                "rsa_hosts": row.rsa_hosts,
+                "vulnerable_hosts": row.vulnerable_hosts,
+            }
+            for row in result.table4
+        ],
+        "table5": {
+            "satisfy": list(result.table5.satisfy),
+            "do_not_satisfy": list(result.table5.do_not_satisfy),
+            "inconclusive": list(result.table5.inconclusive),
+        },
+        "heartbleed": {
+            "largest_vulnerable_drop_month": str(
+                result.heartbleed.global_largest_vulnerable_drop_month
+            ),
+            "global_vulnerable_drop": result.heartbleed.global_vulnerable_drop,
+        },
+        "transitions": {
+            vendor: {
+                "ips_observed": stats.ips_observed,
+                "ips_ever_vulnerable": stats.ips_ever_vulnerable,
+                "to_nonvulnerable": stats.to_nonvulnerable,
+                "to_vulnerable": stats.to_vulnerable,
+                "multiple": stats.multiple,
+            }
+            for vendor, stats in sorted(result.transitions.items())
+        },
+        "series": {
+            vendor: {
+                "months": [str(p.month) for p in series.points],
+                "total": [p.total for p in series.points],
+                "vulnerable": [p.vulnerable for p in series.points],
+            }
+            for vendor, series in sorted(result.series.by_vendor.items())
+        },
+    }
+    if result.exposure is not None:
+        payload["exposure"] = {
+            "month": str(result.exposure.month),
+            "vulnerable_hosts": result.exposure.vulnerable_hosts,
+            "passively_decryptable": result.exposure.passively_decryptable,
+            "passive_fraction": result.exposure.passive_fraction,
+        }
+    return json.dumps(payload, indent=indent)

@@ -1,0 +1,93 @@
+"""Plain-text rendering: aligned tables and ASCII time-series charts.
+
+The benchmark harness prints every reproduced table and figure through
+these helpers, so the output can be eyeballed against the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "render_series_chart", "format_count"]
+
+
+def format_count(value: float) -> str:
+    """Humanise a (possibly weighted) count: 12,345 or 1.23M."""
+    if value >= 10_000_000:
+        return f"{value / 1_000_000:.1f}M"
+    if value >= 1_000_000:
+        return f"{value / 1_000_000:.2f}M"
+    if value >= 100_000:
+        return f"{value / 1000:.0f}K"
+    if value != int(value):
+        return f"{value:,.1f}"
+    return f"{int(value):,}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    width: int = 60,
+    height: int = 12,
+    marker: str = "*",
+) -> str:
+    """Render one series as an ASCII scatter/line chart.
+
+    Labels are thinned to fit; the y-axis is annotated with min/max.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must be aligned")
+    lines = []
+    if title:
+        lines.append(title)
+    if not values:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    vmax = max(values)
+    vmin = min(0.0, min(values))
+    span = vmax - vmin or 1.0
+    columns = min(width, len(values))
+    # Downsample to the chart width.
+    indices = [round(i * (len(values) - 1) / max(1, columns - 1)) for i in range(columns)]
+    sampled = [values[i] for i in indices]
+    grid = [[" "] * columns for _ in range(height)]
+    for col, value in enumerate(sampled):
+        row = round((value - vmin) / span * (height - 1))
+        grid[height - 1 - row][col] = marker
+    axis_width = max(len(format_count(vmax)), len(format_count(vmin)))
+    for r, row_cells in enumerate(grid):
+        if r == 0:
+            label = format_count(vmax)
+        elif r == height - 1:
+            label = format_count(vmin)
+        else:
+            label = ""
+        lines.append(f"{label.rjust(axis_width)} |{''.join(row_cells)}")
+    lines.append(" " * axis_width + " +" + "-" * columns)
+    first, last = labels[indices[0]], labels[indices[-1]]
+    gap = max(1, columns - len(first) - len(last))
+    lines.append(" " * (axis_width + 2) + first + " " * gap + last)
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Internet-wide scan simulation: sources, scanner, records, artifacts.
+
+- :mod:`repro.scans.sources` — the five scan eras (EFF, P&Q, Ecosystem,
+  Rapid7, Censys) and the one-representative-scan-per-month schedule.
+- :mod:`repro.scans.records` — compact host records and certificate
+  interning.
+- :mod:`repro.scans.scanner` — the HTTPS scanner, with coverage artifacts,
+  bit errors, Rapid7 unchained intermediates, and chain reconstruction.
+- :mod:`repro.scans.background` — the healthy web ecosystem and CA pool.
+- :mod:`repro.scans.rimon` — the ISP man-in-the-middle key substitution.
+- :mod:`repro.scans.protocols` — SSH/IMAPS/POP3S/SMTPS corpora (Table 4).
+"""
+
+from repro.scans.background import (
+    BACKGROUND_MODEL,
+    build_background_population,
+    build_ca_pool,
+)
+from repro.scans.protocols import PROTOCOL_SPECS, ProtocolCorpus, build_protocol_corpora
+from repro.scans.records import CertificateStore, ScanSnapshot, StoredCertificate
+from repro.scans.rimon import RimonInterceptor
+from repro.scans.scanner import HttpsScanner, reconstruct_chains
+from repro.scans.sources import SCAN_SOURCES, ScanSource, scan_months, source_for_month
+
+__all__ = [
+    "BACKGROUND_MODEL",
+    "CertificateStore",
+    "HttpsScanner",
+    "PROTOCOL_SPECS",
+    "ProtocolCorpus",
+    "RimonInterceptor",
+    "SCAN_SOURCES",
+    "ScanSnapshot",
+    "ScanSource",
+    "StoredCertificate",
+    "build_background_population",
+    "build_ca_pool",
+    "build_protocol_corpora",
+    "reconstruct_chains",
+    "scan_months",
+    "source_for_month",
+]

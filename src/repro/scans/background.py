@@ -1,0 +1,110 @@
+"""The background HTTPS ecosystem: ordinary web servers and the web PKI.
+
+The weak-key phenomenon lives in a vast, healthy ocean: the paper's corpus
+holds 50.7 M distinct HTTPS moduli, of which only 0.37 % factored, nearly
+all on network devices.  This module supplies that ocean — a large, growing
+population of correctly-keyed web servers (mostly CA-signed) whose totals
+track Figure 1 — plus the simulated certificate-authority pool whose
+intermediates produce the Rapid7 chain artifact.
+"""
+
+from __future__ import annotations
+
+import random
+from datetime import date
+
+from repro.crypto.certs import Certificate, DistinguishedName, self_signed_certificate
+from repro.crypto.rsa import RsaPrivateKey, generate_rsa_keypair
+from repro.devices.models import (
+    DeviceModel,
+    KeygenKind,
+    KeygenSpec,
+    PopulationSchedule,
+    SubjectStyle,
+)
+from repro.devices.population import IpAllocator, ModelPopulation
+from repro.entropy.keygen import WeakKeyFactory
+from repro.timeline import Month, STUDY_END, STUDY_START
+
+__all__ = [
+    "BACKGROUND_MODEL",
+    "build_ca_pool",
+    "build_background_population",
+]
+
+#: Total-HTTPS-hosts trajectory at paper scale, read off Figure 1 / Table 3
+#: (11.26 M handshakes in the July 2010 EFF scan; 38.01 M in the April 2016
+#: Censys scan).  The background is the ecosystem minus the device fleets.
+BACKGROUND_MODEL = DeviceModel(
+    model_id="background-web",
+    vendor="(background)",
+    subject_style=SubjectStyle.WEB_SERVER,
+    keygen=KeygenSpec(kind=KeygenKind.HEALTHY, profile_id="background-web"),
+    schedule=PopulationSchedule(
+        points=(
+            (STUDY_START, 9_800_000),
+            (Month(2010, 12), 10_600_000),
+            (Month(2011, 10), 11_800_000),
+            (Month(2012, 6), 17_500_000),
+            (Month(2014, 1), 26_500_000),
+            (Month(2015, 6), 31_500_000),
+            (Month(2016, 4), 36_300_000),
+            (STUDY_END, 36_500_000),
+        ),
+        churn_rate=0.006,
+        ip_churn_rate=0.003,
+        cert_regen_rate=0.004,
+    ),
+)
+
+#: Share of background certificates issued by a CA rather than self-signed.
+CA_SIGNED_FRACTION = 0.6
+
+
+def build_ca_pool(
+    rng: random.Random, count: int = 24, key_bits: int = 128
+) -> list[tuple[Certificate, RsaPrivateKey]]:
+    """Create the intermediate-CA pool used to sign background certificates.
+
+    These intermediates are what Rapid7-era scans surface as unchained extra
+    records (Section 3.1): each one can appear alongside the host certificate
+    it signed, and chain reconstruction must drop it.
+    """
+    pool: list[tuple[Certificate, RsaPrivateKey]] = []
+    for index in range(count):
+        keypair = generate_rsa_keypair(key_bits, rng)
+        subject = DistinguishedName(
+            C="US",
+            O=f"TrustCo {index:02d}",
+            OU="Intermediate CA",
+            CN=f"TrustCo Issuing CA {index:02d}",
+        )
+        certificate = self_signed_certificate(
+            subject=subject,
+            keypair=keypair,
+            serial=rng.getrandbits(64),
+            not_before=date(2005, 1, 1),
+            not_after=date(2030, 1, 1),
+            is_ca=True,
+        )
+        pool.append((certificate, keypair.private))
+    return pool
+
+
+def build_background_population(
+    scale: int,
+    factory: WeakKeyFactory,
+    allocator: IpAllocator,
+    rng: random.Random,
+    ca_pool: list[tuple[Certificate, RsaPrivateKey]],
+) -> ModelPopulation:
+    """Assemble the background ecosystem at ``1/scale`` of paper scale."""
+    return ModelPopulation(
+        model=BACKGROUND_MODEL,
+        divisor=scale,
+        factory=factory,
+        allocator=allocator,
+        rng=rng,
+        ca_pool=ca_pool,
+        ca_fraction=CA_SIGNED_FRACTION,
+    )

@@ -1,0 +1,57 @@
+"""The Internet-Rimon man-in-the-middle artifact (Section 3.3.3).
+
+The paper discovered an Israeli ISP substituting a single fixed RSA modulus
+into the self-signed certificates served by its customers' devices — only
+the public key, signature and signature hash changed; everything else in the
+certificate stayed intact.  922 distinct IPs served that key across the
+whole study.
+
+:class:`RimonInterceptor` reproduces the artifact: it owns one fixed key and
+rewrites any certificate passing through it, caching substitutions so the
+same original always maps to the same intercepted certificate.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.crypto.certs import Certificate, substitute_public_key
+from repro.crypto.rsa import RsaKeyPair, generate_rsa_keypair
+
+__all__ = ["RimonInterceptor"]
+
+
+class RimonInterceptor:
+    """An ISP-grade key-substituting man in the middle.
+
+    Args:
+        rng: randomness for the interceptor's own key generation.
+        key_bits: modulus size of the fixed key (the real one was 1024-bit;
+            the paper did not factor it, and neither will the pipeline —
+            the key is healthy).
+    """
+
+    def __init__(self, rng: random.Random, key_bits: int = 128) -> None:
+        self.keypair: RsaKeyPair = generate_rsa_keypair(key_bits, rng)
+        self._cache: dict[str, Certificate] = {}
+
+    @property
+    def modulus(self) -> int:
+        """The fixed substituted modulus (one modulus, many IPs)."""
+        return self.keypair.public.n
+
+    def intercept(self, certificate: Certificate) -> Certificate:
+        """Return the substituted version of a customer's certificate.
+
+        Only the public key, signature, and hash choice change; subject,
+        issuer, serial, validity and SANs are untouched — the exact artifact
+        signature the detection layer looks for.
+        """
+        fingerprint = certificate.fingerprint()
+        cached = self._cache.get(fingerprint)
+        if cached is None:
+            cached = substitute_public_key(
+                certificate, self.keypair.public, signature_hash="sha1"
+            )
+            self._cache[fingerprint] = cached
+        return cached

@@ -1,0 +1,101 @@
+"""Scan-source eras and their methodology artifacts (Section 3.1).
+
+Five teams scanned HTTPS over the study window, with visibly different
+methodologies (the paper: "Artifacts from the different scan methodologies
+used by each team are clearly visible").  Each :class:`ScanSource` models
+one era's coverage and quirks; :func:`source_for_month` implements the
+paper's "one representative scan per month" selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.timeline import Month
+
+__all__ = ["ScanSource", "SCAN_SOURCES", "source_for_month", "scan_months"]
+
+
+@dataclass(frozen=True, slots=True)
+class ScanSource:
+    """One scanning team/methodology.
+
+    Attributes:
+        name: dataset name used throughout the paper's figures.
+        first, last: months this source provides the representative scan.
+        coverage: fraction of truly-online HTTPS hosts a scan observes
+            (slow Nmap-based scans miss more; ZMap-era scans miss little).
+        months: explicit scan months for sparse sources (None = monthly).
+        includes_unchained_intermediates: Rapid7's artifact — intermediate
+            CA certificates appear as standalone records and must be
+            excluded by chain reconstruction (Section 3.1).
+    """
+
+    name: str
+    first: Month
+    last: Month
+    coverage: float
+    months: tuple[Month, ...] | None = None
+    includes_unchained_intermediates: bool = False
+
+    def active_in(self, month: Month) -> bool:
+        """Whether this source has a scan in the given month."""
+        if self.months is not None:
+            return month in self.months
+        return self.first <= month <= self.last
+
+
+#: The five eras, in priority order for the representative-scan choice.
+SCAN_SOURCES: tuple[ScanSource, ...] = (
+    ScanSource(
+        name="EFF",
+        first=Month(2010, 7),
+        last=Month(2010, 12),
+        coverage=0.82,  # Nmap over 2-3 months; slow and lossy
+        months=(Month(2010, 7), Month(2010, 12)),
+    ),
+    ScanSource(
+        name="P&Q",
+        first=Month(2011, 10),
+        last=Month(2011, 10),
+        coverage=0.90,  # five-day Nmap + custom fetcher
+        months=(Month(2011, 10),),
+    ),
+    ScanSource(
+        name="Ecosystem",
+        first=Month(2012, 6),
+        last=Month(2014, 1),
+        coverage=0.955,  # ZMap, 18-hour scans
+    ),
+    ScanSource(
+        name="Rapid7",
+        first=Month(2014, 2),
+        last=Month(2015, 6),
+        coverage=0.93,
+        includes_unchained_intermediates=True,
+    ),
+    ScanSource(
+        name="Censys",
+        first=Month(2015, 7),
+        last=Month(2016, 5),
+        coverage=0.985,  # daily ZMap with integrated toolchain
+    ),
+)
+
+
+def source_for_month(month: Month) -> ScanSource | None:
+    """The representative scan source for a month (None = no scan data)."""
+    for source in SCAN_SOURCES:
+        if source.active_in(month):
+            return source
+    return None
+
+
+def scan_months(start: Month, end: Month) -> list[tuple[Month, ScanSource]]:
+    """All (month, source) pairs with scan data in the window, in order."""
+    out = []
+    for month in Month.range(start, end):
+        source = source_for_month(month)
+        if source is not None:
+            out.append((month, source))
+    return out

@@ -1,0 +1,32 @@
+"""A miniature SSH substrate: host keys and their compromise.
+
+Table 4 of the paper folds 6.26 M SSH RSA host keys into the batch-GCD
+corpus (723 vulnerable), and the non-RSA half of the 2012 disclosures
+concerned DSA host keys whose signatures leaked private keys through
+nonce reuse.  This package models the host-authentication surface those
+keys protect:
+
+- :mod:`repro.ssh.hostkeys` — RSA and DSA host keys, the server's
+  host-key proof over the session exchange hash, and client-side
+  known-hosts verification.
+- :mod:`repro.ssh.attacker` — host impersonation with a key recovered via
+  batch GCD (RSA) or nonce reuse (DSA).
+"""
+
+from repro.ssh.attacker import HostImpersonator
+from repro.ssh.hostkeys import (
+    DsaHostKey,
+    HostVerificationError,
+    KnownHostsClient,
+    RsaHostKey,
+    SshServer,
+)
+
+__all__ = [
+    "DsaHostKey",
+    "HostImpersonator",
+    "HostVerificationError",
+    "KnownHostsClient",
+    "RsaHostKey",
+    "SshServer",
+]

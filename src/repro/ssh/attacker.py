@@ -1,0 +1,74 @@
+"""Host impersonation with recovered SSH host keys.
+
+The punchline of weak *host* keys: a client that has already pinned the
+victim's key (known_hosts) reconnects to the impostor with **no warning at
+all**, because the impostor serves the genuine public key and can produce
+valid proofs with the recovered private half — whether that half came from
+batch GCD (RSA) or from nonce-reuse algebra (DSA).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto import dsa
+from repro.crypto.rsa import RsaKeyPair, RsaPrivateKey, recover_private_key
+from repro.ssh.hostkeys import DsaHostKey, RsaHostKey, SshServer
+
+__all__ = ["HostImpersonator"]
+
+
+@dataclass(slots=True)
+class HostImpersonator:
+    """Builds impostor SSH servers from recovered key material."""
+
+    def impersonate_rsa(
+        self, victim: SshServer, known_factor: int
+    ) -> SshServer:
+        """Impersonate an RSA-host-keyed victim given one prime factor.
+
+        Raises:
+            ValueError: if the factor does not divide the victim's modulus.
+        """
+        host_key = victim.host_key
+        assert isinstance(host_key, RsaHostKey)
+        public = host_key.keypair.public
+        private = recover_private_key(public.n, public.e, known_factor)
+        return SshServer(
+            host=victim.host,
+            host_key=RsaHostKey(RsaKeyPair(public=public, private=private)),
+            version=victim.version,
+        )
+
+    def impersonate_dsa_from_signatures(
+        self,
+        victim: SshServer,
+        message1: bytes,
+        signature1: tuple[int, int],
+        message2: bytes,
+        signature2: tuple[int, int],
+    ) -> SshServer:
+        """Impersonate a DSA-host-keyed victim from two nonce-sharing proofs.
+
+        The two (message, signature) pairs are exactly what two recorded
+        key exchanges expose on the wire.
+
+        Raises:
+            ValueError: if the signatures do not share a nonce.
+        """
+        host_key = victim.host_key
+        assert isinstance(host_key, DsaHostKey)
+        params = host_key.keypair.parameters
+        x = dsa.recover_private_key_from_nonce_reuse(
+            params,
+            message1,
+            dsa.DsaSignature(*signature1),
+            message2,
+            dsa.DsaSignature(*signature2),
+        )
+        recovered = dsa.DsaKeyPair(parameters=params, x=x, y=host_key.keypair.y)
+        return SshServer(
+            host=victim.host,
+            host_key=DsaHostKey(keypair=recovered),
+            version=victim.version,
+        )

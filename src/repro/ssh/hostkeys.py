@@ -1,0 +1,152 @@
+"""SSH host keys and host authentication.
+
+Models the part of the SSH transport the weak keys protect: during key
+exchange the server signs the session's *exchange hash* with its host key;
+the client checks the signature and compares the key against its
+known-hosts store (trust-on-first-use).  A recovered host key therefore
+lets an attacker impersonate the host to every client that has already
+pinned it — no warning is ever shown.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+
+from repro.crypto import dsa
+from repro.crypto.rsa import RsaKeyPair, RsaPrivateKey, RsaPublicKey
+
+__all__ = [
+    "RsaHostKey",
+    "DsaHostKey",
+    "SshServer",
+    "KnownHostsClient",
+    "HostVerificationError",
+]
+
+
+class HostVerificationError(Exception):
+    """Host authentication failed (bad signature or key mismatch)."""
+
+
+def exchange_hash(
+    client_version: bytes, server_version: bytes, session_nonce: bytes
+) -> bytes:
+    """The session's exchange hash (the value the host key signs)."""
+    return hashlib.sha256(
+        client_version + b"|" + server_version + b"|" + session_nonce
+    ).digest()
+
+
+@dataclass(frozen=True, slots=True)
+class RsaHostKey:
+    """An ssh-rsa host key."""
+
+    keypair: RsaKeyPair
+
+    @property
+    def algorithm(self) -> str:
+        return "ssh-rsa"
+
+    @property
+    def public_blob(self) -> tuple[str, int, int]:
+        """(algorithm, e, n) — what appears in known_hosts."""
+        return (self.algorithm, self.keypair.public.e, self.keypair.public.n)
+
+    def sign(self, data: bytes, rng: random.Random) -> tuple[int, ...]:
+        return (self.keypair.private.sign(data),)
+
+    @staticmethod
+    def verify(public_blob, data: bytes, signature: tuple[int, ...]) -> bool:
+        _alg, e, n = public_blob
+        return RsaPublicKey(n, e).verify(data, signature[0])
+
+
+@dataclass(frozen=True, slots=True)
+class DsaHostKey:
+    """An ssh-dss host key.
+
+    ``nonce_source`` models the flaw: None draws a fresh random nonce per
+    signature (healthy); a fixed integer reuses it (the entropy hole).
+    """
+
+    keypair: dsa.DsaKeyPair
+    nonce_source: int | None = None
+
+    @property
+    def algorithm(self) -> str:
+        return "ssh-dss"
+
+    @property
+    def public_blob(self):
+        params = self.keypair.parameters
+        return (self.algorithm, params.p, params.q, params.g, self.keypair.y)
+
+    def sign(self, data: bytes, rng: random.Random) -> tuple[int, ...]:
+        signature = dsa.sign(
+            self.keypair, data, nonce=self.nonce_source, rng=rng
+        )
+        return (signature.r, signature.s)
+
+    @staticmethod
+    def verify(public_blob, data: bytes, signature: tuple[int, ...]) -> bool:
+        _alg, p, q, g, y = public_blob
+        return dsa.verify(
+            dsa.DsaParameters(p=p, q=q, g=g),
+            y,
+            data,
+            dsa.DsaSignature(r=signature[0], s=signature[1]),
+        )
+
+
+@dataclass(slots=True)
+class SshServer:
+    """An SSH endpoint with a host key."""
+
+    host: str
+    host_key: RsaHostKey | DsaHostKey
+    version: bytes = b"SSH-2.0-device_1.0"
+
+    def key_exchange(self, client_version: bytes, rng: random.Random):
+        """One server-side key exchange: nonce, exchange hash, proof."""
+        session_nonce = rng.getrandbits(128).to_bytes(16, "big")
+        digest = exchange_hash(client_version, self.version, session_nonce)
+        signature = self.host_key.sign(digest, rng)
+        return session_nonce, digest, signature
+
+
+@dataclass(slots=True)
+class KnownHostsClient:
+    """A trust-on-first-use SSH client.
+
+    Attributes:
+        known_hosts: host -> pinned public blob.
+    """
+
+    version: bytes = b"SSH-2.0-repro_client"
+    known_hosts: dict[str, tuple] = field(default_factory=dict)
+
+    def connect(self, server: SshServer, rng: random.Random) -> bytes:
+        """Authenticate the host; returns the session's exchange hash.
+
+        Raises:
+            HostVerificationError: on a key mismatch (the scary warning) or
+                an invalid host-key proof.
+        """
+        session_nonce, digest, signature = server.key_exchange(self.version, rng)
+        expected = exchange_hash(self.version, server.version, session_nonce)
+        if digest != expected:
+            raise HostVerificationError("exchange hash mismatch")
+        blob = server.host_key.public_blob
+        pinned = self.known_hosts.get(server.host)
+        if pinned is None:
+            # Trust on first use: pin the key.
+            self.known_hosts[server.host] = blob
+        elif pinned != blob:
+            raise HostVerificationError(
+                f"host key for {server.host} changed (possible MITM)"
+            )
+        if not type(server.host_key).verify(blob, digest, signature):
+            raise HostVerificationError("host-key proof invalid")
+        return digest

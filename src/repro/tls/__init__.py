@@ -1,0 +1,48 @@
+"""A miniature TLS substrate: the protocol surface the weak keys expose.
+
+Section 2.1 of the paper lays out the threat model: a server's RSA
+certificate key is used either to *decrypt* RSA-key-transport sessions or
+to *sign* (EC)DHE key-exchange messages.  A factored certificate key
+therefore enables
+
+- **passive decryption** of any recorded RSA-key-exchange session (74 % of
+  the vulnerable devices in the paper's final scan support only this), and
+- **active impersonation / man-in-the-middle** against either cipher
+  family.
+
+This package implements just enough of the handshake to make those attacks
+runnable against simulated devices:
+
+- :mod:`repro.tls.suites` — cipher-suite definitions (RSA kex, DHE-RSA).
+- :mod:`repro.tls.session` — servers, clients, handshakes, transcripts,
+  and (toy) record encryption.
+- :mod:`repro.tls.attacker` — the passive eavesdropper and the active
+  man in the middle, both armed with nothing but batch-GCD output.
+
+The record cipher is an explicitly toy SHA-256 keystream — the
+cryptography under study is the RSA key establishment, not the bulk
+cipher.
+"""
+
+from repro.tls.attacker import ActiveMitm, PassiveEavesdropper
+from repro.tls.fleet import server_for_device
+from repro.tls.session import (
+    HandshakeFailure,
+    SessionTranscript,
+    TlsClient,
+    TlsServer,
+    handshake,
+)
+from repro.tls.suites import CipherSuite
+
+__all__ = [
+    "ActiveMitm",
+    "CipherSuite",
+    "HandshakeFailure",
+    "PassiveEavesdropper",
+    "SessionTranscript",
+    "TlsClient",
+    "TlsServer",
+    "handshake",
+    "server_for_device",
+]

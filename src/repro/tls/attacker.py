@@ -1,0 +1,124 @@
+"""Attackers armed with batch-GCD output (the paper's Section 2.1).
+
+- :class:`PassiveEavesdropper` records transcripts off the wire.  Once the
+  server's modulus is factored it decrypts every recorded RSA-key-transport
+  session; DHE sessions stay opaque (forward secrecy) — exactly the
+  distinction behind the paper's "74 % only support RSA key exchange"
+  exposure statistic.
+- :class:`ActiveMitm` sits on-path and impersonates a server whose key it
+  recovered: it can serve the genuine certificate and complete either kind
+  of handshake itself, defeating DHE's forward secrecy for live
+  connections.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.crypto.rsa import RsaPrivateKey, recover_private_key
+from repro.tls.session import (
+    HandshakeFailure,
+    SessionTranscript,
+    TlsClient,
+    TlsServer,
+    derive_master_secret,
+    handshake,
+    keystream_encrypt,
+)
+from repro.tls.suites import CipherSuite
+
+__all__ = ["PassiveEavesdropper", "ActiveMitm"]
+
+
+@dataclass(slots=True)
+class PassiveEavesdropper:
+    """A wiretap that records sessions and decrypts them after factoring.
+
+    Attributes:
+        transcripts: every recorded session, in capture order.
+        recovered_keys: modulus -> recovered private key.
+    """
+
+    transcripts: list[SessionTranscript] = field(default_factory=list)
+    recovered_keys: dict[int, RsaPrivateKey] = field(default_factory=dict)
+
+    def record(self, transcript: SessionTranscript) -> None:
+        """Capture one session off the wire."""
+        self.transcripts.append(transcript)
+
+    def learn_factor(self, modulus: int, factor: int, e: int = 65537) -> None:
+        """Turn one batch-GCD divisor into a usable private key."""
+        self.recovered_keys[modulus] = recover_private_key(modulus, e, factor)
+
+    def can_decrypt(self, transcript: SessionTranscript) -> bool:
+        """Whether this recorded session is passively decryptable."""
+        if transcript.suite is not CipherSuite.RSA:
+            return False
+        return transcript.certificate.public_key.n in self.recovered_keys
+
+    def decrypt(self, transcript: SessionTranscript) -> list[bytes]:
+        """Recover the plaintext application records of one session.
+
+        Raises:
+            HandshakeFailure: if the session is not passively decryptable
+                (a DHE session, or a key we have not factored).
+        """
+        if not self.can_decrypt(transcript):
+            raise HandshakeFailure(
+                "session is not passively decryptable "
+                f"(suite={transcript.suite.name})"
+            )
+        key = self.recovered_keys[transcript.certificate.public_key.n]
+        premaster = key.decrypt(transcript.rsa_encrypted_premaster)
+        master = derive_master_secret(
+            premaster, transcript.client_random, transcript.server_random
+        )
+        return [
+            keystream_encrypt(master, sequence, ciphertext)
+            for sequence, ciphertext in enumerate(transcript.records)
+        ]
+
+    def decryptable_fraction(self) -> float:
+        """Share of recorded sessions this attacker can read."""
+        if not self.transcripts:
+            return 0.0
+        readable = sum(1 for t in self.transcripts if self.can_decrypt(t))
+        return readable / len(self.transcripts)
+
+
+@dataclass(slots=True)
+class ActiveMitm:
+    """An on-path attacker impersonating a compromised server.
+
+    Holding the recovered private key, the attacker terminates the victim
+    client's connection itself — serving the *genuine* certificate — and
+    reads everything, regardless of cipher suite.
+    """
+
+    recovered_keys: dict[int, RsaPrivateKey] = field(default_factory=dict)
+
+    def learn_factor(self, modulus: int, factor: int, e: int = 65537) -> None:
+        """Turn one batch-GCD divisor into a usable private key."""
+        self.recovered_keys[modulus] = recover_private_key(modulus, e, factor)
+
+    def impersonate(self, victim: TlsServer) -> TlsServer:
+        """An endpoint indistinguishable from the victim server.
+
+        Raises:
+            HandshakeFailure: if the victim's key has not been recovered.
+        """
+        key = self.recovered_keys.get(victim.certificate.public_key.n)
+        if key is None:
+            raise HandshakeFailure("victim key not recovered")
+        return TlsServer(
+            certificate=victim.certificate,
+            private_key=key,
+            suites=victim.suites,
+        )
+
+    def intercept(
+        self, client: TlsClient, victim: TlsServer, rng: random.Random
+    ):
+        """Complete the client's handshake in the victim's place."""
+        return handshake(client, self.impersonate(victim), rng)

@@ -1,0 +1,29 @@
+"""Bridging the device world model to live TLS endpoints.
+
+Turns a simulated :class:`~repro.devices.population.Device` into a
+:class:`~repro.tls.session.TlsServer`, honouring the model's key-exchange
+support — devices flagged ``supports_only_rsa_kex`` (74 % of the paper's
+vulnerable devices) negotiate only RSA key transport, and are therefore
+passively decryptable once factored.
+"""
+
+from __future__ import annotations
+
+from repro.devices.population import Device
+from repro.tls.session import TlsServer
+from repro.tls.suites import CipherSuite
+
+__all__ = ["server_for_device"]
+
+
+def server_for_device(device: Device) -> TlsServer:
+    """Expose a simulated device as a live TLS endpoint."""
+    if device.model.supports_only_rsa_kex:
+        suites: tuple[CipherSuite, ...] = (CipherSuite.RSA,)
+    else:
+        suites = (CipherSuite.RSA, CipherSuite.DHE_RSA)
+    return TlsServer(
+        certificate=device.certificate,
+        private_key=device.key.keypair.private,
+        suites=suites,
+    )

@@ -1,0 +1,203 @@
+"""Handshakes, transcripts, and record protection for the mini-TLS.
+
+The handshake follows the TLS 1.2 RSA / DHE_RSA shapes closely enough for
+the paper's attacks to be faithful:
+
+1. ClientHello: client random + offered suites.
+2. ServerHello + Certificate: server random, chosen suite, certificate.
+3. Key exchange:
+   - RSA: client sends ``Enc_serverkey(premaster)``;
+   - DHE: server sends ``(p, g, g^x)`` *signed with its certificate key*,
+     client replies with ``g^y``.
+4. Both sides derive ``master = H(premaster | client_random |
+   server_random)`` and protect application records with a SHA-256
+   keystream (a stand-in cipher; the security property under study lives
+   entirely in step 3).
+
+Everything observable on the wire is captured in a
+:class:`SessionTranscript`, which is exactly what the passive attacker
+records.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+
+from repro.crypto.certs import Certificate
+from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
+from repro.tls.suites import CipherSuite, DHE_GENERATOR, DHE_PRIME
+
+__all__ = [
+    "HandshakeFailure",
+    "SessionTranscript",
+    "TlsClient",
+    "TlsServer",
+    "handshake",
+    "derive_master_secret",
+    "keystream_encrypt",
+]
+
+
+class HandshakeFailure(Exception):
+    """Raised when negotiation or authentication fails."""
+
+
+def derive_master_secret(premaster: int, client_random: bytes, server_random: bytes) -> bytes:
+    """``H(premaster | randoms)`` — the session's traffic-key root."""
+    blob = premaster.to_bytes((premaster.bit_length() + 7) // 8 or 1, "big")
+    return hashlib.sha256(blob + client_random + server_random).digest()
+
+
+def keystream_encrypt(master: bytes, sequence: int, plaintext: bytes) -> bytes:
+    """XOR the plaintext with a SHA-256 counter keystream (toy cipher)."""
+    out = bytearray()
+    counter = 0
+    while len(out) < len(plaintext):
+        block = hashlib.sha256(
+            master + sequence.to_bytes(8, "big") + counter.to_bytes(8, "big")
+        ).digest()
+        out.extend(block)
+        counter += 1
+    return bytes(x ^ k for x, k in zip(plaintext, out))
+
+
+@dataclass(slots=True)
+class SessionTranscript:
+    """Everything a wiretap sees of one TLS session.
+
+    Attributes:
+        suite: the negotiated cipher suite.
+        certificate: the server certificate as presented.
+        client_random, server_random: hello nonces.
+        rsa_encrypted_premaster: the key-transport ciphertext (RSA suites).
+        dhe_params: ``(p, g, server_public)`` for DHE suites.
+        dhe_signature: the server's RSA signature over its DHE params.
+        dhe_client_public: the client's DH share.
+        records: encrypted application records, in order.
+    """
+
+    suite: CipherSuite
+    certificate: Certificate
+    client_random: bytes
+    server_random: bytes
+    rsa_encrypted_premaster: int | None = None
+    dhe_params: tuple[int, int, int] | None = None
+    dhe_signature: int | None = None
+    dhe_client_public: int | None = None
+    records: list[bytes] = field(default_factory=list)
+
+    def signed_dhe_blob(self) -> bytes:
+        """The bytes the server signed for its DHE parameters."""
+        if self.dhe_params is None:
+            raise HandshakeFailure("no DHE parameters in this transcript")
+        p, g, server_public = self.dhe_params
+        return b"|".join(
+            [
+                self.client_random,
+                self.server_random,
+                str(p).encode(),
+                str(g).encode(),
+                str(server_public).encode(),
+            ]
+        )
+
+
+@dataclass(slots=True)
+class TlsServer:
+    """A TLS endpoint: certificate, private key, supported suites.
+
+    ``private_key`` may be None to model a server whose key the simulation
+    should never need (the handshake then fails on use, loudly).
+    """
+
+    certificate: Certificate
+    private_key: RsaPrivateKey | None
+    suites: tuple[CipherSuite, ...] = (CipherSuite.RSA, CipherSuite.DHE_RSA)
+
+    def supports(self, suite: CipherSuite) -> bool:
+        """Whether this server negotiates the given suite."""
+        return suite in self.suites
+
+
+@dataclass(slots=True)
+class TlsClient:
+    """A TLS client with a suite preference list."""
+
+    offered: tuple[CipherSuite, ...] = (CipherSuite.DHE_RSA, CipherSuite.RSA)
+    verify_certificate: bool = True
+
+
+@dataclass(slots=True)
+class _SessionKeys:
+    """Both endpoints' view of the established session."""
+
+    master: bytes
+    transcript: SessionTranscript
+
+    def send(self, plaintext: bytes) -> bytes:
+        """Encrypt one application record onto the transcript."""
+        sequence = len(self.transcript.records)
+        ciphertext = keystream_encrypt(self.master, sequence, plaintext)
+        self.transcript.records.append(ciphertext)
+        return ciphertext
+
+
+def handshake(
+    client: TlsClient, server: TlsServer, rng: random.Random
+) -> _SessionKeys:
+    """Run a handshake and return the established session.
+
+    Raises:
+        HandshakeFailure: when no common suite exists, the certificate is
+            unacceptable to the client, a DHE signature fails, or the
+            server lacks its private key.
+    """
+    chosen = next((s for s in client.offered if server.supports(s)), None)
+    if chosen is None:
+        raise HandshakeFailure("no cipher suite in common")
+    if client.verify_certificate and not server.certificate.verify_signature():
+        # Self-signed device certificates self-verify; a tampered or
+        # key-substituted certificate does not.
+        raise HandshakeFailure("certificate signature invalid")
+
+    client_random = rng.getrandbits(256).to_bytes(32, "big")
+    server_random = rng.getrandbits(256).to_bytes(32, "big")
+    transcript = SessionTranscript(
+        suite=chosen,
+        certificate=server.certificate,
+        client_random=client_random,
+        server_random=server_random,
+    )
+
+    if chosen is CipherSuite.RSA:
+        if server.private_key is None:
+            raise HandshakeFailure("server cannot decrypt without its key")
+        premaster = rng.randrange(2, server.certificate.public_key.n - 1)
+        transcript.rsa_encrypted_premaster = server.certificate.public_key.encrypt(
+            premaster
+        )
+        # The server decrypts to confirm both sides agree.
+        if server.private_key.decrypt(transcript.rsa_encrypted_premaster) != premaster:
+            raise HandshakeFailure("premaster decryption mismatch")
+    else:
+        if server.private_key is None:
+            raise HandshakeFailure("server cannot sign without its key")
+        x = rng.randrange(2, DHE_PRIME - 2)
+        y = rng.randrange(2, DHE_PRIME - 2)
+        server_public = pow(DHE_GENERATOR, x, DHE_PRIME)
+        transcript.dhe_params = (DHE_PRIME, DHE_GENERATOR, server_public)
+        transcript.dhe_signature = server.private_key.sign(
+            transcript.signed_dhe_blob()
+        )
+        if client.verify_certificate and not server.certificate.public_key.verify(
+            transcript.signed_dhe_blob(), transcript.dhe_signature
+        ):
+            raise HandshakeFailure("DHE parameter signature invalid")
+        transcript.dhe_client_public = pow(DHE_GENERATOR, y, DHE_PRIME)
+        premaster = pow(transcript.dhe_client_public, x, DHE_PRIME)
+        assert premaster == pow(server_public, y, DHE_PRIME)
+
+    master = derive_master_secret(premaster, client_random, server_random)
+    return _SessionKeys(master=master, transcript=transcript)

@@ -1,0 +1,36 @@
+"""Cipher-suite definitions for the miniature TLS substrate.
+
+Only the key-exchange dimension matters to the paper's threat model, so a
+suite is essentially "RSA key transport" or "ephemeral Diffie-Hellman
+signed by the server's RSA key".
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["CipherSuite", "DHE_PRIME", "DHE_GENERATOR"]
+
+
+class CipherSuite(Enum):
+    """The two key-establishment families the paper distinguishes."""
+
+    #: RSA key transport: the client encrypts the premaster secret to the
+    #: server's certificate key.  Recorded sessions are passively
+    #: decryptable once that key is factored.
+    RSA = "TLS_RSA_WITH_TOY_STREAM_SHA256"
+    #: Ephemeral Diffie-Hellman, authenticated by an RSA signature from the
+    #: certificate key.  Forward-secret against passive attackers; still
+    #: impersonable by an active attacker holding the factored key.
+    DHE_RSA = "TLS_DHE_RSA_WITH_TOY_STREAM_SHA256"
+
+    @property
+    def forward_secret(self) -> bool:
+        """Whether a later key compromise exposes recorded traffic."""
+        return self is CipherSuite.DHE_RSA
+
+
+#: A fixed 256-bit safe-prime DHE group (generator 2), standing in for the
+#: RFC 3526 groups real stacks negotiate.
+DHE_PRIME = 0x8A113EB21A507A9F5F358F853D736F32779613829472FF7E4E2D026E0151FDD7
+DHE_GENERATOR = 2

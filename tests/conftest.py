@@ -1,0 +1,35 @@
+"""Shared fixtures: RNGs, small prime tables, and a session-scoped study."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.numt.sieve import first_n_primes
+from repro.pipeline import run_study
+from repro.studyconfig import StudyConfig
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG, fresh per test."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture(scope="session")
+def small_openssl_table() -> tuple[int, ...]:
+    """A 64-odd-prime table standing in for OpenSSL's 2048 in fast tests."""
+    return first_n_primes(65)[1:]
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> StudyConfig:
+    """The unit-test study configuration."""
+    return StudyConfig.tiny()
+
+
+@pytest.fixture(scope="session")
+def tiny_study(tiny_config):
+    """One tiny end-to-end study shared by all integration tests."""
+    return run_study(tiny_config)

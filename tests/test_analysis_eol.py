@@ -1,0 +1,33 @@
+"""Tests for Cisco end-of-life correlation (Figure 7)."""
+
+from repro.timeline import Month
+
+
+class TestTinyStudyEol:
+    def test_five_cisco_models_analysed(self, tiny_study):
+        models = {a.model for a in tiny_study.eol}
+        assert {"RV082", "RV120W", "RV220W", "RV180/180W", "SA520/540"} <= models
+
+    def test_eol_dates_attached(self, tiny_study):
+        for analysis in tiny_study.eol:
+            if analysis.model == "RV082":
+                assert analysis.eol == Month(2012, 9)
+                assert analysis.end_of_sale == Month(2013, 3)
+
+    def test_eol_precedes_end_of_sale(self, tiny_study):
+        for analysis in tiny_study.eol:
+            if analysis.eol and analysis.end_of_sale:
+                assert analysis.eol < analysis.end_of_sale
+
+    def test_populations_decline_after_eol(self, tiny_study):
+        # "end-of-life announcements marked the beginning of a slow decrease"
+        declining = [a for a in tiny_study.eol if a.declining_after_eol]
+        assert len(declining) >= 3
+
+    def test_final_population_below_eol_population(self, tiny_study):
+        for analysis in tiny_study.eol:
+            if analysis.eol is None or analysis.population_at_eol == 0:
+                continue
+            if analysis.model == "RV220W":
+                continue  # EOL near study end; decline barely starts
+            assert analysis.population_at_end <= analysis.population_at_eol * 1.2

@@ -1,0 +1,62 @@
+"""Tests for the passive-decryption exposure analysis (Section 1)."""
+
+import random
+from datetime import date
+
+from repro.analysis.exposure import analyze_exposure
+from repro.crypto.certs import DistinguishedName, self_signed_certificate
+from repro.crypto.rsa import generate_rsa_keypair
+from repro.scans.records import CertificateStore, ScanSnapshot
+from repro.timeline import Month
+
+
+def make_cert(seed):
+    keypair = generate_rsa_keypair(64, random.Random(seed))
+    return self_signed_certificate(
+        subject=DistinguishedName(CN=f"h{seed}"),
+        keypair=keypair,
+        serial=seed,
+        not_before=date(2015, 1, 1),
+        not_after=date(2025, 1, 1),
+    )
+
+
+class TestAnalyzeExposure:
+    def test_fraction_computation(self):
+        store = CertificateStore()
+        vuln_rsa_only = make_cert(1)
+        vuln_dhe = make_cert(2)
+        clean = make_cert(3)
+        a = store.intern(vuln_rsa_only, weight=3, only_rsa_kex=True)
+        b = store.intern(vuln_dhe, weight=1, only_rsa_kex=False)
+        c = store.intern(clean, weight=5, only_rsa_kex=True)
+        snapshot = ScanSnapshot("Censys", Month(2016, 4))
+        for ip, cert_id in ((1, a), (2, b), (3, c)):
+            snapshot.append(ip, cert_id)
+        vulnerable = {vuln_rsa_only.public_key.n, vuln_dhe.public_key.n}
+        stats = analyze_exposure(snapshot, store, vulnerable)
+        assert stats.vulnerable_hosts == 4  # 3 + 1, weighted
+        assert stats.passively_decryptable == 3
+        assert stats.passive_fraction == 0.75
+        assert stats.vulnerable_hosts_raw == 2
+        assert stats.passively_decryptable_raw == 1
+
+    def test_empty_snapshot(self):
+        stats = analyze_exposure(
+            ScanSnapshot("Censys", Month(2016, 4)), CertificateStore(), set()
+        )
+        assert stats.vulnerable_hosts == 0
+        assert stats.passive_fraction == 0.0
+
+
+class TestTinyStudyExposure:
+    def test_majority_passively_decryptable(self, tiny_study):
+        # Paper: 74% of vulnerable devices in the April 2016 scan support
+        # only RSA key exchange.
+        exposure = tiny_study.exposure
+        assert exposure is not None
+        assert exposure.vulnerable_hosts > 0
+        assert 0.4 < exposure.passive_fraction <= 1.0
+
+    def test_exposure_month_is_final_scan(self, tiny_study):
+        assert tiny_study.exposure.month == tiny_study.snapshots[-1].month

@@ -1,0 +1,75 @@
+"""Tests for Heartbleed-drop quantification."""
+
+from repro.analysis.heartbleed import analyze_heartbleed
+from repro.analysis.timeseries import GlobalSeries, SeriesPoint, VendorSeries
+from repro.timeline import HEARTBLEED, Month
+
+
+def make_series(name, points):
+    series = VendorSeries(name=name)
+    for month, total, vuln in points:
+        series.points.append(
+            SeriesPoint(
+                month=month, source="T", total=total, vulnerable=vuln,
+                total_raw=int(total), vulnerable_raw=int(vuln),
+            )
+        )
+    return series
+
+
+class TestAnalyzeHeartbleed:
+    def test_drop_at_heartbleed_detected(self):
+        overall = make_series("(all)", [
+            (Month(2014, 2), 1000, 100),
+            (Month(2014, 3), 1000, 99),
+            (HEARTBLEED, 700, 60),
+            (Month(2014, 5), 700, 59),
+        ])
+        juniper = make_series("Juniper", [
+            (Month(2014, 3), 500, 80),
+            (HEARTBLEED, 300, 45),
+        ])
+        impact = analyze_heartbleed(
+            GlobalSeries(overall=overall, by_vendor={"Juniper": juniper})
+        )
+        assert impact.drop_is_at_heartbleed
+        assert impact.global_vulnerable_drop == 39
+        (vendor_impact,) = impact.by_vendor
+        assert vendor_impact.vendor == "Juniper"
+        assert vendor_impact.total_drop == 200
+        assert vendor_impact.vulnerable_drop == 35
+
+    def test_no_bracket_no_vendor_impact(self):
+        overall = make_series("(all)", [(Month(2015, 1), 10, 1)])
+        impact = analyze_heartbleed(
+            GlobalSeries(overall=overall, by_vendor={})
+        )
+        assert impact.by_vendor == ()
+
+    def test_vendor_filter(self):
+        overall = make_series("(all)", [
+            (Month(2014, 3), 10, 5), (HEARTBLEED, 8, 3),
+        ])
+        series = GlobalSeries(
+            overall=overall,
+            by_vendor={
+                "A": make_series("A", [(Month(2014, 3), 5, 2), (HEARTBLEED, 4, 1)]),
+                "B": make_series("B", [(Month(2014, 3), 5, 3), (HEARTBLEED, 4, 2)]),
+            },
+        )
+        impact = analyze_heartbleed(series, vendors=["A"])
+        assert [v.vendor for v in impact.by_vendor] == ["A"]
+
+
+class TestTinyStudyHeartbleed:
+    def test_shocked_vendors_lose_hosts(self, tiny_study):
+        impact = analyze_heartbleed(tiny_study.series, vendors=["Juniper", "HP"])
+        for vendor_impact in impact.by_vendor:
+            assert vendor_impact.total_drop > 0, vendor_impact.vendor
+
+    def test_juniper_vulnerable_drop_positive(self, tiny_study):
+        impact = analyze_heartbleed(tiny_study.series, vendors=["Juniper"])
+        (juniper,) = impact.by_vendor
+        assert juniper.vulnerable_drop > 0
+        # "an even larger concurrent drop in the total population".
+        assert juniper.total_drop >= juniper.vulnerable_drop

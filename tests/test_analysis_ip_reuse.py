@@ -1,0 +1,78 @@
+"""Tests for the IP-reuse (churn vs patching) analysis."""
+
+import random
+from datetime import date
+
+from repro.analysis.transitions import analyze_ip_reuse
+from repro.crypto.certs import DistinguishedName, self_signed_certificate
+from repro.crypto.rsa import generate_rsa_keypair
+from repro.scans.records import CertificateStore, ScanSnapshot
+from repro.timeline import Month
+
+
+def make_cert(seed, org="IBM-owner"):
+    keypair = generate_rsa_keypair(64, random.Random(seed))
+    return self_signed_certificate(
+        subject=DistinguishedName(O=org, CN=f"d{seed}"),
+        keypair=keypair,
+        serial=seed,
+        not_before=date(2012, 1, 1),
+        not_after=date(2022, 1, 1),
+    )
+
+
+class TestAnalyzeIpReuse:
+    def setup_method(self):
+        self.store = CertificateStore()
+        self.vuln = make_cert(1)
+        self.web = make_cert(2, org="SomeSite")
+        self.vuln_id = self.store.intern(self.vuln, 1)
+        self.web_id = self.store.intern(self.web, 1)
+        self.vulnerable = {self.vuln.public_key.n}
+        self.labels = {self.vuln_id: "IBM"}  # web cert unattributed
+
+    def run(self, histories):
+        months = max(len(h) for h in histories.values())
+        snapshots = []
+        for i in range(months):
+            snap = ScanSnapshot("T", Month(2012, 1) + i)
+            for ip, certs in histories.items():
+                if i < len(certs) and certs[i] is not None:
+                    snap.append(ip, certs[i])
+            snapshots.append(snap)
+        return analyze_ip_reuse(
+            snapshots, self.store, self.labels, self.vulnerable, "IBM"
+        )
+
+    def test_reassigned_ip_counted(self):
+        stats = self.run({1: [self.vuln_id, self.web_id]})
+        assert stats.ips_ever_vulnerable == 1
+        assert stats.later_served_other_certificate == 1
+        assert stats.later_served_other_vendor == 1
+
+    def test_stable_vulnerable_ip_not_counted(self):
+        stats = self.run({1: [self.vuln_id, self.vuln_id, self.vuln_id]})
+        assert stats.later_served_other_certificate == 0
+
+    def test_earlier_other_certificate_ignored(self):
+        # The web certificate appears BEFORE the vulnerable one: no reuse.
+        stats = self.run({1: [self.web_id, self.vuln_id]})
+        assert stats.later_served_other_certificate == 0
+
+    def test_never_vulnerable_ip_ignored(self):
+        stats = self.run({1: [self.web_id, self.web_id]})
+        assert stats.ips_ever_vulnerable == 0
+
+
+class TestTinyStudyIpReuse:
+    def test_ibm_reuse_plausible(self, tiny_study):
+        stats = analyze_ip_reuse(
+            tiny_study.snapshots,
+            tiny_study.store,
+            tiny_study.fingerprints.vendor_by_cert,
+            tiny_study.vulnerable_moduli(),
+            "IBM",
+        )
+        assert stats.ips_ever_vulnerable > 0
+        # Churn exists but is a minority (paper: 350 of 1,728).
+        assert stats.later_served_other_certificate <= stats.ips_ever_vulnerable

@@ -1,0 +1,108 @@
+"""Tests for the certificate-lifetime / offlining-vs-renewal analysis."""
+
+import random
+from datetime import date
+
+from repro.analysis.lifetimes import analyze_certificate_lifetimes
+from repro.crypto.certs import DistinguishedName, self_signed_certificate
+from repro.crypto.rsa import generate_rsa_keypair
+from repro.scans.records import CertificateStore, ScanSnapshot
+from repro.timeline import Month
+
+
+def make_cert(seed):
+    keypair = generate_rsa_keypair(64, random.Random(seed))
+    return self_signed_certificate(
+        subject=DistinguishedName(O="IBM-owner", CN=f"c{seed}"),
+        keypair=keypair,
+        serial=seed,
+        not_before=date(2011, 1, 1),
+        not_after=date(2021, 1, 1),
+    )
+
+
+class TestLifetimes:
+    def setup_method(self):
+        self.store = CertificateStore()
+        self.vuln = make_cert(1)
+        self.fresh = make_cert(2)
+        self.vuln_id = self.store.intern(self.vuln, 1)
+        self.fresh_id = self.store.intern(self.fresh, 1)
+        self.labels = {self.vuln_id: "IBM", self.fresh_id: "IBM"}
+        self.vulnerable = {self.vuln.public_key.n}
+
+    def run(self, histories, scans=None):
+        months = scans or max(len(h) for h in histories.values())
+        snapshots = []
+        for i in range(months):
+            snap = ScanSnapshot("T", Month(2012, 1) + i)
+            for ip, certs in histories.items():
+                if i < len(certs) and certs[i] is not None:
+                    snap.append(ip, certs[i])
+            snapshots.append(snap)
+        return analyze_certificate_lifetimes(
+            snapshots, self.store, self.labels, self.vulnerable, "IBM"
+        )
+
+    def test_single_long_tenure(self):
+        stats = self.run({1: [self.vuln_id] * 5})
+        assert stats.tenures == 1
+        assert stats.mean_tenure_scans == 5
+        assert stats.max_tenure_scans == 5
+        # Survived to the end of the study: neither replaced nor offlined.
+        assert stats.vulnerable_ended_by_replacement == 0
+        assert stats.vulnerable_ended_by_disappearance == 0
+
+    def test_replacement_detected(self):
+        stats = self.run({1: [self.vuln_id, self.vuln_id, self.fresh_id]})
+        assert stats.tenures == 2
+        assert stats.vulnerable_tenures == 1
+        assert stats.vulnerable_ended_by_replacement == 1
+        assert stats.vulnerable_ended_by_disappearance == 0
+
+    def test_offlining_detected(self):
+        stats = self.run({1: [self.vuln_id, self.vuln_id, None, None]}, scans=4)
+        assert stats.vulnerable_ended_by_disappearance == 1
+        assert stats.vulnerable_ended_by_replacement == 0
+        assert stats.offlining_dominates
+
+    def test_gap_tolerated_within_tenure(self):
+        stats = self.run({1: [self.vuln_id, None, self.vuln_id]})
+        assert stats.tenures == 1
+        assert stats.max_tenure_scans == 3
+
+    def test_empty_vendor(self):
+        stats = self.run({1: [self.fresh_id]})
+        # fresh cert is IBM-labelled; use a different vendor entirely.
+        empty = analyze_certificate_lifetimes(
+            [], self.store, self.labels, self.vulnerable, "HP"
+        )
+        assert empty.tenures == 0
+        assert empty.mean_tenure_scans == 0.0
+
+
+class TestTinyStudyLifetimes:
+    def test_ibm_offlining_dominates_renewal(self, tiny_study):
+        # The paper's §4.1 conclusion for IBM: the decline is devices going
+        # away, not certificates being renewed in place.
+        stats = analyze_certificate_lifetimes(
+            tiny_study.snapshots,
+            tiny_study.store,
+            tiny_study.fingerprints.vendor_by_cert,
+            tiny_study.vulnerable_moduli(),
+            "IBM",
+        )
+        assert stats.vulnerable_tenures > 0
+        assert stats.offlining_dominates
+
+    def test_tenures_are_long(self, tiny_study):
+        # Device certificates sit untouched for years.
+        stats = analyze_certificate_lifetimes(
+            tiny_study.snapshots,
+            tiny_study.store,
+            tiny_study.fingerprints.vendor_by_cert,
+            tiny_study.vulnerable_moduli(),
+            "Innominate",
+        )
+        if stats.tenures:
+            assert stats.max_tenure_scans >= 10

@@ -1,0 +1,115 @@
+"""Tests for Tables 1-5 builders over the tiny study."""
+
+from repro.analysis.tables import build_table2
+from repro.devices.vendors import ResponseCategory
+from repro.timeline import Month
+
+
+class TestTable1:
+    def test_raw_counts_consistent(self, tiny_study):
+        t = tiny_study.table1
+        assert t.vulnerable_moduli_raw <= t.total_distinct_moduli_raw
+        assert t.distinct_https_moduli_raw <= t.distinct_https_certificates_raw
+        assert t.distinct_https_certificates_raw <= t.https_host_records_raw
+        assert t.vulnerable_https_host_records_raw <= t.https_host_records_raw
+
+    def test_weighted_magnitudes_near_paper(self, tiny_study):
+        t = tiny_study.table1
+        # Scale-corrected estimates should land within ~2x of the paper.
+        assert 0.5e9 < t.https_host_records < 3.1e9
+        assert 40e6 < t.total_distinct_moduli < 165e6
+        assert 100_000 < t.vulnerable_moduli < 650_000
+
+    def test_vulnerable_fraction_below_one_percent(self, tiny_study):
+        # Paper: 0.39% of distinct moduli factored.
+        assert 0.0005 < tiny_study.table1.vulnerable_moduli_fraction < 0.01
+
+    def test_vulnerable_counts_match_fingerprints(self, tiny_study):
+        assert tiny_study.table1.vulnerable_moduli_raw >= len(
+            tiny_study.fingerprints.factored_clean
+        ) * 0.9
+
+
+class TestTable2:
+    def test_category_counts(self):
+        t = build_table2()
+        assert t.notified_count == 37
+        assert t.public_advisory_count == 5
+
+    def test_all_categories_present(self):
+        t = build_table2()
+        for category in (
+            ResponseCategory.PUBLIC_ADVISORY,
+            ResponseCategory.PRIVATE_RESPONSE,
+            ResponseCategory.AUTO_RESPONSE,
+            ResponseCategory.NO_RESPONSE,
+        ):
+            assert t.by_category.get(category)
+
+    def test_acknowledged_about_half(self):
+        # "About half of the vendors acknowledged receipt" — public
+        # advisories plus private responses.
+        t = build_table2()
+        assert 10 <= t.acknowledged_count <= 20
+
+
+class TestTable3:
+    def test_sources_and_dates(self, tiny_study):
+        earliest, latest = tiny_study.table3
+        assert earliest.source == "EFF"
+        assert earliest.month == Month(2010, 7)
+        assert latest.source == "Censys"
+        assert latest.month == Month(2016, 5)
+
+    def test_growth_over_study(self, tiny_study):
+        earliest, latest = tiny_study.table3
+        # Paper: 11.26M -> 38.01M handshakes.
+        assert latest.tls_handshakes > 2.5 * earliest.tls_handshakes
+
+    def test_keys_not_more_than_certs(self, tiny_study):
+        earliest, latest = tiny_study.table3
+        for column in (earliest, latest):
+            assert column.distinct_rsa_keys_raw <= column.distinct_certificates_raw
+
+
+class TestTable4:
+    def test_all_protocols_present(self, tiny_study):
+        protocols = {row.protocol for row in tiny_study.table4}
+        assert protocols == {"HTTPS", "SSH", "POP3S", "IMAPS", "SMTPS"}
+
+    def test_https_dominates_vulnerable_hosts(self, tiny_study):
+        rows = {row.protocol: row for row in tiny_study.table4}
+        assert rows["HTTPS"].vulnerable_hosts > rows["SSH"].vulnerable_hosts
+
+    def test_mail_protocols_zero_vulnerable(self, tiny_study):
+        rows = {row.protocol: row for row in tiny_study.table4}
+        for protocol in ("POP3S", "IMAPS", "SMTPS"):
+            assert rows[protocol].vulnerable_hosts == 0
+
+    def test_ssh_vulnerable_in_paper_ballpark(self, tiny_study):
+        rows = {row.protocol: row for row in tiny_study.table4}
+        # Paper: 723 vulnerable SSH hosts.
+        assert 200 < rows["SSH"].vulnerable_hosts < 2000
+
+    def test_rsa_hosts_do_not_exceed_total(self, tiny_study):
+        for row in tiny_study.table4:
+            assert row.rsa_hosts <= row.total_hosts + 1e-9
+
+
+class TestTable5:
+    def test_satisfy_outnumbers_refute(self, tiny_study):
+        # Paper Table 5: 23 satisfy vs 8 do not.
+        t = tiny_study.table5
+        assert len(t.satisfy) > len(t.do_not_satisfy)
+
+    def test_key_vendors_on_correct_sides(self, tiny_study):
+        t = tiny_study.table5
+        assert "Juniper" in t.do_not_satisfy
+        assert "IBM" in t.satisfy
+        assert "Cisco" in t.satisfy
+
+    def test_registry_agreement(self, tiny_study):
+        for vendor, (expected, measured) in tiny_study.table5.expected_vs_registry().items():
+            if expected is None or measured == "inconclusive":
+                continue
+            assert (measured == "openssl") == expected, vendor

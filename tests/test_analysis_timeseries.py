@@ -1,0 +1,135 @@
+"""Tests for time-series aggregation (synthetic and tiny-study)."""
+
+import random
+from datetime import date
+
+from repro.analysis.timeseries import VendorSeries, SeriesPoint, build_series
+from repro.crypto.certs import DistinguishedName, self_signed_certificate
+from repro.crypto.rsa import generate_rsa_keypair
+from repro.scans.records import CertificateStore, ScanSnapshot
+from repro.timeline import Month
+
+
+def make_cert(seed):
+    keypair = generate_rsa_keypair(64, random.Random(seed))
+    return self_signed_certificate(
+        subject=DistinguishedName(O="Juniper", CN=f"d{seed}"),
+        keypair=keypair,
+        serial=seed,
+        not_before=date(2012, 1, 1),
+        not_after=date(2022, 1, 1),
+    )
+
+
+class TestBuildSeries:
+    def setup_method(self):
+        self.store = CertificateStore()
+        self.vuln_cert = make_cert(1)
+        self.clean_cert = make_cert(2)
+        self.vuln_id = self.store.intern(self.vuln_cert, weight=10)
+        self.clean_id = self.store.intern(self.clean_cert, weight=10)
+        self.vulnerable = {self.vuln_cert.public_key.n}
+        self.labels = {self.vuln_id: "Juniper", self.clean_id: "Juniper"}
+
+    def snapshot(self, month, records):
+        snap = ScanSnapshot("TEST", month)
+        for ip, cid in records:
+            snap.append(ip, cid)
+        return snap
+
+    def test_weighted_counts(self):
+        snapshots = [
+            self.snapshot(Month(2012, 6), [(1, self.vuln_id), (2, self.clean_id)]),
+        ]
+        series = build_series(snapshots, self.store, self.labels, self.vulnerable)
+        point = series.overall.points[0]
+        assert point.total == 20
+        assert point.vulnerable == 10
+        assert point.total_raw == 2
+        assert point.vulnerable_raw == 1
+
+    def test_vendor_breakout(self):
+        snapshots = [
+            self.snapshot(Month(2012, 6), [(1, self.vuln_id), (2, self.clean_id)]),
+        ]
+        series = build_series(snapshots, self.store, self.labels, self.vulnerable)
+        juniper = series.vendor("Juniper")
+        assert juniper.points[0].total == 20
+        assert juniper.points[0].vulnerable == 10
+
+    def test_unlabelled_certs_only_in_overall(self):
+        snapshots = [
+            self.snapshot(Month(2012, 6), [(1, self.vuln_id)]),
+        ]
+        series = build_series(snapshots, self.store, {}, self.vulnerable)
+        assert series.overall.points[0].total == 10
+        assert series.by_vendor == {}
+
+    def test_unknown_vendor_empty_series(self):
+        series = build_series([], self.store, {}, set())
+        assert series.vendor("Nobody").points == []
+
+    def test_multiple_months_ordered(self):
+        snapshots = [
+            self.snapshot(Month(2012, 6), [(1, self.vuln_id)]),
+            self.snapshot(Month(2012, 7), [(1, self.vuln_id), (2, self.clean_id)]),
+        ]
+        series = build_series(snapshots, self.store, self.labels, self.vulnerable)
+        assert [p.month for p in series.overall.points] == [
+            Month(2012, 6), Month(2012, 7),
+        ]
+        assert series.overall.totals() == [10, 20]
+
+
+class TestVendorSeriesHelpers:
+    def make_series(self, values):
+        series = VendorSeries(name="x")
+        for i, (total, vuln) in enumerate(values):
+            series.points.append(
+                SeriesPoint(
+                    month=Month(2012, 1) + i, source="T", total=total,
+                    vulnerable=vuln, total_raw=int(total),
+                    vulnerable_raw=int(vuln),
+                )
+            )
+        return series
+
+    def test_peak_vulnerable(self):
+        series = self.make_series([(10, 1), (10, 5), (10, 3)])
+        assert series.peak_vulnerable().vulnerable == 5
+
+    def test_largest_drop_vulnerable(self):
+        series = self.make_series([(10, 5), (10, 4), (10, 1)])
+        month, drop = series.largest_drop(vulnerable=True)
+        assert month == Month(2012, 3)
+        assert drop == 3
+
+    def test_largest_drop_total(self):
+        series = self.make_series([(100, 0), (40, 0), (35, 0)])
+        month, drop = series.largest_drop(vulnerable=False)
+        assert month == Month(2012, 2)
+        assert drop == 60
+
+    def test_largest_drop_empty(self):
+        assert VendorSeries(name="x").largest_drop() is None
+
+    def test_month_point(self):
+        series = self.make_series([(10, 1), (20, 2)])
+        assert series.month_point(Month(2012, 2)).total == 20
+        assert series.month_point(Month(2013, 1)) is None
+
+
+class TestTinyStudySeries:
+    def test_overall_total_grows_over_study(self, tiny_study):
+        points = tiny_study.series.overall.points
+        assert points[-1].total > points[0].total * 2
+
+    def test_every_snapshot_has_a_point(self, tiny_study):
+        assert len(tiny_study.series.overall.points) == len(tiny_study.snapshots)
+
+    def test_vendor_scale_corrected_magnitudes(self, tiny_study):
+        # Weighted Juniper totals should be in the paper's ballpark
+        # (tens of thousands), despite simulating a couple dozen devices.
+        juniper = tiny_study.series.vendor("Juniper")
+        peak_total = max(juniper.totals())
+        assert 20_000 < peak_total < 200_000

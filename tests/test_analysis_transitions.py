@@ -1,0 +1,116 @@
+"""Tests for per-IP transition analysis."""
+
+import random
+from datetime import date
+
+from repro.analysis.transitions import analyze_transitions
+from repro.crypto.certs import DistinguishedName, self_signed_certificate
+from repro.crypto.rsa import generate_rsa_keypair
+from repro.scans.records import CertificateStore, ScanSnapshot
+from repro.timeline import Month
+
+
+def make_cert(seed):
+    keypair = generate_rsa_keypair(64, random.Random(seed))
+    return self_signed_certificate(
+        subject=DistinguishedName(O="Juniper", CN=f"d{seed}"),
+        keypair=keypair,
+        serial=seed,
+        not_before=date(2012, 1, 1),
+        not_after=date(2022, 1, 1),
+    )
+
+
+class TestTransitions:
+    def setup_method(self):
+        self.store = CertificateStore()
+        self.vuln = make_cert(1)
+        self.clean = make_cert(2)
+        self.vuln_id = self.store.intern(self.vuln, 1)
+        self.clean_id = self.store.intern(self.clean, 1)
+        self.labels = {self.vuln_id: "Juniper", self.clean_id: "Juniper"}
+        self.vulnerable = {self.vuln.public_key.n}
+
+    def run(self, histories):
+        """histories: ip -> list of cert ids per month."""
+        months = max(len(h) for h in histories.values())
+        snapshots = []
+        for i in range(months):
+            snap = ScanSnapshot("T", Month(2012, 1) + i)
+            for ip, certs in histories.items():
+                if i < len(certs) and certs[i] is not None:
+                    snap.append(ip, certs[i])
+            snapshots.append(snap)
+        return analyze_transitions(
+            snapshots, self.store, self.labels, self.vulnerable
+        )
+
+    def test_vulnerable_to_clean(self):
+        stats = self.run({1: [self.vuln_id, self.clean_id]})["Juniper"]
+        assert stats.to_nonvulnerable == 1
+        assert stats.to_vulnerable == 0
+        assert stats.multiple == 0
+        assert stats.ips_ever_vulnerable == 1
+
+    def test_clean_to_vulnerable(self):
+        stats = self.run({1: [self.clean_id, self.vuln_id]})["Juniper"]
+        assert stats.to_vulnerable == 1
+        assert stats.to_nonvulnerable == 0
+
+    def test_flapping_counts_as_multiple(self):
+        stats = self.run(
+            {1: [self.vuln_id, self.clean_id, self.vuln_id]}
+        )["Juniper"]
+        assert stats.multiple == 1
+        assert stats.to_nonvulnerable == 0
+        assert stats.to_vulnerable == 0
+
+    def test_stable_ips_not_counted(self):
+        stats = self.run(
+            {1: [self.vuln_id, self.vuln_id], 2: [self.clean_id, self.clean_id]}
+        )["Juniper"]
+        assert stats.to_nonvulnerable == 0
+        assert stats.to_vulnerable == 0
+        assert stats.multiple == 0
+        assert stats.ips_observed == 2
+
+    def test_churn_statistic(self):
+        # "ever served a non-vulnerable certificate after a vulnerable one".
+        stats = self.run({1: [self.vuln_id, self.clean_id]})["Juniper"]
+        assert stats.ever_served_nonvulnerable_after_vulnerable == 1
+
+    def test_gap_in_observations_tolerated(self):
+        stats = self.run({1: [self.vuln_id, None, self.clean_id]})["Juniper"]
+        assert stats.to_nonvulnerable == 1
+
+    def test_vendor_filter(self):
+        result = self.run({1: [self.vuln_id, self.clean_id]})
+        assert "Juniper" in result
+        filtered = analyze_transitions(
+            [], self.store, self.labels, self.vulnerable, vendors=["HP"]
+        )
+        assert filtered == {}
+
+
+class TestTinyStudyTransitions:
+    def test_juniper_transitions_exist(self, tiny_study):
+        # The paper observed Juniper IPs moving in both directions plus
+        # multi-flapping (1,100 / 1,200 / 250 of 169k IPs).  At tiny scale
+        # (~36 Juniper IPs) only the *existence* of transitions is robust;
+        # the both-directions shape is asserted by the full-scale Figure 3
+        # benchmark.
+        stats = tiny_study.transitions.get("Juniper")
+        assert stats is not None
+        assert (
+            stats.to_nonvulnerable + stats.to_vulnerable + stats.multiple > 0
+        )
+        assert stats.ips_ever_vulnerable > 0
+
+    def test_innominate_mostly_stable(self, tiny_study):
+        # "the number of vulnerable mGuard hosts has remained roughly fixed":
+        # transitions are rare relative to the population.
+        stats = tiny_study.transitions.get("Innominate")
+        if stats is None:
+            return
+        changed = stats.to_nonvulnerable + stats.to_vulnerable + stats.multiple
+        assert changed <= stats.ips_observed * 0.25

@@ -1,0 +1,87 @@
+"""Tests for the fastgcd-style repro-batchgcd CLI."""
+
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro.batchgcd_cli import format_results, main, read_moduli
+from repro.core.batchgcd import batch_gcd
+from repro.crypto.primes import generate_prime
+
+
+@pytest.fixture
+def weak_corpus(rng):
+    shared = generate_prime(48, rng)
+    weak = [shared * generate_prime(48, rng) for _ in range(3)]
+    healthy = [generate_prime(48, rng) * generate_prime(48, rng) for _ in range(3)]
+    return weak, healthy
+
+
+class TestReadModuli:
+    def test_parses_hex_with_comments(self):
+        lines = ["# header", "", "0xff1", "ABC123", "  10001  "]
+        assert read_moduli(lines) == [0xFF1, 0xABC123, 0x10001]
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError, match="line 2"):
+            read_moduli(["ff", "not-hex"])
+
+    def test_rejects_tiny_modulus(self):
+        with pytest.raises(ValueError, match="must be >= 2"):
+            read_moduli(["1"])
+
+
+class TestFormatResults:
+    def test_factored_lines(self, weak_corpus):
+        weak, healthy = weak_corpus
+        result = batch_gcd(weak + healthy)
+        lines = format_results(result)
+        assert len(lines) == 3
+        for line in lines:
+            n_hex, p_hex, q_hex = line.split()
+            assert int(p_hex, 16) * int(q_hex, 16) == int(n_hex, 16)
+
+    def test_unsplittable_duplicates_get_placeholders(self):
+        n = 101 * 103
+        result = batch_gcd([n, n])
+        lines = format_results(result)
+        assert lines == [f"{n:x} - -", f"{n:x} - -"]
+
+
+class TestMain:
+    def test_end_to_end(self, tmp_path, weak_corpus, capsys):
+        weak, healthy = weak_corpus
+        infile = tmp_path / "moduli.txt"
+        infile.write_text("\n".join(f"{n:x}" for n in weak + healthy))
+        outfile = tmp_path / "factors.txt"
+        rc = main([str(infile), "-o", str(outfile), "--k", "3"])
+        assert rc == 0
+        lines = outfile.read_text().splitlines()
+        assert len(lines) == 3
+        reported = {int(line.split()[0], 16) for line in lines}
+        assert reported == set(weak)
+
+    def test_dedup_flag(self, tmp_path, weak_corpus):
+        weak, _healthy = weak_corpus
+        infile = tmp_path / "dup.txt"
+        infile.write_text("\n".join([f"{weak[0]:x}"] * 4))
+        outfile = tmp_path / "out.txt"
+        rc = main([str(infile), "-o", str(outfile), "--dedup"])
+        assert rc == 0
+        # A single deduplicated modulus shares with nothing.
+        assert outfile.read_text() == ""
+
+    def test_stdin_input(self, weak_corpus):
+        weak, healthy = weak_corpus
+        payload = "\n".join(f"{n:x}" for n in weak + healthy)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.batchgcd_cli", "-"],
+            input=payload,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "3 vulnerable of 6 moduli" in proc.stderr

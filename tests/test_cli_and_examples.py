@@ -1,0 +1,70 @@
+"""Smoke tests for the CLI and the runnable examples."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO = pathlib.Path(__file__).parent.parent
+
+
+def run(args, timeout=300):
+    return subprocess.run(
+        [sys.executable, *args],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestCli:
+    def test_tiny_preset_prints_all_tables(self):
+        proc = run(["-m", "repro.cli", "--preset", "tiny", "--seed", "3"])
+        assert proc.returncode == 0, proc.stderr
+        for marker in ("Table 1", "Table 2", "Table 3", "Table 4", "Table 5",
+                       "Figure 1", "Figure 3", "Figure 7", "Figure 10"):
+            assert marker in proc.stdout, marker
+
+    def test_unknown_preset_rejected(self):
+        proc = run(["-m", "repro.cli", "--preset", "huge"])
+        assert proc.returncode != 0
+
+
+class TestExamples:
+    @pytest.mark.parametrize(
+        "example",
+        [
+            "quickstart.py",
+            "entropy_hole_demo.py",
+            "weak_key_attack.py",
+            "tls_interception.py",
+            "dsa_nonce_reuse.py",
+            "disclosure_campaign.py",
+            "ssh_host_impersonation.py",
+        ],
+    )
+    def test_example_runs_clean(self, example):
+        proc = run([str(REPO / "examples" / example)])
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip()
+
+    def test_cluster_demo_small(self):
+        proc = run(
+            [
+                str(REPO / "examples" / "cluster_batchgcd_demo.py"),
+                "--moduli", "300", "--processes", "2",
+            ]
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "classic batch GCD" in proc.stdout
+
+    def test_vendor_response_study_tiny(self):
+        proc = run(
+            [str(REPO / "examples" / "vendor_response_study.py"),
+             "--preset", "tiny", "--seed", "5"],
+            timeout=600,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "headline findings" in proc.stdout

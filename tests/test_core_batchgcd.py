@@ -1,0 +1,105 @@
+"""Tests for the classic batch-GCD engine against the naive oracle."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.batchgcd import batch_gcd, batch_gcd_divisors
+from repro.core.naive import naive_pairwise_gcd
+from repro.crypto.primes import generate_prime
+
+
+def _shared_prime_corpus(rng, primes=12, moduli=20, share_rate=0.5):
+    pool = [generate_prime(48, rng) for _ in range(primes)]
+    out = []
+    for _ in range(moduli):
+        p = rng.choice(pool)
+        q = rng.choice(pool)
+        while q == p:
+            q = rng.choice(pool)
+        out.append(p * q)
+    return out
+
+
+class TestBatchGcdBasics:
+    def test_empty(self):
+        assert batch_gcd_divisors([]) == []
+
+    def test_single_modulus_clean(self):
+        assert batch_gcd_divisors([77]) == [1]
+
+    def test_two_sharing(self):
+        p, q1, q2 = 101, 103, 107
+        divisors = batch_gcd_divisors([p * q1, p * q2])
+        assert divisors == [p, p]
+
+    def test_disjoint_corpus_all_clean(self, rng):
+        moduli = [
+            generate_prime(48, rng) * generate_prime(48, rng) for _ in range(10)
+        ]
+        assert batch_gcd_divisors(moduli) == [1] * 10
+
+    def test_rejects_bad_moduli(self):
+        with pytest.raises(ValueError):
+            batch_gcd_divisors([15, 1])
+        with pytest.raises(ValueError):
+            batch_gcd_divisors([0])
+
+    def test_three_share_one_prime(self):
+        p = 1009
+        moduli = [p * 1013, p * 1019, p * 1021, 1031 * 1033]
+        divisors = batch_gcd_divisors(moduli)
+        assert divisors == [p, p, p, 1]
+
+    def test_modulus_sharing_both_primes(self):
+        # N2 = p*q where p is shared with N1 and q with N3: divisor == N2.
+        p, q, r, s = 101, 103, 107, 109
+        moduli = [p * r, p * q, q * s]
+        divisors = batch_gcd_divisors(moduli)
+        assert divisors == [p, p * q, q]
+
+    def test_duplicate_modulus_fully_flagged(self):
+        n = 101 * 103
+        divisors = batch_gcd_divisors([n, n])
+        assert divisors == [n, n]
+
+
+class TestAgainstNaiveOracle:
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_matches_naive_on_shared_prime_corpora(self, data):
+        seed = data.draw(st.integers(min_value=0, max_value=10**6))
+        rng = random.Random(seed)
+        moduli = _shared_prime_corpus(rng)
+        assert batch_gcd(moduli).divisors == naive_pairwise_gcd(moduli).divisors
+
+    @given(
+        st.lists(
+            st.integers(min_value=2, max_value=2**32), min_size=2, max_size=25
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_naive_on_arbitrary_integers(self, moduli):
+        # Even on junk inputs (non-semiprime, even, tiny) the two engines
+        # must agree: this is how bit-error artifacts flow through.
+        assert batch_gcd(moduli).divisors == naive_pairwise_gcd(moduli).divisors
+
+
+class TestRealWeakKeyScenario:
+    def test_entropy_flaw_end_to_end(self, rng):
+        # Shared first prime, divergent second prime (the paper's pattern).
+        shared = generate_prime(48, rng)
+        divergent = [generate_prime(48, rng) for _ in range(5)]
+        healthy = [
+            generate_prime(48, rng) * generate_prime(48, rng) for _ in range(5)
+        ]
+        weak = [shared * q for q in divergent]
+        moduli = weak + healthy
+        result = batch_gcd(moduli)
+        assert result.vulnerable_moduli == weak
+        factored = result.resolve()
+        for n in weak:
+            fact = factored[n]
+            assert shared in (fact.p, fact.q)

@@ -1,0 +1,110 @@
+"""Tests for the cluster-parallel k-subset batch GCD (Figure 2)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.batchgcd import batch_gcd
+from repro.core.clustered import ClusteredBatchGcd, clustered_batch_gcd
+from repro.crypto.primes import generate_prime
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = random.Random(31337)
+    pool = [generate_prime(48, rng) for _ in range(10)]
+    moduli = []
+    for _ in range(30):
+        p, q = rng.sample(pool, 2)
+        moduli.append(p * q)
+    moduli += [generate_prime(48, rng) * generate_prime(48, rng) for _ in range(30)]
+    rng.shuffle(moduli)
+    return moduli
+
+
+class TestEquivalenceWithClassic:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 7, 16])
+    def test_all_k_match_classic(self, corpus, k):
+        classic = batch_gcd(corpus)
+        clustered = clustered_batch_gcd(corpus, k=k)
+        assert clustered.divisors == classic.divisors
+
+    def test_k_larger_than_corpus(self):
+        moduli = [101 * 103, 101 * 107]
+        assert clustered_batch_gcd(moduli, k=50).divisors == [101, 101]
+
+    @given(st.integers(min_value=0, max_value=10**6), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_property_equivalence_squarefree(self, seed, k):
+        rng = random.Random(seed)
+        pool = [generate_prime(40, rng) for _ in range(6)]
+        moduli = []
+        for _ in range(15):
+            p, q = rng.sample(pool, 2)
+            moduli.append(p * q)
+        assert (
+            clustered_batch_gcd(moduli, k=k).divisors
+            == batch_gcd(moduli).divisors
+        )
+
+    @given(st.lists(st.integers(min_value=2, max_value=2**24), min_size=2, max_size=20),
+           st.integers(min_value=1, max_value=6))
+    @settings(max_examples=30, deadline=None)
+    def test_flagging_matches_classic_on_arbitrary_inputs(self, moduli, k):
+        # On non-squarefree junk the divisor may under-report multiplicity,
+        # but the vulnerable/clean verdict per modulus is always identical.
+        classic = batch_gcd(moduli)
+        clustered = clustered_batch_gcd(moduli, k=k)
+        assert clustered.vulnerable_indices == classic.vulnerable_indices
+        for a, b in zip(clustered.divisors, classic.divisors):
+            assert b % a == 0  # clustered divisor always divides classic's
+
+
+class TestEdgeCases:
+    def test_empty(self):
+        result = clustered_batch_gcd([], k=4)
+        assert result.divisors == []
+
+    def test_single(self):
+        result = clustered_batch_gcd([77], k=4)
+        assert result.divisors == [1]
+
+    def test_rejects_invalid_moduli(self):
+        with pytest.raises(ValueError):
+            clustered_batch_gcd([10, 1], k=2)
+
+    def test_rejects_invalid_k(self):
+        with pytest.raises(ValueError):
+            ClusteredBatchGcd(k=0)
+
+    def test_rejects_invalid_processes(self):
+        with pytest.raises(ValueError):
+            ClusteredBatchGcd(k=2, processes=0)
+
+
+class TestStatsAccounting:
+    def test_stats_recorded(self, corpus):
+        engine = ClusteredBatchGcd(k=4)
+        engine.run(corpus)
+        stats = engine.last_stats
+        assert stats is not None
+        assert stats.k == 4
+        assert stats.tasks == 16
+        assert stats.wall_seconds > 0
+        assert stats.cpu_seconds > 0
+
+    def test_total_work_grows_with_k(self, corpus):
+        # The paper: total computation scales quadratically in k, but the
+        # tasks parallelise.  Verify the task count is k**2.
+        for k in (2, 4, 8):
+            engine = ClusteredBatchGcd(k=k)
+            engine.run(corpus)
+            assert engine.last_stats.tasks == k * k
+
+
+class TestMultiprocessing:
+    def test_process_pool_matches_serial(self, corpus):
+        serial = clustered_batch_gcd(corpus, k=4, processes=None)
+        parallel = clustered_batch_gcd(corpus, k=4, processes=2)
+        assert serial.divisors == parallel.divisors

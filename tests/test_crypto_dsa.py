@@ -1,0 +1,119 @@
+"""Tests for DSA and the nonce-reuse key recovery."""
+
+import random
+
+import pytest
+
+from repro.crypto.dsa import (
+    DsaSignature,
+    generate_dsa_keypair,
+    generate_parameters,
+    recover_private_key_from_nonce_reuse,
+    sign,
+    verify,
+)
+from repro.entropy.pool import EntropyPool
+from repro.numt.primality import is_probable_prime
+
+
+@pytest.fixture(scope="module")
+def params():
+    return generate_parameters(random.Random(41), p_bits=192, q_bits=80)
+
+
+@pytest.fixture(scope="module")
+def keypair(params):
+    return generate_dsa_keypair(params, random.Random(42))
+
+
+class TestParameters:
+    def test_domain_structure(self, params):
+        assert is_probable_prime(params.p)
+        assert is_probable_prime(params.q)
+        assert (params.p - 1) % params.q == 0
+        assert pow(params.g, params.q, params.p) == 1
+        assert params.g > 1
+
+    def test_rejects_inverted_sizes(self):
+        with pytest.raises(ValueError):
+            generate_parameters(random.Random(1), p_bits=80, q_bits=96)
+
+
+class TestSignVerify:
+    def test_roundtrip(self, params, keypair):
+        rng = random.Random(43)
+        signature = sign(keypair, b"maintenance login", rng=rng)
+        assert verify(params, keypair.y, b"maintenance login", signature)
+
+    def test_wrong_message_rejected(self, params, keypair):
+        signature = sign(keypair, b"a", rng=random.Random(44))
+        assert not verify(params, keypair.y, b"b", signature)
+
+    def test_wrong_key_rejected(self, params, keypair):
+        other = generate_dsa_keypair(params, random.Random(45))
+        signature = sign(keypair, b"msg", rng=random.Random(46))
+        assert not verify(params, other.y, b"msg", signature)
+
+    def test_out_of_range_signature_rejected(self, params, keypair):
+        assert not verify(params, keypair.y, b"m", DsaSignature(r=0, s=1))
+        assert not verify(params, keypair.y, b"m", DsaSignature(r=1, s=params.q))
+
+    def test_requires_nonce_or_rng(self, keypair):
+        with pytest.raises(ValueError):
+            sign(keypair, b"m")
+
+    def test_nonce_out_of_range(self, keypair):
+        with pytest.raises(ValueError):
+            sign(keypair, b"m", nonce=keypair.parameters.q)
+
+
+class TestNonceReuse:
+    def test_shared_nonce_leaks_private_key(self, params, keypair):
+        # The entropy-hole scenario: the pool state repeats, so k repeats.
+        k = 0xDEADBEEF % params.q
+        sig1 = sign(keypair, b"first message", nonce=k)
+        sig2 = sign(keypair, b"second message", nonce=k)
+        assert sig1.r == sig2.r  # the telltale repeated r
+        recovered = recover_private_key_from_nonce_reuse(
+            params, b"first message", sig1, b"second message", sig2
+        )
+        assert recovered == keypair.x
+
+    def test_recovered_key_signs_as_victim(self, params, keypair):
+        k = 12345 % params.q or 1
+        sig1 = sign(keypair, b"m1", nonce=k)
+        sig2 = sign(keypair, b"m2", nonce=k)
+        x = recover_private_key_from_nonce_reuse(params, b"m1", sig1, b"m2", sig2)
+        from repro.crypto.dsa import DsaKeyPair
+
+        forged_keypair = DsaKeyPair(parameters=params, x=x, y=keypair.y)
+        forged = sign(forged_keypair, b"forged update", rng=random.Random(47))
+        assert verify(params, keypair.y, b"forged update", forged)
+
+    def test_distinct_nonces_rejected(self, params, keypair):
+        sig1 = sign(keypair, b"m1", nonce=1111)
+        sig2 = sign(keypair, b"m2", nonce=2222)
+        with pytest.raises(ValueError):
+            recover_private_key_from_nonce_reuse(params, b"m1", sig1, b"m2", sig2)
+
+    def test_identical_messages_uninformative(self, params, keypair):
+        sig = sign(keypair, b"same", nonce=777)
+        with pytest.raises(ValueError):
+            recover_private_key_from_nonce_reuse(params, b"same", sig, b"same", sig)
+
+    def test_entropy_hole_produces_reused_nonces(self, params):
+        # Two devices with identical boot pools derive identical nonces —
+        # the end-to-end mechanism for the DSA-only vendors.
+        pool_a, pool_b = EntropyPool(), EntropyPool()
+        nonce_a = int.from_bytes(pool_a.read(16), "big") % params.q or 1
+        nonce_b = int.from_bytes(pool_b.read(16), "big") % params.q or 1
+        assert nonce_a == nonce_b
+        victim = generate_dsa_keypair(params, random.Random(48))
+        sig1 = sign(victim, b"host-key-proof-1", nonce=nonce_a)
+        sig2 = sign(victim, b"host-key-proof-2", nonce=nonce_b)
+        assert (
+            recover_private_key_from_nonce_reuse(
+                params, b"host-key-proof-1", sig1, b"host-key-proof-2", sig2
+            )
+            == victim.x
+        )

@@ -1,0 +1,102 @@
+"""Invariant tests over the calibrated device catalog."""
+
+from repro.devices.catalog import DEVICE_CATALOG, models_for_vendor
+from repro.devices.models import KeygenKind
+from repro.devices.vendors import VENDORS
+from repro.timeline import HEARTBLEED, Month, STUDY_END, STUDY_START
+
+
+class TestCatalogIntegrity:
+    def test_model_ids_unique(self):
+        ids = [m.model_id for m in DEVICE_CATALOG]
+        assert len(ids) == len(set(ids))
+
+    def test_every_vendor_registered(self):
+        for model in DEVICE_CATALOG:
+            assert model.vendor in VENDORS, model.vendor
+
+    def test_schedule_knots_ordered_and_in_window(self):
+        for model in DEVICE_CATALOG:
+            months = [m for m, _ in model.schedule.points]
+            assert months == sorted(months), model.model_id
+            assert all(STUDY_START <= m <= STUDY_END for m in months), model.model_id
+
+    def test_openssl_style_matches_registry(self):
+        # The catalog's keygen style must agree with Table 5's truth.
+        for model in DEVICE_CATALOG:
+            expected = VENDORS[model.vendor].uses_openssl
+            if expected is None or model.keygen.kind is KeygenKind.HEALTHY:
+                continue
+            if model.keygen.kind is KeygenKind.FIXED_IBM_MODULUS:
+                continue  # borrows IBM's primes, not the vendor's own
+            assert model.keygen.openssl_style == expected, model.model_id
+
+    def test_vulnerable_fractions_valid(self):
+        for model in DEVICE_CATALOG:
+            assert 0.0 <= model.keygen.vulnerable_fraction <= 1.0, model.model_id
+
+
+class TestPaperSpecifics:
+    def test_juniper_not_openssl(self):
+        (juniper,) = models_for_vendor("Juniper")
+        assert not juniper.keygen.openssl_style
+
+    def test_ibm_is_nine_prime(self):
+        (ibm,) = models_for_vendor("IBM")
+        assert ibm.keygen.kind is KeygenKind.IBM_NINE_PRIME
+
+    def test_siemens_overlap_model_uses_ibm_pool(self):
+        models = {m.model_id: m for m in models_for_vendor("Siemens")}
+        overlap = models["siemens-building-ibm"]
+        assert overlap.keygen.kind is KeygenKind.FIXED_IBM_MODULUS
+        assert overlap.keygen.profile_id == "ibm-rsa2"
+        # The overlap begins February 2013 (Section 3.3.2).
+        assert overlap.keygen.vulnerable_from == Month(2013, 2)
+
+    def test_dell_and_xerox_share_prime_pool(self):
+        (dell,) = models_for_vendor("Dell")
+        (xerox,) = models_for_vendor("Xerox")
+        assert dell.keygen.profile_id == xerox.keygen.profile_id
+
+    def test_cisco_models_have_figure7_eols(self):
+        cisco = {m.display_model: m for m in models_for_vendor("Cisco")}
+        assert set(cisco) == {
+            "RV082", "RV120W", "RV220W", "RV180/180W", "SA520/540",
+        }
+        with_eol = [m for m in cisco.values() if m.eol is not None]
+        assert len(with_eol) == 5
+        for model in with_eol:
+            # EOL announcement precedes end-of-sale by several months.
+            assert model.end_of_sale is not None
+            assert 3 <= model.end_of_sale - model.eol <= 9
+
+    def test_rv082_has_no_vulnerable_hosts(self):
+        # "We identified vulnerable hosts associated with all the device
+        # models in this figure except the RV082."
+        cisco = {m.display_model: m for m in models_for_vendor("Cisco")}
+        assert cisco["RV082"].keygen.kind is KeygenKind.HEALTHY
+
+    def test_newly_vulnerable_windows_start_late(self):
+        # Figure 10 vendors became vulnerable well after the 2012 disclosure.
+        for vendor_name in ("Huawei", "ADTRAN", "Sangfor", "Schmid Telecom"):
+            models = models_for_vendor(vendor_name)
+            assert models, vendor_name
+            for model in models:
+                start = model.keygen.vulnerable_from
+                assert start is not None and start >= Month(2014, 1), vendor_name
+
+    def test_huawei_first_vulnerable_april_2015(self):
+        (huawei,) = models_for_vendor("Huawei")
+        assert huawei.keygen.vulnerable_from == Month(2015, 4)
+
+    def test_heartbleed_shocks_where_paper_observed_them(self):
+        shocked = {
+            m.vendor for m in DEVICE_CATALOG if m.heartbleed.offline_fraction > 0
+        }
+        assert {"Juniper", "IBM", "HP"} <= shocked
+
+    def test_juniper_schedule_drops_at_heartbleed(self):
+        (juniper,) = models_for_vendor("Juniper")
+        before = juniper.schedule.target(HEARTBLEED + (-1), 1)
+        after = juniper.schedule.target(HEARTBLEED + 1, 1)
+        assert after < before * 0.75

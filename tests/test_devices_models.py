@@ -1,0 +1,95 @@
+"""Tests for device-model specifications and population schedules."""
+
+import pytest
+
+from repro.devices.models import (
+    HeartbleedBehavior,
+    KeygenKind,
+    KeygenSpec,
+    PopulationSchedule,
+)
+from repro.timeline import Month
+
+
+class TestPopulationSchedule:
+    def make(self):
+        return PopulationSchedule(
+            points=(
+                (Month(2011, 1), 10_000),
+                (Month(2011, 11), 20_000),
+                (Month(2012, 11), 8_000),
+            )
+        )
+
+    def test_before_first_knot_is_zero(self):
+        assert self.make().target(Month(2010, 6), scale=1) == 0
+
+    def test_at_knots(self):
+        schedule = self.make()
+        assert schedule.target(Month(2011, 1), 1) == 10_000
+        assert schedule.target(Month(2011, 11), 1) == 20_000
+        assert schedule.target(Month(2012, 11), 1) == 8_000
+
+    def test_linear_interpolation(self):
+        schedule = self.make()
+        # Half way between 10k and 20k over 10 months.
+        assert schedule.target(Month(2011, 6), 1) == 15_000
+
+    def test_held_after_last_knot(self):
+        assert self.make().target(Month(2015, 1), 1) == 8_000
+
+    def test_scaling(self):
+        schedule = self.make()
+        assert schedule.target(Month(2011, 1), scale=100) == 100
+        assert schedule.target(Month(2011, 6), scale=1000) == 15
+
+    def test_empty_schedule(self):
+        assert PopulationSchedule(points=()).target(Month(2012, 1), 1) == 0
+
+    def test_declining_segment(self):
+        schedule = self.make()
+        assert schedule.target(Month(2012, 5), 1) == 14_000
+
+
+class TestKeygenSpec:
+    def test_healthy_never_in_window(self):
+        spec = KeygenSpec(kind=KeygenKind.HEALTHY, profile_id="x")
+        assert not spec.window_contains(Month(2012, 1))
+
+    def test_unbounded_window(self):
+        spec = KeygenSpec(kind=KeygenKind.SHARED_PRIME, profile_id="x")
+        assert spec.window_contains(Month(2010, 7))
+        assert spec.window_contains(Month(2016, 5))
+
+    def test_window_from(self):
+        spec = KeygenSpec(
+            kind=KeygenKind.SHARED_PRIME, profile_id="x",
+            vulnerable_from=Month(2015, 4),
+        )
+        assert not spec.window_contains(Month(2015, 3))
+        assert spec.window_contains(Month(2015, 4))
+
+    def test_window_until(self):
+        spec = KeygenSpec(
+            kind=KeygenKind.SHARED_PRIME, profile_id="x",
+            vulnerable_until=Month(2012, 7),
+        )
+        assert spec.window_contains(Month(2012, 7))
+        assert not spec.window_contains(Month(2012, 8))
+
+    def test_bounded_window(self):
+        spec = KeygenSpec(
+            kind=KeygenKind.SHARED_PRIME, profile_id="x",
+            vulnerable_from=Month(2013, 1), vulnerable_until=Month(2014, 1),
+        )
+        assert not spec.window_contains(Month(2012, 12))
+        assert spec.window_contains(Month(2013, 6))
+        assert not spec.window_contains(Month(2014, 2))
+
+
+class TestHeartbleedBehavior:
+    def test_defaults_are_inert(self):
+        behavior = HeartbleedBehavior()
+        assert behavior.offline_fraction == 0.0
+        assert behavior.patch_fraction == 0.0
+        assert behavior.vulnerable_bias == 1.0

@@ -1,0 +1,272 @@
+"""Tests for population dynamics: deploy, retire, churn, Heartbleed."""
+
+import random
+
+import pytest
+
+from repro.devices.catalog import models_for_vendor
+from repro.devices.models import (
+    DeviceModel,
+    HeartbleedBehavior,
+    KeygenKind,
+    KeygenSpec,
+    PopulationSchedule,
+    SubjectStyle,
+)
+from repro.devices.population import (
+    DivisorLimits,
+    IpAllocator,
+    ModelPopulation,
+    resolve_divisor,
+)
+from repro.entropy.keygen import WeakKeyFactory
+from repro.timeline import HEARTBLEED, Month
+
+
+def make_model(**overrides):
+    defaults = dict(
+        model_id="test-model",
+        vendor="Juniper",
+        subject_style=SubjectStyle.VENDOR_IN_O,
+        keygen=KeygenSpec(
+            kind=KeygenKind.SHARED_PRIME,
+            profile_id="test-model",
+            boot_states=4,
+            openssl_style=False,
+            vulnerable_fraction=1.0,
+        ),
+        schedule=PopulationSchedule(
+            points=((Month(2011, 1), 50), (Month(2013, 1), 100)),
+        ),
+    )
+    defaults.update(overrides)
+    return DeviceModel(**defaults)
+
+
+@pytest.fixture
+def factory(small_openssl_table):
+    return WeakKeyFactory(seed=3, prime_bits=48, openssl_table=small_openssl_table)
+
+
+def make_population(model, factory, **kwargs):
+    return ModelPopulation(
+        model=model,
+        divisor=kwargs.pop("divisor", 1),
+        factory=factory,
+        allocator=IpAllocator(random.Random(1)),
+        rng=random.Random(2),
+        **kwargs,
+    )
+
+
+class TestIpAllocator:
+    def test_unique_allocations(self):
+        allocator = IpAllocator(random.Random(1))
+        ips = {allocator.allocate() for _ in range(500)}
+        assert len(ips) == 500
+
+    def test_released_addresses_can_be_reused(self):
+        allocator = IpAllocator(random.Random(2), reuse_probability=1.0)
+        ip = allocator.allocate()
+        allocator.release(ip)
+        assert allocator.allocate() == ip
+
+    def test_no_reuse_when_probability_zero(self):
+        allocator = IpAllocator(random.Random(3), reuse_probability=0.0)
+        ip = allocator.allocate()
+        allocator.release(ip)
+        assert allocator.allocate() != ip
+
+
+class TestResolveDivisor:
+    def test_large_fleet_capped_by_max_sim(self):
+        model = make_model(
+            schedule=PopulationSchedule(points=((Month(2011, 1), 1_000_000),)),
+            keygen=KeygenSpec(kind=KeygenKind.HEALTHY, profile_id="x"),
+        )
+        limits = DivisorLimits(device_scale=100, max_total_sim=2000)
+        divisor = resolve_divisor(model, limits)
+        assert 1_000_000 / divisor <= 2000 + 1
+
+    def test_small_weak_fleet_lowers_divisor(self):
+        model = make_model(
+            schedule=PopulationSchedule(points=((Month(2011, 1), 100_000),)),
+            keygen=KeygenSpec(
+                kind=KeygenKind.SHARED_PRIME, profile_id="x",
+                vulnerable_fraction=0.001,  # ~100 weak at paper scale
+            ),
+        )
+        limits = DivisorLimits(device_scale=1000, min_weak_sim=20)
+        divisor = resolve_divisor(model, limits)
+        # Needs divisor <= 5 to keep 20 weak units, but the total cap wins:
+        # 100k units can't be simulated 1:5 under max_total_sim.
+        assert divisor == max(1, round(100_000 / limits.max_total_sim))
+
+    def test_empty_schedule(self):
+        model = make_model(schedule=PopulationSchedule(points=()))
+        assert resolve_divisor(model, DivisorLimits()) == 1
+
+
+class TestPopulationTracking:
+    def test_tracks_target(self, factory):
+        model = make_model()
+        population = make_population(model, factory)
+        for month in Month.range(Month(2011, 1), Month(2013, 1)):
+            population.step(month)
+        assert abs(population.online_count() - 100) <= 5
+
+    def test_zero_before_first_knot(self, factory):
+        population = make_population(make_model(), factory)
+        population.step(Month(2010, 7))
+        assert population.online_count() == 0
+
+    def test_decline_retires_devices(self, factory):
+        model = make_model(
+            schedule=PopulationSchedule(
+                points=((Month(2011, 1), 100), (Month(2012, 1), 20)),
+            )
+        )
+        population = make_population(model, factory)
+        for month in Month.range(Month(2011, 1), Month(2012, 1)):
+            population.step(month)
+        assert abs(population.online_count() - 20) <= 4
+        assert len(population.retired) >= 70
+
+    def test_devices_ever_includes_retired(self, factory):
+        model = make_model(
+            schedule=PopulationSchedule(
+                points=((Month(2011, 1), 50), (Month(2011, 6), 10)),
+            )
+        )
+        population = make_population(model, factory)
+        for month in Month.range(Month(2011, 1), Month(2011, 6)):
+            population.step(month)
+        assert len(population.devices_ever()) >= 50
+
+
+class TestWeakDeployment:
+    def test_all_weak_when_fraction_one(self, factory):
+        population = make_population(make_model(), factory)
+        population.step(Month(2011, 1))
+        assert population.weak_online_count() == population.online_count()
+
+    def test_window_limits_weak_deployments(self, factory):
+        model = make_model(
+            keygen=KeygenSpec(
+                kind=KeygenKind.SHARED_PRIME, profile_id="w",
+                boot_states=4, vulnerable_until=Month(2011, 6),
+                vulnerable_fraction=1.0, openssl_style=False,
+            ),
+            schedule=PopulationSchedule(
+                points=((Month(2011, 1), 20), (Month(2012, 6), 120)),
+                churn_rate=0.0,
+            ),
+        )
+        population = make_population(model, factory)
+        for month in Month.range(Month(2011, 1), Month(2012, 6)):
+            population.step(month)
+        weak = population.weak_online_count()
+        assert 0 < weak < population.online_count()
+
+    def test_weak_moduli_emitted_tracks_regenerations(self, factory):
+        model = make_model(
+            schedule=PopulationSchedule(
+                points=((Month(2011, 1), 30),), cert_regen_rate=0.5,
+            )
+        )
+        population = make_population(model, factory)
+        for month in Month.range(Month(2011, 1), Month(2011, 8)):
+            population.step(month)
+        # Regeneration creates fresh weak keys beyond the 30 live ones.
+        assert len(population.weak_moduli_emitted) > 30
+
+
+class TestHeartbleedShock:
+    def make_shocked(self, factory, offline=0.5, bias=1.0, patch=0.0):
+        model = make_model(
+            schedule=PopulationSchedule(
+                points=((Month(2013, 1), 200),), churn_rate=0.0,
+            ),
+            heartbleed=HeartbleedBehavior(
+                offline_fraction=offline, vulnerable_bias=bias,
+                patch_fraction=patch,
+            ),
+        )
+        population = make_population(model, factory)
+        for month in Month.range(Month(2013, 1), HEARTBLEED + (-1)):
+            population.step(month)
+        return population
+
+    def test_offline_wave(self, factory):
+        population = self.make_shocked(factory, offline=0.5)
+        before = population.online_count()
+        population._apply_heartbleed(HEARTBLEED)
+        after = population.online_count()
+        assert after < before
+        assert abs((before - after) / before - 0.5) < 0.15
+
+    def test_patch_wave_heals_survivors(self, factory):
+        population = self.make_shocked(factory, offline=0.0, patch=1.0)
+        population._apply_heartbleed(HEARTBLEED)
+        assert population.weak_online_count() == 0
+
+    def test_inert_behavior_no_change(self, factory):
+        population = self.make_shocked(factory, offline=0.0, patch=0.0)
+        before = population.online_count()
+        population._apply_heartbleed(HEARTBLEED)
+        assert population.online_count() == before
+
+
+class TestCertRegeneration:
+    def test_regen_changes_key_and_cert(self, factory):
+        model = make_model(
+            schedule=PopulationSchedule(
+                points=((Month(2011, 1), 20),), cert_regen_rate=1.0,
+                churn_rate=0.0, ip_churn_rate=0.0,
+            )
+        )
+        population = make_population(model, factory)
+        population.step(Month(2011, 1))
+        before = {d.device_id: d.certificate.fingerprint() for d in population.online}
+        population.step(Month(2011, 2))
+        after = {d.device_id: d.certificate.fingerprint() for d in population.online}
+        changed = sum(1 for k in before if before[k] != after.get(k))
+        assert changed == len(before)
+
+    def test_ip_churn_keeps_certificate(self, factory):
+        model = make_model(
+            schedule=PopulationSchedule(
+                points=((Month(2011, 1), 20),), ip_churn_rate=1.0,
+                churn_rate=0.0, cert_regen_rate=0.0,
+            )
+        )
+        population = make_population(model, factory)
+        population.step(Month(2011, 1))
+        before = {d.device_id: (d.ip, d.certificate.fingerprint())
+                  for d in population.online}
+        population.step(Month(2011, 2))
+        for device in population.online:
+            old_ip, old_cert = before[device.device_id]
+            assert device.ip != old_ip
+            assert device.certificate.fingerprint() == old_cert
+
+
+class TestFixedIbmModulus:
+    def test_all_devices_share_one_modulus(self, factory):
+        (overlap,) = [
+            m for m in models_for_vendor("Siemens")
+            if m.keygen.kind is KeygenKind.FIXED_IBM_MODULUS
+        ]
+        population = ModelPopulation(
+            model=overlap,
+            divisor=1,
+            factory=factory,
+            allocator=IpAllocator(random.Random(4)),
+            rng=random.Random(5),
+        )
+        for month in Month.range(Month(2013, 2), Month(2013, 8)):
+            population.step(month)
+        moduli = {d.key.keypair.public.n for d in population.online}
+        assert len(moduli) == 1
+        certs = {d.certificate.fingerprint() for d in population.online}
+        assert len(certs) == len(population.online)  # distinct certificates

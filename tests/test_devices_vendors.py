@@ -1,0 +1,80 @@
+"""Tests for the vendor registry (Tables 2 and 5 ground truth)."""
+
+import pytest
+
+from repro.devices.vendors import (
+    VENDORS,
+    ResponseCategory,
+    notified_2012_vendors,
+    vendor,
+    vendors_in_category,
+)
+from repro.timeline import Month
+
+
+class TestRegistryShape:
+    def test_37_vendors_notified_2012(self):
+        # Table 2: "37 vendors were notified via email in February and March
+        # 2012 about weak TLS or SSH RSA key generation".
+        assert len(notified_2012_vendors()) == 37
+
+    def test_exactly_five_public_advisories(self):
+        # "Only five released a public security advisory."
+        advisories = vendors_in_category(ResponseCategory.PUBLIC_ADVISORY)
+        assert {v.name for v in advisories} == {
+            "Juniper", "Innominate", "IBM", "Intel", "Tropos",
+        }
+
+    def test_figure9_vendors_did_not_respond(self):
+        # Section 4.3 / Figure 9's HTTPS-fingerprint owners.
+        for name in ("ZyXEL", "McAfee", "TP-LINK", "Fortinet", "Dell",
+                     "Kronos", "Xerox", "Linksys", "AVM", "D-Link"):
+            assert vendor(name).response is ResponseCategory.NO_RESPONSE, name
+
+    def test_newly_notified_2016(self):
+        # Section 4.4's re-notification set.
+        names = {v.name for v in vendors_in_category(ResponseCategory.NOTIFIED_2016)}
+        assert names == {"Huawei", "ADTRAN", "Sangfor", "Schmid Telecom"}
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            vendor("Nonexistent Corp")
+
+
+class TestAdvisoryDates:
+    def test_juniper_advisory_april_2012(self):
+        assert vendor("Juniper").advisory == Month(2012, 4)
+
+    def test_innominate_advisory_june_2012(self):
+        assert vendor("Innominate").advisory == Month(2012, 6)
+
+    def test_ibm_advisory_september_2012(self):
+        assert vendor("IBM").advisory == Month(2012, 9)
+
+    def test_huawei_advisory_august_2016(self):
+        assert vendor("Huawei").advisory == Month(2016, 8)
+
+    def test_no_response_vendors_have_no_advisory(self):
+        for v in vendors_in_category(ResponseCategory.NO_RESPONSE):
+            assert v.advisory is None, v.name
+
+
+class TestOpensslClassification:
+    def test_table5_satisfy_column(self):
+        # Spot-check Table 5's "satisfy OpenSSL fingerprint" column.
+        for name in ("Cisco", "IBM", "Innominate", "McAfee", "Linksys",
+                     "D-Link", "Dell", "HP", "TP-LINK", "Netgear",
+                     "Fritz!Box", "Thomson", "Sangfor"):
+            assert VENDORS[name].uses_openssl is True, name
+
+    def test_table5_do_not_satisfy_column(self):
+        for name in ("Juniper", "Fortinet", "Huawei", "Kronos", "Siemens",
+                     "Xerox", "ZyXEL", "DrayTek"):
+            assert VENDORS[name].uses_openssl is False, name
+
+    def test_reconstructed_entries_flagged(self):
+        # Ambiguous Table 2 placements must be marked as reconstructions.
+        assert VENDORS["Pogoplug"].reconstructed
+        assert VENDORS["Brocade"].reconstructed
+        assert not VENDORS["Juniper"].reconstructed
+        assert not VENDORS["Cisco"].reconstructed

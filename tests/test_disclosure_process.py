@@ -1,0 +1,97 @@
+"""Tests for the notification-campaign simulator."""
+
+import random
+
+from repro.devices.vendors import notified_2012_vendors
+from repro.disclosure.process import (
+    ContactChannel,
+    NotificationCampaign,
+    CampaignSummary,
+)
+from repro.timeline import Month
+
+
+def run_campaign(seed, cert_fraction=0.6):
+    campaign = NotificationCampaign(Month(2012, 2), cert_fraction=cert_fraction)
+    return campaign.run(notified_2012_vendors(), random.Random(seed))
+
+
+def average_over_seeds(attribute, seeds=range(30), **kwargs):
+    total = 0.0
+    for seed in seeds:
+        summary = run_campaign(seed, **kwargs)
+        total += getattr(summary, attribute)
+    return total / len(list(seeds))
+
+
+class TestCampaignShape:
+    def test_all_vendors_notified(self):
+        summary = run_campaign(1)
+        assert summary.notified == 37
+
+    def test_advisories_cluster_around_five(self):
+        # Table 2: five vendors released public advisories.
+        mean = average_over_seeds("advisories")
+        assert 3.0 < mean < 8.0
+
+    def test_acknowledgement_about_half_at_most(self):
+        # "About half of the vendors acknowledged receipt" (including the
+        # private responders); silence dominates the rest.
+        mean = average_over_seeds("acknowledged")
+        assert 8 < mean < 20
+
+    def test_contact_discovery_rate(self):
+        # 16 of 42 vendors had a discoverable contact (Sections 2.5/4.4).
+        mean = average_over_seeds("contacts_found")
+        assert 10 < mean < 19
+
+    def test_response_latency_positive(self):
+        summary = run_campaign(2)
+        days = summary.mean_response_days()
+        assert days is None or days > 0
+
+
+class TestCertCoordination:
+    def test_cert_channel_used_for_unreachable_vendors(self):
+        summary = run_campaign(3, cert_fraction=1.0)
+        channels = {o.channel for o in summary.outcomes}
+        assert ContactChannel.CERT_COORDINATION in channels
+        assert not any(
+            o.channel is ContactChannel.GENERIC_ALIAS for o in summary.outcomes
+        )
+
+    def test_cert_routing_increases_responses(self):
+        # The paper: CERT coordination produced additional advisories; in
+        # aggregate, full CERT routing must not do worse than none.
+        with_cert = average_over_seeds("acknowledged", cert_fraction=1.0)
+        without = average_over_seeds("acknowledged", cert_fraction=0.0)
+        assert with_cert >= without
+
+    def test_cert_assisted_advisories_counted(self):
+        total = sum(
+            run_campaign(seed, cert_fraction=1.0).cert_assisted_advisories
+            for seed in range(20)
+        )
+        assert total > 0
+
+
+class TestOutcomeConsistency:
+    def test_advisory_implies_acknowledgement(self):
+        for seed in range(10):
+            for outcome in run_campaign(seed).outcomes:
+                if outcome.advisory is not None:
+                    assert outcome.acknowledged is not None
+                    assert outcome.advisory >= outcome.acknowledged
+
+    def test_responders_have_latency(self):
+        for outcome in run_campaign(4).outcomes:
+            if outcome.acknowledged is not None:
+                assert outcome.response_days and outcome.response_days > 0
+            else:
+                assert outcome.response_days is None
+
+    def test_empty_campaign(self):
+        campaign = NotificationCampaign(Month(2012, 2))
+        summary = campaign.run([], random.Random(1))
+        assert summary.notified == 0
+        assert summary.mean_response_days() is None

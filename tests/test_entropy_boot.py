@@ -1,0 +1,84 @@
+"""Tests for the boot-sequence simulator and the entropy-hole ordering."""
+
+import random
+
+from repro.entropy.boot import DeviceBootSimulator
+from repro.entropy.pool import InsufficientEntropyError
+from repro.entropy.sources import (
+    BootClockSource,
+    HardwareRngSource,
+    NetworkInterruptSource,
+)
+
+import pytest
+
+
+class TestFlawedBoot:
+    """A flawed device mixes (almost) nothing before key generation."""
+
+    def test_unseeded_at_keygen(self, rng):
+        simulator = DeviceBootSimulator(
+            premix_sources=[BootClockSource(distinct_values=2)],
+            postmix_sources=[HardwareRngSource()],
+        )
+        outcome = simulator.boot(rng)
+        assert not outcome.seeded_at_keygen
+
+    def test_identical_boots_collide(self):
+        # Two devices with the same (tiny) boot-state space can end up in
+        # identical pool states - the shared-prime precondition.
+        simulator = DeviceBootSimulator(
+            premix_sources=[BootClockSource(distinct_values=1)]
+        )
+        a = simulator.boot(random.Random(1))
+        b = simulator.boot(random.Random(2))
+        assert a.pool.read(32) == b.pool.read(32)
+
+    def test_getrandom_would_have_refused(self, rng):
+        simulator = DeviceBootSimulator(
+            premix_sources=[BootClockSource(distinct_values=4)]
+        )
+        outcome = simulator.boot(rng)
+        with pytest.raises(InsufficientEntropyError):
+            outcome.pool.getrandom(32)
+
+    def test_postmix_diverges_later_reads(self):
+        # Divergence arrives after the first key: the paper's "identical
+        # first prime, divergent second prime" pattern.
+        simulator = DeviceBootSimulator(
+            premix_sources=[BootClockSource(distinct_values=1)],
+            postmix_sources=[NetworkInterruptSource(events=8)],
+        )
+        a = simulator.boot(random.Random(1))
+        b = simulator.boot(random.Random(2))
+        first_a, first_b = a.pool.read(32), b.pool.read(32)
+        assert first_a == first_b
+        simulator.continue_after_keygen(a, random.Random(3))
+        simulator.continue_after_keygen(b, random.Random(4))
+        assert a.pool.read(32) != b.pool.read(32)
+
+
+class TestPatchedBoot:
+    """A patched device seeds properly before key generation."""
+
+    def test_seeded_at_keygen(self, rng):
+        simulator = DeviceBootSimulator(premix_sources=[HardwareRngSource()])
+        outcome = simulator.boot(rng)
+        assert outcome.seeded_at_keygen
+        assert len(outcome.pool.getrandom(32)) == 32
+
+    def test_distinct_devices_distinct_keys(self):
+        simulator = DeviceBootSimulator(premix_sources=[HardwareRngSource()])
+        a = simulator.boot(random.Random(1))
+        b = simulator.boot(random.Random(2))
+        assert a.pool.read(32) != b.pool.read(32)
+
+    def test_mix_log_records_sources(self, rng):
+        simulator = DeviceBootSimulator(
+            premix_sources=[BootClockSource(), HardwareRngSource()]
+        )
+        outcome = simulator.boot(rng)
+        assert [name for name, _ in outcome.mixed_log] == [
+            "boot-clock",
+            "hardware-rng",
+        ]

@@ -1,0 +1,148 @@
+"""Tests for keygen profiles: shared primes, the IBM bug, healthy keys."""
+
+import math
+import random
+from itertools import combinations
+
+import pytest
+
+from repro.crypto.primes import is_openssl_style_prime
+from repro.entropy.keygen import (
+    HealthyProfile,
+    IbmNinePrimeProfile,
+    SharedPrimeProfile,
+    WeakKeyFactory,
+)
+
+
+@pytest.fixture
+def factory(small_openssl_table):
+    return WeakKeyFactory(seed=7, prime_bits=48, openssl_table=small_openssl_table)
+
+
+class TestWeakKeyFactory:
+    def test_derived_primes_cached(self, factory):
+        a = factory.derive_prime("x", "boot-p", 0, False)
+        b = factory.derive_prime("x", "boot-p", 0, False)
+        assert a == b
+
+    def test_namespaces_independent(self, factory):
+        a = factory.derive_prime("x", "boot-p", 0, False)
+        b = factory.derive_prime("y", "boot-p", 0, False)
+        c = factory.derive_prime("x", "other", 0, False)
+        assert len({a, b, c}) == 3
+
+    def test_deterministic_across_factories(self, small_openssl_table):
+        f1 = WeakKeyFactory(seed=7, prime_bits=48, openssl_table=small_openssl_table)
+        f2 = WeakKeyFactory(seed=7, prime_bits=48, openssl_table=small_openssl_table)
+        assert f1.derive_prime("a", "b", 3, True) == f2.derive_prime("a", "b", 3, True)
+
+    def test_seed_changes_primes(self, small_openssl_table):
+        f1 = WeakKeyFactory(seed=7, prime_bits=48, openssl_table=small_openssl_table)
+        f2 = WeakKeyFactory(seed=8, prime_bits=48, openssl_table=small_openssl_table)
+        assert f1.derive_prime("a", "b", 3, False) != f2.derive_prime("a", "b", 3, False)
+
+    def test_unique_state_never_repeats(self, factory):
+        states = {factory.unique_state() for _ in range(100)}
+        assert len(states) == 100
+
+    def test_rejects_tiny_primes(self):
+        with pytest.raises(ValueError):
+            WeakKeyFactory(seed=1, prime_bits=8)
+
+
+class TestSharedPrimeProfile:
+    def test_same_boot_state_shares_first_prime(self, factory):
+        profile = SharedPrimeProfile("fleet", boot_states=1, openssl_style=False)
+        a = profile.generate(random.Random(1), factory)
+        b = profile.generate(random.Random(2), factory)
+        g = math.gcd(a.keypair.public.n, b.keypair.public.n)
+        assert g > 1
+        assert g in (a.keypair.private.p, a.keypair.private.q)
+
+    def test_moduli_distinct_despite_shared_prime(self, factory):
+        profile = SharedPrimeProfile("fleet", boot_states=1, openssl_style=False)
+        a = profile.generate(random.Random(1), factory)
+        b = profile.generate(random.Random(2), factory)
+        assert a.keypair.public.n != b.keypair.public.n
+
+    def test_openssl_style_propagates(self, factory, small_openssl_table):
+        profile = SharedPrimeProfile("ossl", boot_states=2, openssl_style=True)
+        key = profile.generate(random.Random(3), factory)
+        assert is_openssl_style_prime(key.keypair.private.p, small_openssl_table)
+        assert is_openssl_style_prime(key.keypair.private.q, small_openssl_table)
+
+    def test_metadata(self, factory):
+        profile = SharedPrimeProfile("meta", boot_states=5, openssl_style=False)
+        key = profile.generate(random.Random(4), factory)
+        assert key.weak_by_construction
+        assert key.profile_id == "meta"
+        assert key.boot_state is not None and 0 <= key.boot_state < 5
+
+    def test_finite_divergence_allows_identical_moduli(self, factory):
+        profile = SharedPrimeProfile(
+            "dup", boot_states=1, openssl_style=False, divergence_states=1
+        )
+        a = profile.generate(random.Random(1), factory)
+        b = profile.generate(random.Random(2), factory)
+        assert a.keypair.public.n == b.keypair.public.n
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SharedPrimeProfile("bad", boot_states=0)
+        with pytest.raises(ValueError):
+            SharedPrimeProfile("bad", boot_states=2, divergence_states=0)
+
+
+class TestIbmNinePrimeProfile:
+    def test_exactly_36_possible_moduli(self, factory):
+        profile = IbmNinePrimeProfile(profile_id="ibm-test")
+        moduli = profile.possible_moduli(factory)
+        assert len(moduli) == 36
+        assert len(set(moduli)) == 36
+
+    def test_generated_keys_stay_in_clique(self, factory):
+        profile = IbmNinePrimeProfile(profile_id="ibm-test")
+        clique = set(profile.possible_moduli(factory))
+        rng = random.Random(9)
+        for _ in range(30):
+            key = profile.generate(rng, factory)
+            assert key.keypair.public.n in clique
+            assert key.weak_by_construction
+
+    def test_nine_primes(self, factory):
+        profile = IbmNinePrimeProfile(profile_id="ibm-test")
+        primes = profile.clique_primes(factory)
+        assert len(set(primes)) == 9
+
+    def test_openssl_style_clique(self, factory, small_openssl_table):
+        profile = IbmNinePrimeProfile(profile_id="ibm-ossl", openssl_style=True)
+        for p in profile.clique_primes(factory):
+            assert is_openssl_style_prime(p, small_openssl_table)
+
+    def test_rejects_one_prime(self):
+        with pytest.raises(ValueError):
+            IbmNinePrimeProfile(profile_id="x", prime_count=1)
+
+
+class TestHealthyProfile:
+    def test_no_shared_factors(self, factory):
+        profile = HealthyProfile("healthy")
+        rng = random.Random(5)
+        moduli = [profile.generate(rng, factory).keypair.public.n for _ in range(20)]
+        for a, b in combinations(moduli, 2):
+            assert math.gcd(a, b) == 1
+
+    def test_metadata(self, factory):
+        key = HealthyProfile("healthy").generate(random.Random(6), factory)
+        assert not key.weak_by_construction
+        assert key.boot_state is None
+
+    def test_healthy_never_collides_with_weak_pool(self, factory):
+        weak = SharedPrimeProfile("pool", boot_states=1, openssl_style=False)
+        healthy = HealthyProfile("pool/healthy")
+        rng = random.Random(7)
+        weak_key = weak.generate(rng, factory)
+        for _ in range(10):
+            n = healthy.generate(rng, factory).keypair.public.n
+            assert math.gcd(n, weak_key.keypair.public.n) == 1

@@ -1,0 +1,92 @@
+"""Tests for the /dev/urandom-style entropy pool."""
+
+import pytest
+
+from repro.entropy.pool import SEED_THRESHOLD_BITS, EntropyPool, InsufficientEntropyError
+
+
+class TestDeterminism:
+    def test_identical_histories_identical_output(self):
+        a, b = EntropyPool(), EntropyPool()
+        for pool in (a, b):
+            pool.mix(b"boot", 1.0)
+            pool.mix(b"clock=0", 0.5)
+        assert a.read(64) == b.read(64)
+
+    def test_unmixed_pools_are_identical(self):
+        # The root cause of the flaw: no entropy, no divergence.
+        assert EntropyPool().read(32) == EntropyPool().read(32)
+
+    def test_divergent_history_diverges(self):
+        a, b = EntropyPool(), EntropyPool()
+        a.mix(b"packet-1")
+        b.mix(b"packet-2")
+        assert a.read(32) != b.read(32)
+
+    def test_mix_order_sensitive(self):
+        a, b = EntropyPool(), EntropyPool()
+        a.mix(b"x")
+        a.mix(b"y")
+        b.mix(b"y")
+        b.mix(b"x")
+        assert a.read(32) != b.read(32)
+
+    def test_fork_clones_state(self):
+        a = EntropyPool()
+        a.mix(b"shared", 3.0)
+        b = a.fork()
+        assert a.read(16) == b.read(16)
+        assert a.entropy_bits == b.entropy_bits
+
+
+class TestReads:
+    def test_read_lengths(self):
+        pool = EntropyPool()
+        for n in (0, 1, 31, 32, 33, 100):
+            assert len(pool.read(n)) == n
+
+    def test_reads_never_repeat(self):
+        pool = EntropyPool()
+        assert pool.read(32) != pool.read(32)
+
+    def test_negative_read_rejected(self):
+        with pytest.raises(ValueError):
+            EntropyPool().read(-1)
+
+    def test_state_fingerprint_changes_on_mix(self):
+        pool = EntropyPool()
+        before = pool.state_fingerprint()
+        pool.mix(b"input")
+        assert pool.state_fingerprint() != before
+
+
+class TestEntropyAccounting:
+    def test_unseeded_initially(self):
+        assert not EntropyPool().is_seeded
+
+    def test_seeding_threshold(self):
+        pool = EntropyPool()
+        pool.mix(b"hwrng", SEED_THRESHOLD_BITS)
+        assert pool.is_seeded
+
+    def test_negative_credit_rejected(self):
+        with pytest.raises(ValueError):
+            EntropyPool().mix(b"x", -1.0)
+
+    def test_getrandom_blocks_before_seeded(self):
+        # The 2014 getrandom() fix: refuse to emit before seeding.
+        pool = EntropyPool()
+        pool.mix(b"clock", 2.0)
+        with pytest.raises(InsufficientEntropyError):
+            pool.getrandom(32)
+
+    def test_getrandom_after_seeded(self):
+        pool = EntropyPool()
+        pool.mix(b"hwrng", 256.0)
+        assert len(pool.getrandom(32)) == 32
+
+    def test_urandom_never_blocks(self):
+        # The dangerous pre-fix behaviour: read() answers even when unseeded.
+        pool = EntropyPool()
+        assert not pool.is_seeded
+        assert len(pool.read(32)) == 32

@@ -1,0 +1,71 @@
+"""Tests for boot-time entropy sources."""
+
+import random
+
+import pytest
+
+from repro.entropy.sources import (
+    BootClockSource,
+    HardwareRngSource,
+    MacAddressSource,
+    NetworkInterruptSource,
+)
+
+
+class TestBootClockSource:
+    def test_bounded_distinct_values(self, rng):
+        source = BootClockSource(distinct_values=4)
+        readings = {source.sample(rng)[0] for _ in range(200)}
+        assert len(readings) <= 4
+
+    def test_low_entropy_credit(self, rng):
+        _data, bits = BootClockSource(distinct_values=64).sample(rng)
+        assert bits <= 1.0
+
+    def test_rejects_zero_values(self):
+        with pytest.raises(ValueError):
+            BootClockSource(distinct_values=0)
+
+
+class TestMacAddressSource:
+    def test_unique_but_zero_entropy(self, rng):
+        source = MacAddressSource()
+        samples = [source.sample(rng) for _ in range(20)]
+        macs = {data for data, _ in samples}
+        assert len(macs) == 20  # device-unique
+        assert all(bits == 0.0 for _, bits in samples)  # attacker-knowable
+
+    def test_mac_length(self, rng):
+        data, _ = MacAddressSource().sample(rng)
+        assert len(data) == 6
+
+
+class TestNetworkInterruptSource:
+    def test_entropy_scales_with_events(self, rng):
+        low = NetworkInterruptSource(events=2)
+        high = NetworkInterruptSource(events=50)
+        assert low.sample(rng)[1] < high.sample(rng)[1]
+
+    def test_zero_events_zero_entropy(self, rng):
+        _data, bits = NetworkInterruptSource(events=0).sample(rng)
+        assert bits == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            NetworkInterruptSource(events=-1)
+
+
+class TestHardwareRngSource:
+    def test_full_entropy(self, rng):
+        data, bits = HardwareRngSource(nbytes=32).sample(rng)
+        assert len(data) == 32
+        assert bits == 256.0
+
+    def test_rejects_zero_bytes(self):
+        with pytest.raises(ValueError):
+            HardwareRngSource(nbytes=0)
+
+    def test_deterministic_given_rng(self):
+        a = HardwareRngSource().sample(random.Random(1))
+        b = HardwareRngSource().sample(random.Random(1))
+        assert a == b

@@ -1,0 +1,126 @@
+"""Tests for bit-error and key-substitution artifact detection."""
+
+import random
+from datetime import date
+
+import pytest
+
+from repro.core.batchgcd import batch_gcd
+from repro.crypto.certs import DistinguishedName, self_signed_certificate, substitute_public_key
+from repro.crypto.primes import generate_prime
+from repro.crypto.rsa import generate_rsa_keypair
+from repro.fingerprint.anomalies import (
+    detect_bit_errors,
+    detect_key_substitution,
+    is_well_formed_modulus,
+)
+from repro.scans.records import CertificateStore
+
+
+class TestWellFormedModulus:
+    def test_well_formed(self, rng):
+        p = generate_prime(48, rng)
+        q = generate_prime(48, rng)
+        assert is_well_formed_modulus(p * q, p, q)
+
+    def test_composite_factor(self, rng):
+        p = generate_prime(48, rng)
+        assert not is_well_formed_modulus(p * 12, 12, p)
+
+    def test_lopsided_primes(self, rng):
+        p = generate_prime(16, rng)
+        q = generate_prime(48, rng)
+        assert not is_well_formed_modulus(p * q, p, q)
+
+
+class TestDetectBitErrors:
+    def build_corpus(self, rng, corrupt=True):
+        # Healthy corpus plus corrupted one-bit-flip copies, plus a pair of
+        # genuinely weak keys so the detector must discriminate.  A single
+        # corrupted modulus shares no factor with well-formed semiprimes;
+        # corruption only surfaces in batch GCD when *several* corrupted
+        # records share small factors with each other (flipping the low bit
+        # of an odd modulus makes it even), exactly as in the paper's corpus.
+        pool = [generate_prime(48, rng) for _ in range(8)]
+        healthy = [pool[0] * pool[1], pool[2] * pool[3]]
+        weak = [pool[4] * pool[5], pool[4] * pool[6]]
+        corpus = healthy + weak
+        corrupted = None
+        if corrupt:
+            corrupted = [healthy[0] ^ 1, healthy[1] ^ 1]
+            corpus = corpus + corrupted
+        return corpus, corrupted, weak
+
+    def test_bit_errors_detected_and_linked(self, rng):
+        corpus, corrupted, _weak = self.build_corpus(rng)
+        result = batch_gcd(corpus)
+        findings = detect_bit_errors(result, set(corpus))
+        bit_moduli = {f.modulus for f in findings}
+        assert set(corrupted) <= bit_moduli
+        for finding in findings:
+            if finding.modulus in corrupted:
+                assert finding.nearest_valid == finding.modulus ^ 1
+
+    def test_weak_keys_not_misclassified(self, rng):
+        corpus, _corrupted, weak = self.build_corpus(rng)
+        result = batch_gcd(corpus)
+        findings = detect_bit_errors(result, set(corpus))
+        assert not ({f.modulus for f in findings} & set(weak))
+
+    def test_clean_corpus_no_findings(self, rng):
+        corpus, _c, _w = self.build_corpus(rng, corrupt=False)
+        result = batch_gcd(corpus)
+        assert detect_bit_errors(result, set(corpus)) == []
+
+
+class TestDetectKeySubstitution:
+    def make_device_cert(self, seed, keypair=None):
+        kp = keypair or generate_rsa_keypair(96, random.Random(seed))
+        return self_signed_certificate(
+            subject=DistinguishedName(CN=f"10.0.0.{seed}"),
+            keypair=kp,
+            serial=seed,
+            not_before=date(2012, 1, 1),
+            not_after=date(2022, 1, 1),
+        ), kp
+
+    def test_substituted_fleet_detected(self):
+        store = CertificateStore()
+        mitm = generate_rsa_keypair(96, random.Random(1000))
+        for seed in range(8):
+            cert, _ = self.make_device_cert(seed)
+            store.intern(substitute_public_key(cert, mitm.public), weight=1)
+        findings = detect_key_substitution(store, min_certificates=5)
+        assert len(findings) == 1
+        assert findings[0].modulus == mitm.public.n
+        assert findings[0].certificate_count == 8
+        assert findings[0].distinct_subjects == 8
+
+    def test_shared_default_certificate_not_flagged(self):
+        # Many hosts serving the SAME certificate (one subject) is a shared
+        # default key, not a substitution.
+        store = CertificateStore()
+        cert, _ = self.make_device_cert(1)
+        store.intern(cert, weight=1)
+        findings = detect_key_substitution(store, min_certificates=1)
+        assert findings == []
+
+    def test_valid_shared_key_distinct_certs_not_flagged(self):
+        # Distinct certificates, same key, but all properly self-signed
+        # (e.g. the Siemens/IBM fixed-modulus overlap): signatures verify,
+        # so this is not a substitution.
+        store = CertificateStore()
+        kp = generate_rsa_keypair(96, random.Random(2000))
+        for seed in range(8):
+            cert, _ = self.make_device_cert(seed, keypair=kp)
+            store.intern(cert, weight=1)
+        findings = detect_key_substitution(store, min_certificates=5)
+        assert findings == []
+
+    def test_small_fleet_below_threshold(self):
+        store = CertificateStore()
+        mitm = generate_rsa_keypair(96, random.Random(1000))
+        for seed in range(3):
+            cert, _ = self.make_device_cert(seed)
+            store.intern(substitute_public_key(cert, mitm.public), weight=1)
+        assert detect_key_substitution(store, min_certificates=5) == []

@@ -1,0 +1,86 @@
+"""Integration tests for the fingerprint engine over the tiny study."""
+
+import pytest
+
+from repro.devices.vendors import VENDORS
+
+
+class TestEngineOverTinyStudy:
+    def test_no_false_positives_against_ground_truth(self, tiny_study):
+        # Every cleanly factored modulus must be a ground-truth weak key.
+        assert set(tiny_study.fingerprints.factored_clean) <= tiny_study.weak_moduli_truth
+
+    def test_high_recall_on_scanned_weak_keys(self, tiny_study):
+        # Weak keys that were actually scanned and whose boot state collided
+        # should factor; overall recall on scanned truth should be high.
+        scanned = {
+            e.certificate.public_key.n for e in tiny_study.store.entries()
+        }
+        scanned_truth = tiny_study.weak_moduli_truth & scanned
+        found = scanned_truth & set(tiny_study.fingerprints.factored_clean)
+        assert len(found) >= 0.75 * len(scanned_truth)
+
+    def test_rimon_substitution_found(self, tiny_study):
+        subs = tiny_study.fingerprints.substitutions
+        assert len(subs) == 1
+        # The interceptor's modulus is never counted as a weak key.
+        assert subs[0].modulus not in tiny_study.fingerprints.factored_clean
+
+    def test_bit_errors_triaged_out(self, tiny_study):
+        bit_moduli = {f.modulus for f in tiny_study.fingerprints.bit_errors}
+        assert bit_moduli
+        assert not (bit_moduli & set(tiny_study.fingerprints.factored_clean))
+
+    def test_ibm_clique_degenerate_and_labelled(self, tiny_study):
+        degenerate = tiny_study.fingerprints.degenerate_cliques
+        assert len(degenerate) == 1
+        clique = degenerate[0]
+        assert clique.label == "IBM"
+        assert len(clique.primes) <= 9
+
+    def test_siemens_ibm_overlap_observed(self, tiny_study):
+        overlaps = tiny_study.fingerprints.overlaps
+        assert frozenset({"IBM", "Siemens"}) in overlaps
+
+    def test_dell_xerox_overlap_observed(self, tiny_study):
+        overlaps = tiny_study.fingerprints.overlaps
+        assert frozenset({"Dell", "Xerox"}) in overlaps
+
+    def test_extrapolation_labels_ip_only_fritzboxes(self, tiny_study):
+        # Some Fritz!Box certs carry only an IP subject; they must have been
+        # attributed via shared primes.
+        assert tiny_study.fingerprints.rule_counts["shared-primes"] > 0
+        fritz_certs = [
+            cert_id
+            for cert_id, vendor in tiny_study.fingerprints.vendor_by_cert.items()
+            if vendor == "Fritz!Box"
+        ]
+        ip_only = [
+            cert_id
+            for cert_id in fritz_certs
+            if tiny_study.store[cert_id].certificate.subject.CN.count(".") == 3
+            and tiny_study.store[cert_id]
+            .certificate.subject.CN.replace(".", "")
+            .isdigit()
+        ]
+        assert ip_only, "no IP-only Fritz!Box certificates were attributed"
+
+    def test_openssl_verdicts_match_registry(self, tiny_study):
+        for verdict in tiny_study.fingerprints.openssl_verdicts:
+            expected = VENDORS.get(verdict.vendor)
+            if expected is None or expected.uses_openssl is None:
+                continue
+            if verdict.verdict == "inconclusive":
+                continue
+            measured_openssl = verdict.verdict == "openssl"
+            assert measured_openssl == expected.uses_openssl, verdict.vendor
+
+    def test_subject_rules_label_most_certificates(self, tiny_study):
+        labelled = len(tiny_study.fingerprints.vendor_by_cert)
+        device_like = sum(
+            1
+            for e in tiny_study.store.entries()
+            if e.certificate.subject.CN != ""
+        )
+        assert labelled > 0
+        assert labelled <= device_like

@@ -1,0 +1,80 @@
+"""Edge-case tests for the fingerprint engine (empty and tiny inputs)."""
+
+import random
+from datetime import date
+
+from repro.core.batchgcd import batch_gcd
+from repro.core.results import BatchGcdResult
+from repro.crypto.certs import DistinguishedName, self_signed_certificate
+from repro.crypto.primes import generate_prime
+from repro.crypto.rsa import keypair_from_primes
+from repro.fingerprint.engine import fingerprint_study
+from repro.scans.records import CertificateStore
+
+
+class TestEmptyInputs:
+    def test_empty_store_and_corpus(self):
+        report = fingerprint_study(
+            CertificateStore(), BatchGcdResult([], []), check_safe_primes=False
+        )
+        assert report.vendor_by_cert == {}
+        assert report.factored_clean == {}
+        assert report.openssl_verdicts == []
+        assert report.bit_errors == []
+        assert report.substitutions == []
+
+    def test_store_without_vulnerable_keys(self, rng, small_openssl_table):
+        store = CertificateStore()
+        moduli = []
+        for seed in range(4):
+            p = generate_prime(48, rng)
+            q = generate_prime(48, rng)
+            keypair = keypair_from_primes(p, q)
+            cert = self_signed_certificate(
+                subject=DistinguishedName(O="ZyXEL", CN=f"d{seed}"),
+                keypair=keypair,
+                serial=seed,
+                not_before=date(2012, 1, 1),
+                not_after=date(2022, 1, 1),
+            )
+            store.intern(cert, weight=1)
+            moduli.append(keypair.public.n)
+        report = fingerprint_study(
+            store, batch_gcd(moduli), openssl_table=small_openssl_table,
+            check_safe_primes=False,
+        )
+        # Subjects are labelled even when nothing factors...
+        assert set(report.vendor_by_cert.values()) == {"ZyXEL"}
+        # ...but the OpenSSL fingerprint has nothing to say.
+        assert report.openssl_verdicts == []
+        assert report.factored_clean == {}
+
+
+class TestSingleSharedPair:
+    def test_minimal_vulnerable_corpus(self, rng, small_openssl_table):
+        shared = generate_prime(48, rng)
+        store = CertificateStore()
+        moduli = []
+        for seed in range(2):
+            q = generate_prime(48, rng)
+            keypair = keypair_from_primes(shared, q)
+            cert = self_signed_certificate(
+                subject=DistinguishedName(O="Innominate", CN=f"m{seed}"),
+                keypair=keypair,
+                serial=seed,
+                not_before=date(2012, 1, 1),
+                not_after=date(2022, 1, 1),
+            )
+            store.intern(cert, weight=1)
+            moduli.append(keypair.public.n)
+        report = fingerprint_study(
+            store, batch_gcd(moduli), openssl_table=small_openssl_table,
+            check_safe_primes=False,
+        )
+        assert set(report.factored_clean) == set(moduli)
+        assert all(
+            report.vendor_by_modulus[n] == "Innominate" for n in moduli
+        )
+        # One clique of three primes, not degenerate.
+        assert len(report.cliques) == 1
+        assert not report.degenerate_cliques

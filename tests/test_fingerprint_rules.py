@@ -1,0 +1,107 @@
+"""Tests for subject/banner fingerprint rules."""
+
+import random
+from datetime import date
+
+import pytest
+
+from repro.crypto.certs import DistinguishedName, self_signed_certificate
+from repro.crypto.rsa import generate_rsa_keypair
+from repro.fingerprint.rules import identify_by_subject
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_rsa_keypair(64, random.Random(77))
+
+
+def make_cert(keypair, subject, sans=()):
+    return self_signed_certificate(
+        subject=subject,
+        keypair=keypair,
+        serial=1,
+        not_before=date(2012, 1, 1),
+        not_after=date(2022, 1, 1),
+        subject_alt_names=tuple(sans),
+    )
+
+
+class TestSubjectRules:
+    def test_juniper_system_generated(self, keypair):
+        cert = make_cert(keypair, DistinguishedName(CN="system generated"))
+        match = identify_by_subject(cert)
+        assert match.vendor == "Juniper"
+        assert match.rule == "system-generated"
+
+    def test_cisco_model_from_ou(self, keypair):
+        cert = make_cert(
+            keypair, DistinguishedName(C="US", O="Cisco", OU="RV220W", CN="rv-1")
+        )
+        match = identify_by_subject(cert)
+        assert match.vendor == "Cisco"
+        assert match.model == "RV220W"
+
+    def test_vendor_in_o(self, keypair):
+        for vendor in ("Innominate", "ZyXEL", "TP-LINK", "Huawei"):
+            cert = make_cert(keypair, DistinguishedName(O=vendor, CN="x"))
+            assert identify_by_subject(cert).vendor == vendor
+
+    def test_dell_imaging_beats_o_rule(self, keypair):
+        cert = make_cert(
+            keypair,
+            DistinguishedName(O="Dell Inc.", OU="Dell Imaging Group", CN="p1"),
+        )
+        match = identify_by_subject(cert)
+        assert match.vendor == "Dell"
+        assert match.rule == "dell-imaging"
+
+    def test_siemens(self, keypair):
+        cert = make_cert(
+            keypair,
+            DistinguishedName(O="Siemens Building Technologies", CN="bacnet-1"),
+        )
+        assert identify_by_subject(cert).vendor == "Siemens"
+
+    def test_fritz_myfritz_cn(self, keypair):
+        cert = make_cert(keypair, DistinguishedName(CN="ab12cd34ef.myfritz.net"))
+        assert identify_by_subject(cert).vendor == "Fritz!Box"
+
+    def test_fritz_sans(self, keypair):
+        cert = make_cert(
+            keypair,
+            DistinguishedName(CN="fritz.box"),
+            sans=("fritz.fonwlan.box", "fritz.box"),
+        )
+        assert identify_by_subject(cert).vendor == "Fritz!Box"
+
+    def test_ip_only_unattributable(self, keypair):
+        cert = make_cert(keypair, DistinguishedName(CN="192.168.4.7"))
+        assert identify_by_subject(cert) is None
+
+    def test_owner_named_unattributable(self, keypair):
+        cert = make_cert(
+            keypair, DistinguishedName(O="Acme Manufacturing", CN="mgmt-1")
+        )
+        assert identify_by_subject(cert) is None
+
+    def test_web_server_unattributable(self, keypair):
+        cert = make_cert(keypair, DistinguishedName(C="US", CN="www.example.com"))
+        assert identify_by_subject(cert) is None
+
+
+class TestBannerRules:
+    def test_snapgear_banner_identifies_mcafee(self, keypair):
+        cert = make_cert(
+            keypair,
+            DistinguishedName(
+                O="Default Organization", OU="Default Unit", CN="Default Common Name"
+            ),
+        )
+        assert identify_by_subject(cert) is None  # DN alone is not enough
+        match = identify_by_subject(cert, banner="SnapGear Management Console")
+        assert match.vendor == "McAfee"
+        assert match.rule == "banner"
+
+    def test_unknown_banner_ignored(self, keypair):
+        cert = make_cert(keypair, DistinguishedName(CN="10.0.0.1"))
+        assert identify_by_subject(cert, banner="hello world") is None

@@ -1,0 +1,121 @@
+"""Tests for shared-prime extrapolation and prime cliques."""
+
+import random
+
+from repro.core.results import FactoredModulus
+from repro.crypto.primes import generate_prime
+from repro.fingerprint.sharedprimes import (
+    extrapolate_vendors,
+    find_prime_cliques,
+    label_degenerate_cliques,
+    shared_prime_overlaps,
+)
+
+
+def fact(p, q):
+    return FactoredModulus(modulus=p * q, p=min(p, q), q=max(p, q))
+
+
+def make_primes(count, seed=1):
+    rng = random.Random(seed)
+    return [generate_prime(32, rng) for _ in range(count)]
+
+
+class TestFindPrimeCliques:
+    def test_disjoint_pairs_form_separate_cliques(self):
+        a, b, c, d = make_primes(4)
+        factored = {a * b: fact(a, b), c * d: fact(c, d)}
+        cliques = find_prime_cliques(factored)
+        assert len(cliques) == 2
+
+    def test_shared_prime_merges_cliques(self):
+        a, b, c = make_primes(3)
+        factored = {a * b: fact(a, b), a * c: fact(a, c)}
+        cliques = find_prime_cliques(factored)
+        assert len(cliques) == 1
+        assert cliques[0].primes == {a, b, c}
+        assert cliques[0].moduli == {a * b, a * c}
+
+    def test_chain_connectivity(self):
+        a, b, c, d = make_primes(4)
+        factored = {a * b: fact(a, b), b * c: fact(b, c), c * d: fact(c, d)}
+        assert len(find_prime_cliques(factored)) == 1
+
+    def test_empty(self):
+        assert find_prime_cliques({}) == []
+
+
+class TestDegenerateCliques:
+    def test_ibm_style_clique_detected(self):
+        primes = make_primes(9, seed=2)
+        factored = {}
+        for i, p in enumerate(primes):
+            for q in primes[i + 1 :]:
+                factored[p * q] = fact(p, q)
+        assert len(factored) == 36
+        cliques = find_prime_cliques(factored)
+        degenerate = label_degenerate_cliques(cliques)
+        assert len(degenerate) == 1
+        assert degenerate[0].label == "IBM"
+        assert len(degenerate[0].primes) == 9
+
+    def test_entropy_hole_pattern_not_degenerate(self):
+        # One shared prime with many unique second primes: many primes, not
+        # a degenerate generator.
+        primes = make_primes(15, seed=3)
+        shared = primes[0]
+        factored = {shared * q: fact(shared, q) for q in primes[1:]}
+        degenerate = label_degenerate_cliques(find_prime_cliques(factored))
+        assert degenerate == []
+
+
+class TestExtrapolation:
+    def test_unlabelled_modulus_inherits_pool_vendor(self):
+        a, b, c = make_primes(3, seed=4)
+        factored = {a * b: fact(a, b), a * c: fact(a, c)}
+        labels = {a * b: "Fritz!Box"}
+        new = extrapolate_vendors(factored, labels)
+        assert new == {a * c: "Fritz!Box"}
+
+    def test_fixpoint_chains_through_new_labels(self):
+        a, b, c, d = make_primes(4, seed=5)
+        factored = {
+            a * b: fact(a, b),
+            b * c: fact(b, c),
+            c * d: fact(c, d),
+        }
+        labels = {a * b: "Fritz!Box"}
+        new = extrapolate_vendors(factored, labels)
+        # b*c labelled via b, then c*d via c in a second iteration.
+        assert new == {b * c: "Fritz!Box", c * d: "Fritz!Box"}
+
+    def test_no_votes_no_label(self):
+        a, b, c, d = make_primes(4, seed=6)
+        factored = {a * b: fact(a, b), c * d: fact(c, d)}
+        assert extrapolate_vendors(factored, {a * b: "HP"}) == {}
+
+    def test_majority_wins_on_conflict(self):
+        a, b, c, d = make_primes(4, seed=7)
+        factored = {
+            a * b: fact(a, b),
+            a * c: fact(a, c),
+            a * d: fact(a, d),
+        }
+        labels = {a * b: "Xerox", a * c: "Xerox"}
+        new = extrapolate_vendors(factored, labels)
+        assert new[a * d] == "Xerox"
+
+
+class TestOverlaps:
+    def test_dell_xerox_style_overlap_counted(self):
+        a, b, c = make_primes(3, seed=8)
+        factored = {a * b: fact(a, b), a * c: fact(a, c)}
+        labels = {a * b: "Dell", a * c: "Xerox"}
+        overlaps = shared_prime_overlaps(factored, labels)
+        assert overlaps == {frozenset({"Dell", "Xerox"}): 1}
+
+    def test_same_vendor_no_overlap(self):
+        a, b, c = make_primes(3, seed=9)
+        factored = {a * b: fact(a, b), a * c: fact(a, c)}
+        labels = {a * b: "Dell", a * c: "Dell"}
+        assert shared_prime_overlaps(factored, labels) == {}

@@ -1,0 +1,132 @@
+"""Tests for repro.numt.arith (egcd, modinv, roots, CRT)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.numt.arith import crt_pair, egcd, introot, is_perfect_power, modinv
+
+
+class TestEgcd:
+    def test_basic(self):
+        g, x, y = egcd(240, 46)
+        assert g == 2
+        assert 240 * x + 46 * y == 2
+
+    def test_coprime(self):
+        g, x, y = egcd(17, 13)
+        assert g == 1
+        assert 17 * x + 13 * y == 1
+
+    def test_zero_operands(self):
+        assert egcd(0, 5)[0] == 5
+        assert egcd(5, 0)[0] == 5
+        assert egcd(0, 0)[0] == 0
+
+    @given(st.integers(min_value=-10**9, max_value=10**9),
+           st.integers(min_value=-10**9, max_value=10**9))
+    def test_bezout_identity(self, a, b):
+        g, x, y = egcd(a, b)
+        assert g == math.gcd(a, b)
+        assert a * x + b * y == g
+
+
+class TestModinv:
+    def test_basic(self):
+        assert modinv(3, 7) == 5
+        assert (3 * modinv(3, 7)) % 7 == 1
+
+    def test_large(self):
+        m = 2**127 - 1
+        a = 0xDEADBEEF
+        assert (a * modinv(a, m)) % m == 1
+
+    def test_not_invertible(self):
+        with pytest.raises(ValueError):
+            modinv(6, 9)
+
+    def test_negative_input_normalised(self):
+        assert ((-3) * modinv(-3, 7)) % 7 == 1
+
+    @given(st.integers(min_value=2, max_value=10**6),
+           st.integers(min_value=1, max_value=10**6))
+    def test_inverse_property(self, m, a):
+        if math.gcd(a, m) != 1:
+            with pytest.raises(ValueError):
+                modinv(a, m)
+        else:
+            assert (a * modinv(a, m)) % m == 1
+
+
+class TestIntroot:
+    def test_square_root(self):
+        assert introot(144, 2) == 12
+        assert introot(145, 2) == 12
+
+    def test_cube_root(self):
+        assert introot(27, 3) == 3
+        assert introot(26, 3) == 2
+
+    def test_first_root(self):
+        assert introot(99, 1) == 99
+
+    def test_edges(self):
+        assert introot(0, 5) == 0
+        assert introot(1, 5) == 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            introot(-1, 2)
+        with pytest.raises(ValueError):
+            introot(8, 0)
+
+    @given(st.integers(min_value=0, max_value=10**30),
+           st.integers(min_value=1, max_value=10))
+    def test_floor_property(self, n, k):
+        r = introot(n, k)
+        assert r**k <= n
+        assert (r + 1) ** k > n
+
+
+class TestIsPerfectPower:
+    def test_square(self):
+        assert is_perfect_power(49) == (7, 2)
+
+    def test_cube(self):
+        base, exp = is_perfect_power(3**5)
+        assert base**exp == 3**5
+
+    def test_not_power(self):
+        assert is_perfect_power(10) is None
+        assert is_perfect_power(2**61 - 1) is None
+
+    def test_small(self):
+        assert is_perfect_power(3) is None
+        assert is_perfect_power(4) == (2, 2)
+
+    def test_rsa_square_modulus_detected(self):
+        p = 0xFFFF_FFFB  # a prime
+        assert is_perfect_power(p * p) == (p, 2)
+
+
+class TestCrtPair:
+    def test_basic(self):
+        x, m = crt_pair(2, 3, 3, 5)
+        assert m == 15
+        assert x % 3 == 2
+        assert x % 5 == 3
+
+    def test_not_coprime(self):
+        with pytest.raises(ValueError):
+            crt_pair(1, 6, 2, 9)
+
+    @given(st.integers(min_value=2, max_value=10**4),
+           st.integers(min_value=2, max_value=10**4),
+           st.integers(min_value=0, max_value=10**8))
+    def test_reconstruction(self, m1, m2, value):
+        if math.gcd(m1, m2) != 1:
+            return
+        x, m = crt_pair(value % m1, m1, value % m2, m2)
+        assert m == m1 * m2
+        assert x == value % m

@@ -1,0 +1,96 @@
+"""Tests for product/remainder trees — the heart of batch GCD."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.numt.trees import (
+    product_tree,
+    remainder_tree,
+    remainder_tree_squared,
+    remainders_mod_squares,
+    tree_product,
+)
+
+moduli_lists = st.lists(st.integers(min_value=2, max_value=2**64), min_size=1, max_size=40)
+
+
+class TestProductTree:
+    def test_single_value(self):
+        assert product_tree([7]) == [[7]]
+
+    def test_two_values(self):
+        assert product_tree([3, 5]) == [[3, 5], [15]]
+
+    def test_odd_count_carries_last(self):
+        levels = product_tree([2, 3, 5])
+        assert levels[0] == [2, 3, 5]
+        assert levels[1] == [6, 5]
+        assert levels[2] == [30]
+
+    def test_empty_input(self):
+        assert product_tree([]) == [[1]]
+
+    def test_root_is_product(self):
+        values = [3, 7, 11, 13, 17]
+        assert product_tree(values)[-1][0] == math.prod(values)
+
+    @given(moduli_lists)
+    def test_root_matches_prod(self, values):
+        assert tree_product(values) == math.prod(values)
+
+    @given(moduli_lists)
+    def test_level_sizes_halve(self, values):
+        levels = product_tree(values)
+        for below, above in zip(levels, levels[1:]):
+            assert len(above) == (len(below) + 1) // 2
+
+
+class TestRemainderTree:
+    def test_matches_direct_mod(self):
+        values = [11, 13, 17, 19]
+        x = 123456789
+        levels = product_tree(values)
+        assert remainder_tree(x, levels) == [x % v for v in values]
+
+    @given(moduli_lists, st.integers(min_value=0, max_value=2**256))
+    @settings(max_examples=60)
+    def test_property_matches_direct_mod(self, values, x):
+        levels = product_tree(values)
+        assert remainder_tree(x, levels) == [x % v for v in values]
+
+
+class TestRemainderTreeSquared:
+    def test_matches_direct(self):
+        values = [11, 13, 17, 19, 23]
+        product = math.prod(values)
+        levels = product_tree(values)
+        assert remainder_tree_squared(levels) == [product % (v * v) for v in values]
+
+    @given(moduli_lists)
+    @settings(max_examples=60)
+    def test_property(self, values):
+        product = math.prod(values)
+        levels = product_tree(values)
+        assert remainder_tree_squared(levels) == [
+            product % (v * v) for v in values
+        ]
+
+    def test_quotient_is_product_of_others_mod_n(self):
+        # The batch-GCD invariant: (P mod N^2)/N == (P/N) mod N when N | P.
+        values = [101, 103, 107]
+        product = math.prod(values)
+        remainders = remainder_tree_squared(product_tree(values))
+        for n, z in zip(values, remainders):
+            assert z % n == 0
+            assert (z // n) % n == (product // n) % n
+
+
+class TestRemaindersModSquares:
+    def test_empty(self):
+        assert remainders_mod_squares(5, []) == []
+
+    def test_matches_direct(self):
+        values = [7, 9, 11]
+        x = 10**9 + 7
+        assert remainders_mod_squares(x, values) == [x % (v * v) for v in values]

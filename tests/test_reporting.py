@@ -1,0 +1,103 @@
+"""Tests for text rendering of tables, charts, and study reports."""
+
+import pytest
+
+from repro.reporting.study import (
+    render_figure1,
+    render_figure7,
+    render_summary,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+    render_vendor_figure,
+)
+from repro.reporting.text import format_count, render_series_chart, render_table
+
+
+class TestFormatCount:
+    def test_small_integers(self):
+        assert format_count(0) == "0"
+        assert format_count(999) == "999"
+        assert format_count(12_345) == "12,345"
+
+    def test_hundreds_of_thousands(self):
+        assert format_count(313_330) == "313K"
+
+    def test_millions(self):
+        assert format_count(1_441_437) == "1.44M"
+        assert format_count(81_228_736) == "81.2M"
+
+    def test_fractional(self):
+        assert format_count(12.5) == "12.5"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["A", "Header"], [["x", "1"], ["longer", "22"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        # All rows equal width.
+        assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+
+    def test_title(self):
+        out = render_table(["A"], [["1"]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+
+class TestRenderSeriesChart:
+    def test_basic_chart(self):
+        out = render_series_chart(
+            ["a", "b", "c", "d"], [0, 5, 10, 5], title="T", width=20, height=5
+        )
+        assert "T" in out
+        assert "*" in out
+        assert "10" in out
+
+    def test_empty_series(self):
+        out = render_series_chart([], [], title="E")
+        assert "(no data)" in out
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            render_series_chart(["a"], [1, 2])
+
+    def test_constant_series(self):
+        out = render_series_chart(["a", "b"], [5, 5], width=10, height=4)
+        assert "*" in out
+
+
+class TestStudyRenderers:
+    @pytest.mark.parametrize(
+        "renderer, marker",
+        [
+            (render_table1, "Table 1"),
+            (render_table2, "Table 2"),
+            (render_table3, "Table 3"),
+            (render_table4, "Table 4"),
+            (render_table5, "Table 5"),
+            (render_figure1, "Figure 1"),
+            (render_figure7, "Figure 7"),
+        ],
+    )
+    def test_renders_nonempty(self, tiny_study, renderer, marker):
+        out = renderer(tiny_study)
+        assert marker in out
+        assert len(out.splitlines()) >= 3
+
+    def test_vendor_figure(self, tiny_study):
+        out = render_vendor_figure(tiny_study, "Juniper", "Figure 3")
+        assert "Figure 3: Juniper" in out
+        assert "total hosts" in out
+        assert "vulnerable hosts" in out
+
+    def test_vendor_figure_unknown_vendor(self, tiny_study):
+        out = render_vendor_figure(tiny_study, "Nobody Inc", "Figure X")
+        assert "no observations" in out
+
+    def test_summary_mentions_key_stats(self, tiny_study):
+        out = render_summary(tiny_study)
+        assert "Batch GCD" in out
+        assert "bit errors" in out
+        assert "key substitutions" in out

@@ -1,0 +1,57 @@
+"""Tests for CSV/JSON exports."""
+
+import csv
+import io
+import json
+
+from repro.reporting.export import (
+    global_series_to_csv,
+    series_to_csv,
+    study_to_json,
+)
+
+
+class TestSeriesCsv:
+    def test_vendor_series_roundtrip(self, tiny_study):
+        series = tiny_study.series.vendor("Juniper")
+        text = series_to_csv(series)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == len(series.points)
+        assert rows[0]["month"] == str(series.points[0].month)
+        assert float(rows[0]["total"]) == series.points[0].total
+
+    def test_global_series_long_format(self, tiny_study):
+        text = global_series_to_csv(tiny_study.series)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        vendors = {row["vendor"] for row in rows}
+        assert "(all)" in vendors
+        assert "Juniper" in vendors
+        # Every row has a parsable month and numeric counts.
+        for row in rows[:50]:
+            assert row["month"].count("-") == 1
+            float(row["total"])
+            float(row["vulnerable"])
+
+
+class TestStudyJson:
+    def test_valid_json_with_headline_fields(self, tiny_study):
+        payload = json.loads(study_to_json(tiny_study))
+        assert payload["config"]["seed"] == tiny_study.config.seed
+        assert payload["table1"]["vulnerable_moduli"] > 0
+        assert {row["protocol"] for row in payload["table4"]} == {
+            "HTTPS", "SSH", "POP3S", "IMAPS", "SMTPS",
+        }
+        assert "Juniper" in payload["table5"]["do_not_satisfy"]
+        assert "Juniper" in payload["series"]
+        assert "exposure" in payload
+
+    def test_series_arrays_aligned(self, tiny_study):
+        payload = json.loads(study_to_json(tiny_study, indent=None))
+        for vendor, series in payload["series"].items():
+            assert len(series["months"]) == len(series["total"]), vendor
+            assert len(series["months"]) == len(series["vulnerable"]), vendor
+
+    def test_transitions_exported(self, tiny_study):
+        payload = json.loads(study_to_json(tiny_study))
+        juniper = payload["transitions"]["Juniper"]
+        assert juniper["ips_observed"] > 0

@@ -1,0 +1,53 @@
+"""Tests for the scale model: per-model divisors at the full preset."""
+
+from repro.devices.catalog import DEVICE_CATALOG
+from repro.devices.models import KeygenKind
+from repro.devices.population import resolve_divisor
+from repro.studyconfig import StudyConfig
+
+
+class TestFullPresetDivisors:
+    def setup_method(self):
+        self.limits = StudyConfig.full().device_limits
+        self.divisors = {
+            model.model_id: resolve_divisor(model, self.limits)
+            for model in DEVICE_CATALOG
+        }
+
+    def peak(self, model):
+        return max(v for _, v in model.schedule.points)
+
+    def test_simulated_peaks_bounded(self):
+        # No fleet exceeds the tractability cap by more than rounding.
+        for model in DEVICE_CATALOG:
+            sim_peak = self.peak(model) / self.divisors[model.model_id]
+            assert sim_peak <= self.limits.max_total_sim * 1.3, model.model_id
+
+    def test_major_vulnerable_fleets_visible(self):
+        # Fleets whose paper-scale vulnerable population is large must keep
+        # enough weak units to show their figure's shape.
+        for model in DEVICE_CATALOG:
+            spec = model.keygen
+            if spec.kind is KeygenKind.HEALTHY:
+                continue
+            weak_peak = self.peak(model) * spec.vulnerable_fraction
+            if weak_peak < 500:  # below the documented resolution floor
+                continue
+            sim_weak = weak_peak / self.divisors[model.model_id]
+            assert sim_weak >= 5, model.model_id
+
+    def test_total_simulation_size_tractable(self):
+        # The sum of simulated peaks bounds memory/CPU for the flagship run.
+        total = sum(
+            self.peak(model) / self.divisors[model.model_id]
+            for model in DEVICE_CATALOG
+        )
+        assert total < 60_000
+
+    def test_weights_recover_paper_magnitudes(self):
+        # Weighted peak ~= paper peak for every model (divisor rounding).
+        for model in DEVICE_CATALOG:
+            divisor = self.divisors[model.model_id]
+            paper_peak = self.peak(model)
+            weighted = round(paper_peak / divisor) * divisor
+            assert abs(weighted - paper_peak) <= divisor, model.model_id

@@ -1,0 +1,68 @@
+"""Tests for the background web ecosystem and CA pool."""
+
+import random
+
+from repro.devices.population import IpAllocator
+from repro.entropy.keygen import WeakKeyFactory
+from repro.scans.background import (
+    BACKGROUND_MODEL,
+    CA_SIGNED_FRACTION,
+    build_background_population,
+    build_ca_pool,
+)
+from repro.timeline import Month, STUDY_END, STUDY_START
+
+
+class TestCaPool:
+    def test_pool_size_and_flags(self):
+        pool = build_ca_pool(random.Random(1), count=5, key_bits=96)
+        assert len(pool) == 5
+        for cert, key in pool:
+            assert cert.is_ca
+            assert cert.is_self_signed
+            assert cert.verify_signature()
+            assert key.n == cert.public_key.n
+
+    def test_distinct_subjects(self):
+        pool = build_ca_pool(random.Random(1), count=8, key_bits=96)
+        subjects = {cert.subject.rfc4514() for cert, _ in pool}
+        assert len(subjects) == 8
+
+
+class TestBackgroundModel:
+    def test_growth_matches_figure1(self):
+        start = BACKGROUND_MODEL.schedule.target(STUDY_START, 1)
+        end = BACKGROUND_MODEL.schedule.target(STUDY_END, 1)
+        # Figure 1 / Table 3: ~11M -> ~38M total hosts; the background is
+        # that minus the device fleets.
+        assert 8_000_000 < start < 12_000_000
+        assert 33_000_000 < end < 39_000_000
+
+    def test_population_mixes_ca_and_self_signed(self, small_openssl_table):
+        factory = WeakKeyFactory(seed=2, prime_bits=48, openssl_table=small_openssl_table)
+        ca_pool = build_ca_pool(random.Random(3), count=4, key_bits=96)
+        population = build_background_population(
+            scale=100_000,
+            factory=factory,
+            allocator=IpAllocator(random.Random(4)),
+            rng=random.Random(5),
+            ca_pool=ca_pool,
+        )
+        population.step(STUDY_START)
+        assert population.online_count() > 50
+        ca_signed = sum(1 for d in population.online if not d.certificate.is_self_signed)
+        fraction = ca_signed / population.online_count()
+        assert abs(fraction - CA_SIGNED_FRACTION) < 0.2
+
+    def test_background_is_healthy(self, small_openssl_table):
+        factory = WeakKeyFactory(seed=2, prime_bits=48, openssl_table=small_openssl_table)
+        population = build_background_population(
+            scale=200_000,
+            factory=factory,
+            allocator=IpAllocator(random.Random(4)),
+            rng=random.Random(5),
+            ca_pool=build_ca_pool(random.Random(3), count=2, key_bits=96),
+        )
+        population.step(STUDY_START)
+        assert population.weak_online_count() == 0
+        assert not population.weak_moduli_emitted

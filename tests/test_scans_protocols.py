@@ -1,0 +1,76 @@
+"""Tests for the SSH/mail protocol corpora (Table 4 inputs)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.batchgcd import batch_gcd
+from repro.entropy.keygen import WeakKeyFactory
+from repro.scans.protocols import PROTOCOL_SPECS, build_protocol_corpora
+from repro.timeline import Month
+
+
+@pytest.fixture(scope="module")
+def corpora(small_openssl_table):
+    factory = WeakKeyFactory(seed=21, prime_bits=48, openssl_table=small_openssl_table)
+    return build_protocol_corpora(
+        scale=25_000, factory=factory, rng=random.Random(6)
+    )
+
+
+class TestSpecs:
+    def test_paper_scale_counts(self):
+        by_name = {s.name: s for s in PROTOCOL_SPECS}
+        assert by_name["SSH"].weak_hosts == 723
+        assert by_name["SSH"].rsa_hosts == 6_257_106
+        assert by_name["POP3S"].weak_hosts == 0
+        assert by_name["IMAPS"].weak_hosts == 0
+        assert by_name["SMTPS"].weak_hosts == 0
+
+    def test_ssh_scan_date(self):
+        by_name = {s.name: s for s in PROTOCOL_SPECS}
+        assert by_name["SSH"].scan_month == Month(2015, 10)
+
+
+class TestCorpora:
+    def test_all_protocols_present(self, corpora):
+        assert {c.protocol for c in corpora} == {"SSH", "POP3S", "IMAPS", "SMTPS"}
+
+    def test_ssh_has_weak_subpopulation(self, corpora):
+        weak = [c for c in corpora if c.protocol == "SSH" and c.weak_moduli_truth]
+        assert len(weak) == 1
+        assert weak[0].weight < 25_000  # simulated at a finer divisor
+
+    def test_mail_protocols_have_no_weak_keys(self, corpora):
+        for corpus in corpora:
+            if corpus.protocol != "SSH":
+                assert not corpus.weak_moduli_truth
+
+    def test_historical_keys_included(self, corpora):
+        healthy_ssh = [
+            c for c in corpora if c.protocol == "SSH" and not c.weak_moduli_truth
+        ][0]
+        assert healthy_ssh.historical_moduli
+        assert len(healthy_ssh.all_moduli()) == len(healthy_ssh.rsa_moduli) + len(
+            healthy_ssh.historical_moduli
+        )
+
+    def test_batch_gcd_factors_only_ssh_weak_keys(self, corpora):
+        moduli = []
+        truth = set()
+        for corpus in corpora:
+            moduli.extend(corpus.all_moduli())
+            truth |= corpus.weak_moduli_truth
+        result = batch_gcd(moduli)
+        flagged = set(result.vulnerable_moduli)
+        assert flagged <= truth
+        # Most of the weak SSH pool collides and factors.
+        assert len(flagged) >= len(truth) * 0.5
+
+    def test_healthy_keys_pairwise_coprime_sample(self, corpora):
+        mail = [c for c in corpora if c.protocol == "IMAPS"][0]
+        sample = mail.rsa_moduli[:30]
+        for i, a in enumerate(sample):
+            for b in sample[i + 1 :]:
+                assert math.gcd(a, b) == 1

@@ -1,0 +1,82 @@
+"""Tests for host records and the certificate store."""
+
+import random
+from datetime import date
+
+import pytest
+
+from repro.crypto.certs import DistinguishedName, self_signed_certificate
+from repro.crypto.rsa import generate_rsa_keypair
+from repro.scans.records import CertificateStore, ScanSnapshot
+from repro.timeline import Month
+
+
+def make_cert(seed):
+    keypair = generate_rsa_keypair(64, random.Random(seed))
+    return self_signed_certificate(
+        subject=DistinguishedName(CN=f"host-{seed}"),
+        keypair=keypair,
+        serial=seed,
+        not_before=date(2012, 1, 1),
+        not_after=date(2022, 1, 1),
+    )
+
+
+class TestCertificateStore:
+    def test_interning_deduplicates(self):
+        store = CertificateStore()
+        cert = make_cert(1)
+        a = store.intern(cert, weight=10)
+        b = store.intern(cert, weight=99)  # later weight ignored
+        assert a == b
+        assert len(store) == 1
+        assert store[a].weight == 10
+
+    def test_distinct_certs_distinct_ids(self):
+        store = CertificateStore()
+        assert store.intern(make_cert(1), 1) != store.intern(make_cert(2), 1)
+
+    def test_banner_and_kex_recorded(self):
+        store = CertificateStore()
+        cert_id = store.intern(make_cert(3), 5, banner="SnapGear", only_rsa_kex=True)
+        entry = store[cert_id]
+        assert entry.banner == "SnapGear"
+        assert entry.only_rsa_kex
+
+    def test_moduli_with_weights_takes_max(self):
+        store = CertificateStore()
+        cert = make_cert(4)
+        other = make_cert(5)
+        store.intern(cert, 10)
+        store.intern(other, 20)
+        weights = store.moduli_with_weights()
+        assert weights[cert.public_key.n] == 10
+        assert weights[other.public_key.n] == 20
+
+    def test_entries_in_id_order(self):
+        store = CertificateStore()
+        ids = [store.intern(make_cert(s), 1) for s in range(5)]
+        assert ids == list(range(5))
+
+
+class TestScanSnapshot:
+    def test_append_and_iterate(self):
+        snapshot = ScanSnapshot("Censys", Month(2016, 4))
+        snapshot.append(12345, 0)
+        snapshot.append(67890, 1)
+        assert snapshot.host_count == 2
+        assert list(snapshot.records()) == [(12345, 0), (67890, 1)]
+
+    def test_remove_indices(self):
+        snapshot = ScanSnapshot("Rapid7", Month(2014, 6))
+        for i in range(5):
+            snapshot.append(i, i * 10)
+        removed = snapshot.remove_indices({1, 3})
+        assert removed == 2
+        assert list(snapshot.records()) == [(0, 0), (2, 20), (4, 40)]
+
+    def test_remove_empty_set(self):
+        snapshot = ScanSnapshot("EFF", Month(2010, 7))
+        snapshot.append(1, 1)
+        assert snapshot.remove_indices(set()) == 0
+        assert snapshot.host_count == 1

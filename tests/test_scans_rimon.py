@@ -1,0 +1,56 @@
+"""Tests for the Rimon interceptor in isolation."""
+
+import random
+from datetime import date
+
+from repro.crypto.certs import DistinguishedName, self_signed_certificate
+from repro.crypto.rsa import generate_rsa_keypair
+from repro.scans.rimon import RimonInterceptor
+
+
+def make_cert(seed):
+    keypair = generate_rsa_keypair(96, random.Random(seed))
+    return self_signed_certificate(
+        subject=DistinguishedName(CN=f"10.1.2.{seed}"),
+        keypair=keypair,
+        serial=seed,
+        not_before=date(2011, 1, 1),
+        not_after=date(2021, 1, 1),
+    )
+
+
+class TestRimonInterceptor:
+    def test_one_fixed_modulus_across_customers(self):
+        interceptor = RimonInterceptor(random.Random(1), key_bits=96)
+        swapped = [interceptor.intercept(make_cert(s)) for s in range(5)]
+        assert {c.public_key.n for c in swapped} == {interceptor.modulus}
+
+    def test_everything_but_key_preserved(self):
+        interceptor = RimonInterceptor(random.Random(1), key_bits=96)
+        original = make_cert(9)
+        swapped = interceptor.intercept(original)
+        assert swapped.subject == original.subject
+        assert swapped.serial == original.serial
+        assert swapped.not_before == original.not_before
+        assert swapped.public_key.n != original.public_key.n
+        # The paper noted the hash choice changed along with the key.
+        assert swapped.signature_hash != original.signature_hash
+
+    def test_interception_is_stable(self):
+        interceptor = RimonInterceptor(random.Random(1), key_bits=96)
+        cert = make_cert(4)
+        assert (
+            interceptor.intercept(cert).fingerprint()
+            == interceptor.intercept(cert).fingerprint()
+        )
+
+    def test_substituted_certificates_do_not_verify(self):
+        interceptor = RimonInterceptor(random.Random(1), key_bits=96)
+        assert not interceptor.intercept(make_cert(2)).verify_signature()
+
+    def test_interceptor_key_is_healthy(self):
+        # The paper did not factor the 1024-bit Rimon key; ours is a proper
+        # two-prime key too.
+        interceptor = RimonInterceptor(random.Random(1), key_bits=96)
+        private = interceptor.keypair.private
+        assert private.p * private.q == interceptor.modulus

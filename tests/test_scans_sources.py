@@ -1,0 +1,64 @@
+"""Tests for scan-source eras and the representative-scan schedule."""
+
+from repro.scans.sources import SCAN_SOURCES, scan_months, source_for_month
+from repro.timeline import Month, STUDY_END, STUDY_START
+
+
+class TestSourceSchedule:
+    def test_eff_months(self):
+        assert source_for_month(Month(2010, 7)).name == "EFF"
+        assert source_for_month(Month(2010, 12)).name == "EFF"
+        # EFF only scanned twice; the months between have no data.
+        assert source_for_month(Month(2010, 9)) is None
+
+    def test_pq_single_scan(self):
+        assert source_for_month(Month(2011, 10)).name == "P&Q"
+        assert source_for_month(Month(2011, 9)) is None
+        assert source_for_month(Month(2011, 11)) is None
+
+    def test_ecosystem_era(self):
+        assert source_for_month(Month(2012, 6)).name == "Ecosystem"
+        assert source_for_month(Month(2014, 1)).name == "Ecosystem"
+
+    def test_rapid7_era(self):
+        assert source_for_month(Month(2014, 2)).name == "Rapid7"
+        assert source_for_month(Month(2015, 6)).name == "Rapid7"
+
+    def test_censys_era(self):
+        assert source_for_month(Month(2015, 7)).name == "Censys"
+        assert source_for_month(Month(2016, 5)).name == "Censys"
+
+    def test_gap_before_ecosystem(self):
+        assert source_for_month(Month(2012, 1)) is None
+
+    def test_heartbleed_month_covered_by_rapid7(self):
+        assert source_for_month(Month(2014, 4)).name == "Rapid7"
+
+
+class TestScanMonths:
+    def test_full_window(self):
+        months = scan_months(STUDY_START, STUDY_END)
+        # 2 EFF + 1 P&Q + 20 Ecosystem + 17 Rapid7 + 11 Censys = 51.
+        assert len(months) == 51
+        assert months[0] == (Month(2010, 7), SCAN_SOURCES[0])
+        assert months[-1][0] == Month(2016, 5)
+
+    def test_sources_in_era_order(self):
+        names = [source.name for _m, source in scan_months(STUDY_START, STUDY_END)]
+        order = {"EFF": 0, "P&Q": 1, "Ecosystem": 2, "Rapid7": 3, "Censys": 4}
+        ranks = [order[n] for n in names]
+        assert ranks == sorted(ranks)
+
+    def test_only_rapid7_emits_intermediates(self):
+        for source in SCAN_SOURCES:
+            assert source.includes_unchained_intermediates == (
+                source.name == "Rapid7"
+            )
+
+    def test_coverage_in_unit_interval(self):
+        for source in SCAN_SOURCES:
+            assert 0.5 < source.coverage <= 1.0
+
+    def test_zmap_era_sees_more_than_nmap_era(self):
+        by_name = {s.name: s for s in SCAN_SOURCES}
+        assert by_name["Censys"].coverage > by_name["EFF"].coverage

@@ -1,0 +1,126 @@
+"""Tests for the SSH substrate: host keys, TOFU clients, impersonation."""
+
+import random
+
+import pytest
+
+from repro.crypto import dsa
+from repro.crypto.primes import generate_prime
+from repro.crypto.rsa import generate_rsa_keypair, keypair_from_primes
+from repro.ssh.attacker import HostImpersonator
+from repro.ssh.hostkeys import (
+    DsaHostKey,
+    HostVerificationError,
+    KnownHostsClient,
+    RsaHostKey,
+    SshServer,
+)
+
+
+@pytest.fixture(scope="module")
+def rsa_server():
+    keypair = generate_rsa_keypair(128, random.Random(81))
+    return SshServer(host="10.0.0.1", host_key=RsaHostKey(keypair))
+
+
+@pytest.fixture(scope="module")
+def dsa_params():
+    return dsa.generate_parameters(random.Random(82), p_bits=192, q_bits=80)
+
+
+@pytest.fixture(scope="module")
+def weak_dsa_server(dsa_params):
+    keypair = dsa.generate_dsa_keypair(dsa_params, random.Random(83))
+    # The entropy hole: the nonce is a fixed function of the boot state.
+    return SshServer(
+        host="10.0.0.2",
+        host_key=DsaHostKey(keypair=keypair, nonce_source=0xB00715EED % dsa_params.q),
+    )
+
+
+class TestHostAuthentication:
+    def test_first_connection_pins_key(self, rsa_server):
+        client = KnownHostsClient()
+        client.connect(rsa_server, random.Random(1))
+        assert rsa_server.host in client.known_hosts
+
+    def test_repeat_connection_accepted(self, rsa_server):
+        client = KnownHostsClient()
+        client.connect(rsa_server, random.Random(1))
+        client.connect(rsa_server, random.Random(2))
+
+    def test_changed_key_raises_warning(self, rsa_server):
+        client = KnownHostsClient()
+        client.connect(rsa_server, random.Random(1))
+        other = generate_rsa_keypair(128, random.Random(84))
+        evil = SshServer(host=rsa_server.host, host_key=RsaHostKey(other))
+        with pytest.raises(HostVerificationError, match="changed"):
+            client.connect(evil, random.Random(3))
+
+    def test_dsa_host_key_verifies(self, weak_dsa_server):
+        client = KnownHostsClient()
+        client.connect(weak_dsa_server, random.Random(4))
+
+    def test_invalid_proof_rejected(self, rsa_server):
+        class BrokenKey(RsaHostKey):
+            def sign(self, data, rng):
+                return (12345,)
+
+        broken = SshServer(
+            host="10.0.0.9",
+            host_key=BrokenKey(rsa_server.host_key.keypair),
+        )
+        with pytest.raises(HostVerificationError, match="proof invalid"):
+            KnownHostsClient().connect(broken, random.Random(5))
+
+
+class TestRsaImpersonation:
+    def test_batchgcd_factor_enables_silent_mitm(self):
+        # Two weak devices share a prime; the attacker factors and then
+        # impersonates one to a client that already pinned it.
+        rng = random.Random(85)
+        shared = generate_prime(64, rng)
+        victim_keypair = keypair_from_primes(shared, generate_prime(64, rng))
+        victim = SshServer(host="fw.corp", host_key=RsaHostKey(victim_keypair))
+        client = KnownHostsClient()
+        client.connect(victim, random.Random(6))  # key pinned
+
+        impostor = HostImpersonator().impersonate_rsa(victim, shared)
+        # The client reconnects to the impostor without any warning.
+        client.connect(impostor, random.Random(7))
+        assert client.known_hosts["fw.corp"] == victim.host_key.public_blob
+
+    def test_wrong_factor_rejected(self, rsa_server):
+        with pytest.raises(ValueError):
+            HostImpersonator().impersonate_rsa(rsa_server, 17)
+
+
+class TestDsaImpersonation:
+    def test_recorded_exchanges_leak_host_key(self, weak_dsa_server):
+        client = KnownHostsClient()
+        rng = random.Random(8)
+        # Record two key exchanges off the wire (nonce reused by the flaw).
+        nonce1, digest1, sig1 = weak_dsa_server.key_exchange(client.version, rng)
+        nonce2, digest2, sig2 = weak_dsa_server.key_exchange(client.version, rng)
+        assert sig1[0] == sig2[0]  # shared nonce -> shared r
+
+        impostor = HostImpersonator().impersonate_dsa_from_signatures(
+            weak_dsa_server, digest1, sig1, digest2, sig2
+        )
+        # A client with the victim pinned accepts the impostor silently.
+        client.connect(weak_dsa_server, random.Random(9))
+        client.connect(impostor, random.Random(10))
+
+    def test_healthy_dsa_server_not_recoverable(self, dsa_params):
+        keypair = dsa.generate_dsa_keypair(dsa_params, random.Random(86))
+        healthy = SshServer(
+            host="10.0.0.3", host_key=DsaHostKey(keypair=keypair)
+        )
+        rng = random.Random(11)
+        _n1, digest1, sig1 = healthy.key_exchange(b"SSH-2.0-c", rng)
+        _n2, digest2, sig2 = healthy.key_exchange(b"SSH-2.0-c", rng)
+        assert sig1[0] != sig2[0]  # fresh nonces
+        with pytest.raises(ValueError):
+            HostImpersonator().impersonate_dsa_from_signatures(
+                healthy, digest1, sig1, digest2, sig2
+            )

@@ -1,0 +1,157 @@
+"""Stress and failure-injection tests across module boundaries."""
+
+import random
+
+import pytest
+
+from repro.core.batchgcd import batch_gcd
+from repro.core.clustered import clustered_batch_gcd
+from repro.crypto.primes import generate_prime
+from repro.devices.models import (
+    DeviceModel,
+    KeygenKind,
+    KeygenSpec,
+    PopulationSchedule,
+    SubjectStyle,
+)
+from repro.devices.population import IpAllocator, ModelPopulation
+from repro.entropy.keygen import IbmNinePrimeProfile, WeakKeyFactory
+from repro.scans.records import CertificateStore, ScanSnapshot
+from repro.scans.scanner import HttpsScanner
+from repro.scans.sources import ScanSource
+from repro.timeline import Month
+
+
+class TestDegenerateCorpora:
+    def test_ibm_clique_fully_resolves(self, small_openssl_table):
+        # Every modulus in the 36-element clique shares BOTH of its primes
+        # with other moduli (divisor == N), exercising the pairwise
+        # fallback path for the entire corpus at once.
+        factory = WeakKeyFactory(seed=5, prime_bits=48, openssl_table=small_openssl_table)
+        profile = IbmNinePrimeProfile(profile_id="stress-ibm")
+        moduli = profile.possible_moduli(factory)
+        result = batch_gcd(moduli)
+        assert result.vulnerable_count() == 36
+        factored = result.resolve()
+        assert len(factored) == 36
+        primes = set()
+        for fact in factored.values():
+            primes.update((fact.p, fact.q))
+        assert primes == set(profile.clique_primes(factory))
+
+    def test_mixed_clique_and_entropy_hole(self, rng, small_openssl_table):
+        factory = WeakKeyFactory(seed=6, prime_bits=48, openssl_table=small_openssl_table)
+        profile = IbmNinePrimeProfile(profile_id="stress-mixed")
+        clique = profile.possible_moduli(factory)[:10]
+        shared = generate_prime(48, rng)
+        hole = [shared * generate_prime(48, rng) for _ in range(5)]
+        healthy = [
+            generate_prime(48, rng) * generate_prime(48, rng) for _ in range(10)
+        ]
+        corpus = clique + hole + healthy
+        result = batch_gcd(corpus)
+        factored = result.resolve()
+        assert set(clique) <= set(factored)
+        assert set(hole) <= set(factored)
+        assert not (set(healthy) & set(factored))
+
+    def test_large_duplicate_heavy_corpus(self, rng):
+        base = [generate_prime(40, rng) * generate_prime(40, rng) for _ in range(20)]
+        corpus = base * 3  # every modulus appears three times
+        result = batch_gcd(corpus)
+        # Duplicates flag each other with divisor == N.
+        assert result.vulnerable_count() == len(corpus)
+        assert all(d == n for d, n in zip(result.divisors, result.moduli))
+
+    def test_clustered_with_more_processes_than_tasks(self, rng):
+        moduli = [generate_prime(40, rng) * generate_prime(40, rng) for _ in range(6)]
+        result = clustered_batch_gcd(moduli, k=2, processes=8)
+        assert result.divisors == [1] * 6
+
+
+class TestScannerFailureModes:
+    def _population(self, small_openssl_table):
+        factory = WeakKeyFactory(seed=9, prime_bits=48, openssl_table=small_openssl_table)
+        model = DeviceModel(
+            model_id="stress-scan",
+            vendor="HP",
+            subject_style=SubjectStyle.VENDOR_IN_O,
+            keygen=KeygenSpec(kind=KeygenKind.HEALTHY, profile_id="stress-scan"),
+            schedule=PopulationSchedule(points=((Month(2012, 1), 30),)),
+        )
+        population = ModelPopulation(
+            model=model, divisor=1, factory=factory,
+            allocator=IpAllocator(random.Random(1)), rng=random.Random(2),
+        )
+        population.step(Month(2012, 1))
+        return population
+
+    def test_zero_coverage_scan_is_empty(self, small_openssl_table):
+        population = self._population(small_openssl_table)
+        store = CertificateStore()
+        scanner = HttpsScanner(store, random.Random(3))
+        source = ScanSource(
+            name="DEAD", first=Month(2012, 1), last=Month(2012, 1), coverage=0.0
+        )
+        snapshot = scanner.scan(Month(2012, 1), source, [(population, False)])
+        assert snapshot.host_count == 0
+        assert len(store) == 0
+
+    def test_scan_of_empty_population_list(self):
+        store = CertificateStore()
+        scanner = HttpsScanner(store, random.Random(3))
+        source = ScanSource(
+            name="T", first=Month(2012, 1), last=Month(2012, 1), coverage=1.0
+        )
+        snapshot = scanner.scan(Month(2012, 1), source, [])
+        assert snapshot.host_count == 0
+
+    def test_repeated_scans_intern_once(self, small_openssl_table):
+        population = self._population(small_openssl_table)
+        store = CertificateStore()
+        scanner = HttpsScanner(store, random.Random(3))
+        source = ScanSource(
+            name="T", first=Month(2012, 1), last=Month(2012, 12), coverage=1.0
+        )
+        scanner.scan(Month(2012, 1), source, [(population, False)])
+        size_after_first = len(store)
+        scanner.scan(Month(2012, 2), source, [(population, False)])
+        assert len(store) == size_after_first  # same certificates, no growth
+
+
+class TestPopulationEdgeCases:
+    def test_population_that_never_exists(self, small_openssl_table):
+        factory = WeakKeyFactory(seed=10, prime_bits=48, openssl_table=small_openssl_table)
+        model = DeviceModel(
+            model_id="ghost",
+            vendor="HP",
+            subject_style=SubjectStyle.VENDOR_IN_O,
+            keygen=KeygenSpec(kind=KeygenKind.HEALTHY, profile_id="ghost"),
+            schedule=PopulationSchedule(points=()),
+        )
+        population = ModelPopulation(
+            model=model, divisor=1, factory=factory,
+            allocator=IpAllocator(random.Random(1)), rng=random.Random(2),
+        )
+        for month in Month.range(Month(2010, 7), Month(2011, 7)):
+            population.step(month)
+        assert population.online_count() == 0
+        assert population.devices_ever() == []
+
+    def test_heartbleed_on_empty_population(self, small_openssl_table):
+        factory = WeakKeyFactory(seed=11, prime_bits=48, openssl_table=small_openssl_table)
+        model = DeviceModel(
+            model_id="late",
+            vendor="HP",
+            subject_style=SubjectStyle.VENDOR_IN_O,
+            keygen=KeygenSpec(kind=KeygenKind.SHARED_PRIME, profile_id="late"),
+            schedule=PopulationSchedule(points=((Month(2015, 1), 10),)),
+        )
+        population = ModelPopulation(
+            model=model, divisor=1, factory=factory,
+            allocator=IpAllocator(random.Random(1)), rng=random.Random(2),
+        )
+        # Stepping through Heartbleed with zero devices must not crash.
+        for month in Month.range(Month(2014, 3), Month(2014, 5)):
+            population.step(month)
+        assert population.online_count() == 0

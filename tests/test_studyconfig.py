@@ -1,0 +1,37 @@
+"""Tests for study configuration presets."""
+
+from repro.studyconfig import StudyConfig
+
+
+class TestPresets:
+    def test_full_scale(self):
+        assert StudyConfig.full().scale == 1000
+
+    def test_tiny_is_smaller_than_medium(self):
+        tiny, medium = StudyConfig.tiny(), StudyConfig.medium()
+        assert tiny.scale > medium.scale
+        assert tiny.device_prime_bits <= medium.device_prime_bits
+
+    def test_openssl_table_override(self):
+        config = StudyConfig.tiny()
+        table = config.openssl_table()
+        assert table is not None
+        assert len(table) == config.openssl_table_size
+        assert 2 not in table
+
+    def test_full_uses_authentic_table(self):
+        assert StudyConfig.full().openssl_table() is None
+
+    def test_with_replaces_fields(self):
+        config = StudyConfig.tiny().with_(seed=42, scale=12345)
+        assert config.seed == 42
+        assert config.scale == 12345
+        # Unrelated fields preserved.
+        assert config.device_prime_bits == StudyConfig.tiny().device_prime_bits
+
+    def test_frozen(self):
+        import dataclasses
+        import pytest
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            StudyConfig.tiny().seed = 1

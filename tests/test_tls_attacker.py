@@ -1,0 +1,136 @@
+"""Tests for the passive eavesdropper and active MITM."""
+
+import math
+import random
+from datetime import date
+
+import pytest
+
+from repro.core.batchgcd import batch_gcd
+from repro.crypto.certs import DistinguishedName, self_signed_certificate
+from repro.crypto.primes import generate_prime
+from repro.crypto.rsa import keypair_from_primes
+from repro.tls.attacker import ActiveMitm, PassiveEavesdropper
+from repro.tls.session import HandshakeFailure, TlsClient, TlsServer, handshake
+from repro.tls.suites import CipherSuite
+
+
+@pytest.fixture(scope="module")
+def weak_servers():
+    """Two servers sharing a prime (the entropy-hole pattern)."""
+    rng = random.Random(31)
+    shared = generate_prime(64, rng)
+    servers = []
+    for i in range(2):
+        q = generate_prime(64, rng)
+        keypair = keypair_from_primes(shared, q)
+        certificate = self_signed_certificate(
+            subject=DistinguishedName(O="Acme", CN=f"fw-{i}"),
+            keypair=keypair,
+            serial=i,
+            not_before=date(2012, 1, 1),
+            not_after=date(2022, 1, 1),
+        )
+        servers.append(TlsServer(certificate=certificate, private_key=keypair.private))
+    return servers
+
+
+def factor_from_scan(servers):
+    """The attacker's step: batch GCD over scanned public moduli."""
+    moduli = [s.certificate.public_key.n for s in servers]
+    return batch_gcd(moduli).resolve()
+
+
+class TestPassiveEavesdropper:
+    def test_records_then_decrypts_rsa_sessions(self, weak_servers):
+        victim = weak_servers[0]
+        eve = PassiveEavesdropper()
+        rng = random.Random(32)
+        client = TlsClient(offered=(CipherSuite.RSA,))
+        session = handshake(client, victim, rng)
+        session.send(b"admin:letmein")
+        session.send(b"show running-config")
+        eve.record(session.transcript)
+
+        # Before factoring: nothing.
+        assert not eve.can_decrypt(session.transcript)
+        with pytest.raises(HandshakeFailure):
+            eve.decrypt(session.transcript)
+
+        # After batch GCD: everything.
+        factored = factor_from_scan(weak_servers)
+        n = victim.certificate.public_key.n
+        eve.learn_factor(n, factored[n].p)
+        assert eve.decrypt(session.transcript) == [
+            b"admin:letmein", b"show running-config",
+        ]
+
+    def test_dhe_sessions_stay_opaque(self, weak_servers):
+        victim = weak_servers[0]
+        eve = PassiveEavesdropper()
+        rng = random.Random(33)
+        session = handshake(TlsClient(offered=(CipherSuite.DHE_RSA,)), victim, rng)
+        session.send(b"secret")
+        eve.record(session.transcript)
+        factored = factor_from_scan(weak_servers)
+        n = victim.certificate.public_key.n
+        eve.learn_factor(n, factored[n].p)
+        # Forward secrecy: even with the key, the recording is useless.
+        assert not eve.can_decrypt(session.transcript)
+
+    def test_decryptable_fraction(self, weak_servers):
+        victim = weak_servers[0]
+        eve = PassiveEavesdropper()
+        rng = random.Random(34)
+        for suite in (CipherSuite.RSA, CipherSuite.RSA, CipherSuite.DHE_RSA):
+            session = handshake(TlsClient(offered=(suite,)), victim, rng)
+            eve.record(session.transcript)
+        factored = factor_from_scan(weak_servers)
+        n = victim.certificate.public_key.n
+        eve.learn_factor(n, factored[n].p)
+        assert eve.decryptable_fraction() == pytest.approx(2 / 3)
+
+    def test_empty_wiretap(self):
+        assert PassiveEavesdropper().decryptable_fraction() == 0.0
+
+
+class TestActiveMitm:
+    def test_impersonation_defeats_dhe(self, weak_servers):
+        victim = weak_servers[1]
+        mitm = ActiveMitm()
+        factored = factor_from_scan(weak_servers)
+        n = victim.certificate.public_key.n
+        mitm.learn_factor(n, factored[n].p)
+        # A fully verifying client negotiates DHE with the impostor and
+        # accepts the (genuine) certificate and (forged) signature.
+        session = mitm.intercept(TlsClient(), victim, random.Random(35))
+        assert session.transcript.suite is CipherSuite.DHE_RSA
+        assert session.transcript.certificate == victim.certificate
+        ciphertext = session.send(b"exfiltrate")
+        assert ciphertext != b"exfiltrate"
+
+    def test_cannot_impersonate_unfactored_server(self):
+        rng = random.Random(36)
+        p = generate_prime(64, rng)
+        q = generate_prime(64, rng)
+        keypair = keypair_from_primes(p, q)
+        certificate = self_signed_certificate(
+            subject=DistinguishedName(CN="healthy"),
+            keypair=keypair,
+            serial=1,
+            not_before=date(2012, 1, 1),
+            not_after=date(2022, 1, 1),
+        )
+        server = TlsServer(certificate=certificate, private_key=keypair.private)
+        with pytest.raises(HandshakeFailure):
+            ActiveMitm().impersonate(server)
+
+    def test_recovered_key_is_the_real_key(self, weak_servers):
+        victim = weak_servers[0]
+        mitm = ActiveMitm()
+        factored = factor_from_scan(weak_servers)
+        n = victim.certificate.public_key.n
+        mitm.learn_factor(n, factored[n].p)
+        recovered = mitm.recovered_keys[n]
+        assert recovered.d == victim.private_key.d
+        assert math.gcd(recovered.p, victim.private_key.n) == recovered.p

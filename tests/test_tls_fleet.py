@@ -1,0 +1,86 @@
+"""Integration: simulated device fleets exposed as live TLS endpoints."""
+
+import random
+
+import pytest
+
+from repro.core.batchgcd import batch_gcd
+from repro.devices.catalog import models_for_vendor
+from repro.devices.population import IpAllocator, ModelPopulation
+from repro.entropy.keygen import WeakKeyFactory
+from repro.timeline import Month
+from repro.tls import (
+    CipherSuite,
+    HandshakeFailure,
+    PassiveEavesdropper,
+    TlsClient,
+    handshake,
+    server_for_device,
+)
+
+
+@pytest.fixture(scope="module")
+def juniper_fleet(small_openssl_table):
+    factory = WeakKeyFactory(seed=404, prime_bits=64, openssl_table=small_openssl_table)
+    (model,) = models_for_vendor("Juniper")
+    population = ModelPopulation(
+        model=model,
+        divisor=2000,
+        factory=factory,
+        allocator=IpAllocator(random.Random(1)),
+        rng=random.Random(2),
+    )
+    for month in Month.range(Month(2010, 7), Month(2012, 6)):
+        population.step(month)
+    return population
+
+
+class TestServerForDevice:
+    def test_rsa_only_device(self, juniper_fleet):
+        # Juniper SRX devices are modelled as RSA-kex-only.
+        device = juniper_fleet.online[0]
+        server = server_for_device(device)
+        assert server.suites == (CipherSuite.RSA,)
+        assert server.certificate is device.certificate
+
+    def test_dhe_client_rejected_by_rsa_only_device(self, juniper_fleet):
+        server = server_for_device(juniper_fleet.online[0])
+        dhe_only = TlsClient(offered=(CipherSuite.DHE_RSA,))
+        with pytest.raises(HandshakeFailure):
+            handshake(dhe_only, server, random.Random(3))
+
+    def test_sessions_terminate_with_device_key(self, juniper_fleet):
+        server = server_for_device(juniper_fleet.online[0])
+        session = handshake(TlsClient(), server, random.Random(4))
+        assert session.transcript.suite is CipherSuite.RSA
+        ciphertext = session.send(b"config dump")
+        assert ciphertext != b"config dump"
+
+
+class TestFleetWideInterception:
+    def test_factored_fleet_is_passively_readable(self, juniper_fleet):
+        # Scan the fleet, factor, and decrypt a session per weak device.
+        moduli = sorted(
+            {d.certificate.public_key.n for d in juniper_fleet.online}
+        )
+        factored = batch_gcd(moduli).resolve()
+        assert factored, "fleet produced no collisions at this size"
+        eve = PassiveEavesdropper()
+        rng = random.Random(5)
+        readable = 0
+        for device in juniper_fleet.online:
+            n = device.certificate.public_key.n
+            if n not in factored:
+                continue
+            server = server_for_device(device)
+            session = handshake(TlsClient(), server, rng)
+            session.send(b"enable secret")
+            eve.record(session.transcript)
+            eve.learn_factor(n, factored[n].p)
+            assert eve.decrypt(session.transcript) == [b"enable secret"]
+            readable += 1
+        assert readable == len(
+            [d for d in juniper_fleet.online
+             if d.certificate.public_key.n in factored]
+        )
+        assert eve.decryptable_fraction() == 1.0

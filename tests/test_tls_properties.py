@@ -1,0 +1,82 @@
+"""Property-based tests for the TLS substrate."""
+
+import random
+from datetime import date
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.certs import DistinguishedName, self_signed_certificate
+from repro.crypto.rsa import generate_rsa_keypair
+from repro.tls.attacker import PassiveEavesdropper
+from repro.tls.session import (
+    TlsClient,
+    TlsServer,
+    derive_master_secret,
+    handshake,
+    keystream_encrypt,
+)
+from repro.tls.suites import CipherSuite
+
+
+@pytest.fixture(scope="module")
+def server():
+    keypair = generate_rsa_keypair(128, random.Random(71))
+    certificate = self_signed_certificate(
+        subject=DistinguishedName(CN="prop-server"),
+        keypair=keypair,
+        serial=1,
+        not_before=date(2012, 1, 1),
+        not_after=date(2022, 1, 1),
+    )
+    return TlsServer(certificate=certificate, private_key=keypair.private)
+
+
+class TestKeystreamProperties:
+    @given(st.binary(max_size=200), st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=60)
+    def test_roundtrip(self, plaintext, sequence):
+        master = b"k" * 32
+        ciphertext = keystream_encrypt(master, sequence, plaintext)
+        assert keystream_encrypt(master, sequence, ciphertext) == plaintext
+        if plaintext:
+            assert ciphertext != plaintext or len(plaintext) == 0
+
+    @given(st.binary(min_size=1, max_size=64))
+    @settings(max_examples=30)
+    def test_different_masters_differ(self, plaintext):
+        a = keystream_encrypt(b"a" * 32, 0, plaintext)
+        b = keystream_encrypt(b"b" * 32, 0, plaintext)
+        assert a != b
+
+    @given(st.integers(min_value=2, max_value=2**64), st.binary(min_size=32, max_size=32),
+           st.binary(min_size=32, max_size=32))
+    @settings(max_examples=30)
+    def test_master_secret_sensitivity(self, premaster, cr, sr):
+        base = derive_master_secret(premaster, cr, sr)
+        assert derive_master_secret(premaster + 1, cr, sr) != base
+        assert len(base) == 32
+
+
+class TestHandshakeProperties:
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_rsa_session_always_decryptable_by_keyholder(self, server, seed):
+        rng = random.Random(seed)
+        session = handshake(TlsClient(offered=(CipherSuite.RSA,)), server, rng)
+        payload = f"payload-{seed}".encode()
+        session.send(payload)
+        eve = PassiveEavesdropper()
+        eve.record(session.transcript)
+        eve.recovered_keys[server.certificate.public_key.n] = server.private_key
+        assert eve.decrypt(session.transcript) == [payload]
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_dhe_signature_always_verifies(self, server, seed):
+        rng = random.Random(seed)
+        session = handshake(TlsClient(offered=(CipherSuite.DHE_RSA,)), server, rng)
+        t = session.transcript
+        assert server.certificate.public_key.verify(
+            t.signed_dhe_blob(), t.dhe_signature
+        )

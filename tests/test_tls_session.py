@@ -1,0 +1,131 @@
+"""Tests for the mini-TLS handshake and record protection."""
+
+import random
+from datetime import date
+
+import pytest
+
+from repro.crypto.certs import DistinguishedName, self_signed_certificate
+from repro.crypto.rsa import generate_rsa_keypair
+from repro.scans.rimon import RimonInterceptor
+from repro.tls.session import (
+    HandshakeFailure,
+    TlsClient,
+    TlsServer,
+    derive_master_secret,
+    handshake,
+    keystream_encrypt,
+)
+from repro.tls.suites import CipherSuite
+
+
+@pytest.fixture(scope="module")
+def server():
+    keypair = generate_rsa_keypair(128, random.Random(21))
+    certificate = self_signed_certificate(
+        subject=DistinguishedName(O="Acme", CN="fw-1"),
+        keypair=keypair,
+        serial=1,
+        not_before=date(2012, 1, 1),
+        not_after=date(2022, 1, 1),
+    )
+    return TlsServer(certificate=certificate, private_key=keypair.private)
+
+
+class TestSuiteNegotiation:
+    def test_client_preference_wins(self, server):
+        session = handshake(TlsClient(), server, random.Random(1))
+        assert session.transcript.suite is CipherSuite.DHE_RSA
+
+    def test_rsa_only_server(self, server):
+        rsa_only = TlsServer(
+            certificate=server.certificate,
+            private_key=server.private_key,
+            suites=(CipherSuite.RSA,),
+        )
+        session = handshake(TlsClient(), rsa_only, random.Random(1))
+        assert session.transcript.suite is CipherSuite.RSA
+
+    def test_no_common_suite(self, server):
+        dhe_only_client = TlsClient(offered=(CipherSuite.DHE_RSA,))
+        rsa_only = TlsServer(
+            certificate=server.certificate,
+            private_key=server.private_key,
+            suites=(CipherSuite.RSA,),
+        )
+        with pytest.raises(HandshakeFailure):
+            handshake(dhe_only_client, rsa_only, random.Random(1))
+
+    def test_forward_secrecy_flag(self):
+        assert CipherSuite.DHE_RSA.forward_secret
+        assert not CipherSuite.RSA.forward_secret
+
+
+class TestHandshakeTranscripts:
+    def test_rsa_transcript_fields(self, server):
+        client = TlsClient(offered=(CipherSuite.RSA,))
+        session = handshake(client, server, random.Random(2))
+        t = session.transcript
+        assert t.rsa_encrypted_premaster is not None
+        assert t.dhe_params is None
+        assert len(t.client_random) == 32
+
+    def test_dhe_transcript_signed(self, server):
+        client = TlsClient(offered=(CipherSuite.DHE_RSA,))
+        session = handshake(client, server, random.Random(3))
+        t = session.transcript
+        assert t.dhe_params is not None
+        assert server.certificate.public_key.verify(
+            t.signed_dhe_blob(), t.dhe_signature
+        )
+
+    def test_substituted_certificate_rejected(self, server):
+        # A Rimon-style key-swapped certificate fails client verification.
+        interceptor = RimonInterceptor(random.Random(4), key_bits=128)
+        swapped = interceptor.intercept(server.certificate)
+        bogus = TlsServer(
+            certificate=swapped, private_key=interceptor.keypair.private
+        )
+        with pytest.raises(HandshakeFailure):
+            handshake(TlsClient(), bogus, random.Random(5))
+
+    def test_unverifying_client_accepts_substitution(self, server):
+        interceptor = RimonInterceptor(random.Random(4), key_bits=128)
+        swapped = interceptor.intercept(server.certificate)
+        bogus = TlsServer(
+            certificate=swapped, private_key=interceptor.keypair.private
+        )
+        lax = TlsClient(verify_certificate=False)
+        session = handshake(lax, bogus, random.Random(5))
+        assert session.transcript.certificate.public_key.n == interceptor.modulus
+
+    def test_server_without_key_fails(self, server):
+        keyless = TlsServer(certificate=server.certificate, private_key=None)
+        with pytest.raises(HandshakeFailure):
+            handshake(TlsClient(), keyless, random.Random(6))
+
+
+class TestRecordProtection:
+    def test_keystream_roundtrip(self):
+        master = b"m" * 32
+        ciphertext = keystream_encrypt(master, 0, b"hello world")
+        assert keystream_encrypt(master, 0, ciphertext) == b"hello world"
+
+    def test_sequence_separates_records(self):
+        master = b"m" * 32
+        assert keystream_encrypt(master, 0, b"aaaa") != keystream_encrypt(
+            master, 1, b"aaaa"
+        )
+
+    def test_session_records_appended(self, server):
+        session = handshake(TlsClient(), server, random.Random(7))
+        c1 = session.send(b"GET /admin")
+        c2 = session.send(b"password=hunter2")
+        assert session.transcript.records == [c1, c2]
+        assert c1 != b"GET /admin"
+
+    def test_master_secret_derivation_deterministic(self):
+        a = derive_master_secret(12345, b"c" * 32, b"s" * 32)
+        b = derive_master_secret(12345, b"c" * 32, b"s" * 32)
+        assert a == b
+        assert derive_master_secret(12346, b"c" * 32, b"s" * 32) != a
