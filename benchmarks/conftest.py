@@ -6,6 +6,11 @@ benchmark; each benchmark
 then times the analysis step that regenerates its table or figure, asserts
 the paper's qualitative shape, and writes the rendered artifact to
 ``benchmarks/output/``.
+
+The shared study runs with telemetry enabled, and its RunReport is written
+to ``benchmarks/output/run_report.json`` — so every benchmark session also
+leaves behind the per-stage wall/CPU breakdown (schema:
+``docs/TELEMETRY.md``) alongside the rendered tables and figures.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ import pytest
 
 from repro.pipeline import run_study
 from repro.studyconfig import StudyConfig
+from repro.telemetry import Telemetry
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 
@@ -28,8 +34,17 @@ def bench_config() -> StudyConfig:
 
 @pytest.fixture(scope="session")
 def study(bench_config):
-    """One full study shared by all table/figure benchmarks."""
-    return run_study(bench_config)
+    """One full study shared by all table/figure benchmarks.
+
+    Runs instrumented and writes the telemetry report artifact so
+    benchmark trajectories gain per-stage breakdowns.
+    """
+    result = run_study(bench_config, telemetry=Telemetry())
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "run_report.json").write_text(
+        result.telemetry.to_json() + "\n"
+    )
+    return result
 
 
 @pytest.fixture(scope="session")

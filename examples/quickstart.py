@@ -9,62 +9,88 @@ This walks the core loop of the paper in miniature:
 3. run the batch GCD to find and factor every weak modulus;
 4. recover a full private key from one shared factor and forge a signature.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--telemetry-json report.json]
+
+With ``--telemetry-json`` the run records spans/counters into a telemetry
+RunReport and writes it as JSON — the worked example behind
+``docs/TELEMETRY.md`` (validate it with ``python -m repro.telemetry``).
 """
 
 from __future__ import annotations
 
+import argparse
 import random
 
 from repro.core import batch_gcd, clustered_batch_gcd, naive_pairwise_gcd
 from repro.crypto.rsa import recover_private_key
 from repro.entropy.keygen import HealthyProfile, SharedPrimeProfile, WeakKeyFactory
+from repro.telemetry import Telemetry, use_telemetry
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--telemetry-json", metavar="PATH",
+        help="record telemetry and write the RunReport as JSON",
+    )
+    args = parser.parse_args(argv)
+    telemetry = Telemetry(enabled=args.telemetry_json is not None)
+
     rng = random.Random(2016)
     factory = WeakKeyFactory(seed=2016, prime_bits=128)
 
-    # A flawed product line: the whole fleet can only boot into 12 distinct
-    # entropy-pool states, so first primes repeat across devices.
-    flawed_fleet = SharedPrimeProfile(
-        profile_id="acme-router", boot_states=12, openssl_style=True
-    )
-    weak_keys = [flawed_fleet.generate(rng, factory) for _ in range(40)]
+    with use_telemetry(telemetry):
+        # A flawed product line: the whole fleet can only boot into 12
+        # distinct entropy-pool states, so first primes repeat across devices.
+        with telemetry.span("quickstart.keygen"):
+            flawed_fleet = SharedPrimeProfile(
+                profile_id="acme-router", boot_states=12, openssl_style=True
+            )
+            weak_keys = [flawed_fleet.generate(rng, factory) for _ in range(40)]
 
-    # A healthy crowd: properly seeded servers with unique primes.
-    healthy = HealthyProfile(profile_id="web-servers")
-    healthy_keys = [healthy.generate(rng, factory) for _ in range(160)]
+            # A healthy crowd: properly seeded servers with unique primes.
+            healthy = HealthyProfile(profile_id="web-servers")
+            healthy_keys = [healthy.generate(rng, factory) for _ in range(160)]
 
-    corpus = [k.keypair.public.n for k in weak_keys + healthy_keys]
-    rng.shuffle(corpus)
-    print(f"corpus: {len(corpus)} distinct RSA moduli "
-          f"({len(weak_keys)} from the flawed fleet)")
+        corpus = [k.keypair.public.n for k in weak_keys + healthy_keys]
+        rng.shuffle(corpus)
+        telemetry.counter("quickstart.corpus_moduli", len(corpus))
+        print(f"corpus: {len(corpus)} distinct RSA moduli "
+              f"({len(weak_keys)} from the flawed fleet)")
 
-    # --- the paper's computation -------------------------------------
-    result = batch_gcd(corpus)
-    factored = result.resolve()
-    print(f"batch GCD factored {len(factored)} moduli")
+        # --- the paper's computation -------------------------------------
+        with telemetry.span("quickstart.batch_gcd"):
+            result = batch_gcd(corpus)
+            factored = result.resolve()
+        telemetry.counter("quickstart.factored", len(factored))
+        print(f"batch GCD factored {len(factored)} moduli")
 
-    # All three engines agree.
-    assert naive_pairwise_gcd(corpus).divisors == result.divisors
-    assert clustered_batch_gcd(corpus, k=4).divisors == result.divisors
-    print("naive / classic / clustered engines agree")
+        # All three engines agree.
+        with telemetry.span("quickstart.cross_check"):
+            assert naive_pairwise_gcd(corpus).divisors == result.divisors
+            assert clustered_batch_gcd(corpus, k=4).divisors == result.divisors
+        print("naive / classic / clustered engines agree")
 
-    # Every factored key is genuinely from the flawed fleet.
-    weak_truth = {k.keypair.public.n for k in weak_keys}
-    assert set(factored) <= weak_truth
-    recall = len(factored) / len(weak_truth)
-    print(f"recall on the flawed fleet: {recall:.0%} "
-          "(unfactored ones never collided on a boot state)")
+        # Every factored key is genuinely from the flawed fleet.
+        weak_truth = {k.keypair.public.n for k in weak_keys}
+        assert set(factored) <= weak_truth
+        recall = len(factored) / len(weak_truth)
+        print(f"recall on the flawed fleet: {recall:.0%} "
+              "(unfactored ones never collided on a boot state)")
 
-    # --- what an attacker does next ----------------------------------
-    n, fact = next(iter(factored.items()))
-    private = recover_private_key(n, 65537, fact.p)
-    signature = private.sign(b"firmware-update-v2.bin")
-    assert private.public_key.verify(b"firmware-update-v2.bin", signature)
-    print(f"recovered a private key for modulus {str(n)[:24]}... "
-          "and forged a signature with it")
+        # --- what an attacker does next ----------------------------------
+        with telemetry.span("quickstart.key_recovery"):
+            n, fact = next(iter(factored.items()))
+            private = recover_private_key(n, 65537, fact.p)
+            signature = private.sign(b"firmware-update-v2.bin")
+            assert private.public_key.verify(b"firmware-update-v2.bin", signature)
+        print(f"recovered a private key for modulus {str(n)[:24]}... "
+              "and forged a signature with it")
+
+    if args.telemetry_json:
+        with open(args.telemetry_json, "w", encoding="utf-8") as handle:
+            handle.write(telemetry.report().to_json() + "\n")
+        print(f"telemetry report written to {args.telemetry_json}")
 
 
 if __name__ == "__main__":

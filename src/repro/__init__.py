@@ -25,11 +25,16 @@ Subpackages:
 - :mod:`repro.fingerprint` — implementation fingerprinting.
 - :mod:`repro.analysis` — tables, figures, transitions, event studies.
 - :mod:`repro.reporting` — text rendering of tables and chart series.
+- :mod:`repro.telemetry` — counters, timers, spans; the RunReport every
+  instrumented run can emit (``repro-study --telemetry-json``).
+
+See ``ARCHITECTURE.md`` for the guided tour and data-flow diagram.
 """
 
 from repro.core import batch_gcd, clustered_batch_gcd, naive_pairwise_gcd
 from repro.pipeline import StudyResult, StudyWorld, build_world, run_study
 from repro.studyconfig import StudyConfig
+from repro.telemetry import RunReport, Telemetry
 from repro.timeline import HEARTBLEED, Month, STUDY_END, STUDY_START
 
 __version__ = "1.0.0"
@@ -37,11 +42,13 @@ __version__ = "1.0.0"
 __all__ = [
     "HEARTBLEED",
     "Month",
+    "RunReport",
     "STUDY_END",
     "STUDY_START",
     "StudyConfig",
     "StudyResult",
     "StudyWorld",
+    "Telemetry",
     "batch_gcd",
     "build_world",
     "clustered_batch_gcd",

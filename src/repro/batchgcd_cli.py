@@ -10,6 +10,12 @@ blank/comment lines are tolerated).  Output: one line per *vulnerable*
 modulus — ``<modulus> <factor> <cofactor>`` in hex — plus a summary on
 stderr.  Moduli that were flagged but could not be split (duplicate
 inputs) are reported with ``-`` placeholders.
+
+``--telemetry-json PATH`` records the computation (the product-build span
+plus every (subset, product) task span, merged back from worker
+processes) and writes the RunReport; ``--timings`` prints the same
+telemetry as a human-readable summary on stderr.  Schema:
+``docs/TELEMETRY.md``.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ import time
 from pathlib import Path
 
 from repro.core.clustered import ClusteredBatchGcd
+from repro.telemetry import Telemetry, use_telemetry
 
 __all__ = ["main", "read_moduli", "format_results"]
 
@@ -77,6 +84,14 @@ def main(argv: list[str] | None = None) -> int:
         "--dedup", action="store_true",
         help="drop duplicate moduli before the computation",
     )
+    parser.add_argument(
+        "--telemetry-json", metavar="PATH",
+        help="write a telemetry RunReport (per-task spans) as JSON",
+    )
+    parser.add_argument(
+        "--timings", action="store_true",
+        help="print a per-task timing summary on stderr",
+    )
     args = parser.parse_args(argv)
 
     if args.input == "-":
@@ -87,9 +102,14 @@ def main(argv: list[str] | None = None) -> int:
         moduli = list(dict.fromkeys(moduli))
     print(f"read {len(moduli)} moduli", file=sys.stderr)
 
+    telemetry = Telemetry(
+        enabled=bool(args.telemetry_json or args.timings)
+    )
     started = time.perf_counter()
     engine = ClusteredBatchGcd(k=args.k, processes=args.processes)
-    result = engine.run(moduli)
+    with use_telemetry(telemetry):
+        with telemetry.span("batch_gcd", moduli=len(moduli), k=args.k):
+            result = engine.run(moduli)
     elapsed = time.perf_counter() - started
 
     lines = format_results(result)
@@ -105,6 +125,12 @@ def main(argv: list[str] | None = None) -> int:
         f"cpu {stats.cpu_seconds:.2f}s)",
         file=sys.stderr,
     )
+    if telemetry.enabled:
+        report = telemetry.report()
+        if args.telemetry_json:
+            Path(args.telemetry_json).write_text(report.to_json() + "\n")
+        if args.timings:
+            print(report.render(max_depth=3), file=sys.stderr)
     return 0
 
 

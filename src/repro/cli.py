@@ -3,12 +3,19 @@
 Usage::
 
     repro-study [--preset tiny|medium|full] [--seed N] [--verbose]
+                [--telemetry-json PATH] [--timings]
+
+``--telemetry-json`` writes the run's :class:`repro.telemetry.RunReport`
+(per-stage wall/CPU spans, batch-GCD task spans merged from workers,
+scanner counters — schema in ``docs/TELEMETRY.md``); ``--timings`` prints
+the human-readable summary after the report bundle.
 """
 
 from __future__ import annotations
 
 import argparse
 import logging
+import pathlib
 import sys
 
 from repro.pipeline import run_study
@@ -24,6 +31,7 @@ from repro.reporting.study import (
     render_vendor_figure,
 )
 from repro.studyconfig import StudyConfig
+from repro.telemetry import Telemetry
 
 __all__ = ["main"]
 
@@ -73,13 +81,24 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--verbose", action="store_true", help="log per-scan progress"
     )
+    parser.add_argument(
+        "--telemetry-json", metavar="PATH",
+        help="write the run's telemetry RunReport as JSON",
+    )
+    parser.add_argument(
+        "--timings", action="store_true",
+        help="print a per-stage wall/CPU timing summary",
+    )
     args = parser.parse_args(argv)
     logging.basicConfig(
         level=logging.INFO if args.verbose else logging.WARNING,
         format="%(asctime)s %(name)s %(message)s",
     )
     config = _PRESETS[args.preset](seed=args.seed)
-    result = run_study(config)
+    telemetry = (
+        Telemetry() if (args.telemetry_json or args.timings) else None
+    )
+    result = run_study(config, telemetry=telemetry)
     out = sys.stdout
     print(render_summary(result), file=out)
     for render in (render_table1, render_table2, render_table3, render_table4,
@@ -93,6 +112,14 @@ def main(argv: list[str] | None = None) -> int:
         print(render_vendor_figure(result, vendor, figure), file=out)
     print(file=out)
     print(render_figure7(result), file=out)
+    if result.telemetry is not None:
+        if args.telemetry_json:
+            pathlib.Path(args.telemetry_json).write_text(
+                result.telemetry.to_json() + "\n"
+            )
+        if args.timings:
+            print(file=out)
+            print(result.telemetry.render(), file=out)
     return 0
 
 

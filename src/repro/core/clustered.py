@@ -26,6 +26,13 @@ only by combining several subsets (e.g. N = p**2 with single factors of p
 spread across subsets), the reported divisor may be a proper divisor of the
 classic one — the vulnerable/clean flagging is identical either way, which
 is what the paper's pipeline consumes.
+
+Telemetry: when a registry is active (see :mod:`repro.telemetry`), the run
+records a ``batch_gcd.products`` span for the product-build phase and one
+``batch_gcd.task`` span per (subset, product) task — workers record into
+their own per-process registry and the parent merges the snapshots back, so
+the final report shows every task's wall/CPU time and operand bit-sizes
+regardless of whether the task ran in-process or on the pool.
 """
 
 from __future__ import annotations
@@ -34,7 +41,7 @@ import math
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.core.results import BatchGcdResult
 from repro.numt.trees import (
@@ -43,6 +50,7 @@ from repro.numt.trees import (
     remainder_tree_squared,
     tree_product,
 )
+from repro.telemetry import RunReport, Telemetry, get_telemetry, use_telemetry
 
 __all__ = ["ClusteredBatchGcd", "ClusterRunStats", "clustered_batch_gcd"]
 
@@ -55,14 +63,18 @@ class ClusterRunStats:
         k: number of subsets.
         tasks: number of (subset, product) tasks executed (``k**2``).
         wall_seconds: end-to-end elapsed time.
-        cpu_seconds: sum of per-task compute times (the "1089 CPU hours"
-            figure of the paper, at simulation scale).
+        cpu_seconds: total compute time — the product-tree build phase plus
+            the sum of per-task compute times (the "1089 CPU hours" figure
+            of the paper, at simulation scale).
+        product_build_seconds: time spent building the ``k`` subset
+            products before any task runs (part of ``cpu_seconds``).
     """
 
     k: int
     tasks: int
     wall_seconds: float
     cpu_seconds: float
+    product_build_seconds: float = 0.0
 
 
 def _subset_pass(
@@ -70,21 +82,48 @@ def _subset_pass(
 ) -> tuple[list[int], float]:
     """One (subset, product) task: partial divisors for the subset's moduli."""
     start = time.perf_counter()
-    tree = product_tree(list(subset))
+    telemetry = get_telemetry()
+    with telemetry.span("batch_gcd.task.product_tree", leaves=len(subset)):
+        tree = product_tree(list(subset))
     if own_subset:
-        remainders = remainder_tree_squared(tree)
+        with telemetry.span("batch_gcd.task.remainder_tree", own=True):
+            remainders = remainder_tree_squared(tree)
         divisors = [math.gcd(n, z // n) for n, z in zip(subset, remainders)]
     else:
-        remainders = remainder_tree(product, tree)
+        with telemetry.span("batch_gcd.task.remainder_tree", own=False):
+            remainders = remainder_tree(product, tree)
         divisors = [math.gcd(n, z) for n, z in zip(subset, remainders)]
     return divisors, time.perf_counter() - start
 
 
-def _run_task(args: tuple[int, int, list[int], int, bool]) -> tuple[int, int, list[int], float]:
-    """Process-pool entry point (top level so it pickles)."""
-    subset_index, product_index, subset, product, own = args
-    divisors, seconds = _subset_pass(subset, product, own)
-    return subset_index, product_index, divisors, seconds
+def _run_task(
+    args: tuple[int, int, list[int], int, bool, bool]
+) -> tuple[int, int, list[int], float, dict[str, Any] | None]:
+    """Process-pool entry point (top level so it pickles).
+
+    When instrumentation is requested the task records into a private
+    per-process registry and returns its serialised report, which the
+    parent merges into its own (registries never cross process boundaries
+    live — only snapshots do).
+    """
+    subset_index, product_index, subset, product, own, instrument = args
+    if not instrument:
+        divisors, seconds = _subset_pass(subset, product, own)
+        return subset_index, product_index, divisors, seconds, None
+    telemetry = Telemetry()
+    with use_telemetry(telemetry):
+        with telemetry.span(
+            "batch_gcd.task",
+            subset=subset_index,
+            product=product_index,
+            own=own,
+            subset_size=len(subset),
+            product_bits=product.bit_length(),
+        ):
+            divisors, seconds = _subset_pass(subset, product, own)
+        telemetry.observe("batch_gcd.task", seconds, seconds)
+    report = telemetry.report().to_dict()
+    return subset_index, product_index, divisors, seconds, report
 
 
 class ClusteredBatchGcd:
@@ -118,35 +157,57 @@ class ClusteredBatchGcd:
         if len(corpus) < 2:
             self.last_stats = ClusterRunStats(self.k, 0, 0.0, 0.0)
             return BatchGcdResult(corpus, [1] * len(corpus))
+        telemetry = get_telemetry()
+        instrument = telemetry.enabled
         k = min(self.k, len(corpus))
         started = time.perf_counter()
         # Round-robin partition: subset s holds corpus[s::k].
         subsets = [corpus[s::k] for s in range(k)]
-        products = [tree_product(subset) for subset in subsets]
+        with telemetry.span("batch_gcd.products", k=k, moduli=len(corpus)):
+            products = [tree_product(subset) for subset in subsets]
+        product_build_seconds = time.perf_counter() - started
+        telemetry.gauge(
+            "batch_gcd.max_product_bits",
+            max(p.bit_length() for p in products),
+        )
         tasks = [
-            (i, j, subsets[i], products[j], i == j)
+            (i, j, subsets[i], products[j], i == j, instrument)
             for i in range(k)
             for j in range(k)
         ]
+        telemetry.gauge("batch_gcd.queue_depth", len(tasks))
         partials: dict[tuple[int, int], list[int]] = {}
-        cpu_seconds = 0.0
+        cpu_seconds = product_build_seconds
+        completed = 0
+
+        def consume(
+            i: int, j: int, divisors: list[int], seconds: float,
+            worker_report: dict[str, Any] | None,
+        ) -> float:
+            nonlocal completed
+            partials[(i, j)] = divisors
+            completed += 1
+            if worker_report is not None:
+                telemetry.merge_report(RunReport.from_dict(worker_report))
+                telemetry.gauge("batch_gcd.queue_depth", len(tasks) - completed)
+            return seconds
+
         if self.processes is None:
             for task in tasks:
-                i, j, divisors, seconds = _run_task(task)
-                partials[(i, j)] = divisors
-                cpu_seconds += seconds
+                cpu_seconds += consume(*_run_task(task))
         else:
             with ProcessPoolExecutor(max_workers=self.processes) as pool:
-                for i, j, divisors, seconds in pool.map(_run_task, tasks):
-                    partials[(i, j)] = divisors
-                    cpu_seconds += seconds
+                for outcome in pool.map(_run_task, tasks):
+                    cpu_seconds += consume(*outcome)
         divisors = self._aggregate(corpus, k, partials)
         self.last_stats = ClusterRunStats(
             k=k,
             tasks=len(tasks),
             wall_seconds=time.perf_counter() - started,
             cpu_seconds=cpu_seconds,
+            product_build_seconds=product_build_seconds,
         )
+        telemetry.counter("batch_gcd.tasks", len(tasks))
         return BatchGcdResult(corpus, divisors)
 
     @staticmethod

@@ -19,6 +19,7 @@ import math
 from typing import Sequence
 
 from repro.core.results import BatchGcdResult
+from repro.telemetry import get_telemetry
 
 __all__ = ["naive_pairwise_gcd"]
 
@@ -48,15 +49,20 @@ def naive_pairwise_gcd(moduli: Sequence[int]) -> BatchGcdResult:
     contributing the shared content still present in the running cofactor of
     ``N_i``; the product of contributions equals ``gcd(N_i, P / N_i)``.
     """
+    telemetry = get_telemetry()
     n = len(moduli)
     divisors = [1] * n
-    for i in range(n):
-        remaining = moduli[i]
-        acc = 1
-        for j in range(n):
-            if j == i or remaining == 1:
-                continue
-            extracted, remaining = _extract_shared(remaining, moduli[j])
-            acc *= extracted
-        divisors[i] = acc
+    gcd_ops = 0
+    with telemetry.span("batch_gcd.naive", moduli=n):
+        for i in range(n):
+            remaining = moduli[i]
+            acc = 1
+            for j in range(n):
+                if j == i or remaining == 1:
+                    continue
+                extracted, remaining = _extract_shared(remaining, moduli[j])
+                acc *= extracted
+                gcd_ops += 1
+            divisors[i] = acc
+    telemetry.counter("batch_gcd.naive.gcd_ops", gcd_ops)
     return BatchGcdResult(list(moduli), divisors)

@@ -34,6 +34,7 @@ from repro.fingerprint.sharedprimes import (
     shared_prime_overlaps,
 )
 from repro.scans.records import CertificateStore
+from repro.telemetry import get_telemetry
 
 __all__ = ["FingerprintReport", "fingerprint_study"]
 
@@ -89,68 +90,89 @@ def fingerprint_study(
     """Run the full fingerprinting pipeline over a scanned corpus."""
     report = FingerprintReport()
     table = openssl_table or OPENSSL_FINGERPRINT_PRIMES
+    telemetry = get_telemetry()
 
     # 1. Subject and banner rules over every certificate.
-    modulus_vendor_votes: dict[int, Counter] = {}
-    for cert_id, entry in enumerate(store.entries()):
-        match = identify_by_subject(entry.certificate, banner=entry.banner)
-        if match is None:
-            continue
-        report.vendor_by_cert[cert_id] = match.vendor
-        report.rule_counts[match.rule] += 1
-        if match.model:
-            report.model_by_cert[cert_id] = match.model
-        n = entry.certificate.public_key.n
-        modulus_vendor_votes.setdefault(n, Counter())[match.vendor] += 1
-    report.vendor_by_modulus = {
-        n: votes.most_common(1)[0][0] for n, votes in modulus_vendor_votes.items()
-    }
+    with telemetry.span("fingerprint.rules"):
+        modulus_vendor_votes: dict[int, Counter] = {}
+        for cert_id, entry in enumerate(store.entries()):
+            match = identify_by_subject(entry.certificate, banner=entry.banner)
+            if match is None:
+                continue
+            report.vendor_by_cert[cert_id] = match.vendor
+            report.rule_counts[match.rule] += 1
+            if match.model:
+                report.model_by_cert[cert_id] = match.model
+            n = entry.certificate.public_key.n
+            modulus_vendor_votes.setdefault(n, Counter())[match.vendor] += 1
+        report.vendor_by_modulus = {
+            n: votes.most_common(1)[0][0]
+            for n, votes in modulus_vendor_votes.items()
+        }
 
     factored = batch_result.resolve()
 
     # 2. Artifact triage first, so junk never pollutes prime pools.
-    corpus = set(batch_result.moduli)
-    report.bit_errors = detect_bit_errors(batch_result, corpus)
-    report.substitutions = detect_key_substitution(store)
-    artifact_moduli = {f.modulus for f in report.bit_errors}
-    artifact_moduli.update(f.modulus for f in report.substitutions)
-    report.factored_clean = {
-        n: fact
-        for n, fact in factored.items()
-        if n not in artifact_moduli
-        and is_well_formed_modulus(n, fact.p, fact.q)
-    }
+    with telemetry.span("fingerprint.triage", factored=len(factored)):
+        corpus = set(batch_result.moduli)
+        report.bit_errors = detect_bit_errors(batch_result, corpus)
+        report.substitutions = detect_key_substitution(store)
+        artifact_moduli = {f.modulus for f in report.bit_errors}
+        artifact_moduli.update(f.modulus for f in report.substitutions)
+        report.factored_clean = {
+            n: fact
+            for n, fact in factored.items()
+            if n not in artifact_moduli
+            and is_well_formed_modulus(n, fact.p, fact.q)
+        }
 
     # 3. Prime cliques; degenerate ones carry the prior IBM attribution.
-    report.cliques = find_prime_cliques(report.factored_clean)
-    report.degenerate_cliques = label_degenerate_cliques(report.cliques)
-    for clique in report.degenerate_cliques:
-        for n in clique.moduli:
-            report.vendor_by_modulus.setdefault(n, clique.label or "IBM")
+    with telemetry.span("fingerprint.cliques"):
+        report.cliques = find_prime_cliques(report.factored_clean)
+        report.degenerate_cliques = label_degenerate_cliques(report.cliques)
+        for clique in report.degenerate_cliques:
+            for n in clique.moduli:
+                report.vendor_by_modulus.setdefault(n, clique.label or "IBM")
 
     # 4. Shared-prime extrapolation to a fixpoint.
-    report.extrapolated_moduli = extrapolate_vendors(
-        report.factored_clean, report.vendor_by_modulus
-    )
-    report.vendor_by_modulus.update(report.extrapolated_moduli)
+    with telemetry.span("fingerprint.extrapolate"):
+        report.extrapolated_moduli = extrapolate_vendors(
+            report.factored_clean, report.vendor_by_modulus
+        )
+        report.vendor_by_modulus.update(report.extrapolated_moduli)
 
-    # Certificates whose modulus is now attributed inherit the vendor.
-    for cert_id, entry in enumerate(store.entries()):
-        if cert_id in report.vendor_by_cert:
-            continue
-        vendor = report.vendor_by_modulus.get(entry.certificate.public_key.n)
-        if vendor is not None:
-            report.vendor_by_cert[cert_id] = vendor
-            report.rule_counts["shared-primes"] += 1
+        # Certificates whose modulus is now attributed inherit the vendor.
+        for cert_id, entry in enumerate(store.entries()):
+            if cert_id in report.vendor_by_cert:
+                continue
+            vendor = report.vendor_by_modulus.get(entry.certificate.public_key.n)
+            if vendor is not None:
+                report.vendor_by_cert[cert_id] = vendor
+                report.rule_counts["shared-primes"] += 1
 
     # 5. Cross-vendor overlaps and the OpenSSL fingerprint.
-    report.overlaps = shared_prime_overlaps(
-        report.factored_clean, report.vendor_by_modulus
-    )
-    report.openssl_verdicts = classify_vendors(
-        report.factored_clean,
-        report.vendor_by_modulus,
-        table=table,
-        check_safe_primes=check_safe_primes,
-    )
+    with telemetry.span("fingerprint.openssl"):
+        report.overlaps = shared_prime_overlaps(
+            report.factored_clean, report.vendor_by_modulus
+        )
+        report.openssl_verdicts = classify_vendors(
+            report.factored_clean,
+            report.vendor_by_modulus,
+            table=table,
+            check_safe_primes=check_safe_primes,
+        )
+
+    if telemetry.enabled:
+        for rule, hits in report.rule_counts.items():
+            telemetry.counter(f"fingerprint.rule.{rule}", hits)
+        telemetry.counter("fingerprint.bit_errors", len(report.bit_errors))
+        telemetry.counter("fingerprint.substitutions", len(report.substitutions))
+        telemetry.counter("fingerprint.cliques", len(report.cliques))
+        telemetry.counter(
+            "fingerprint.degenerate_cliques", len(report.degenerate_cliques)
+        )
+        telemetry.counter("fingerprint.factored_clean", len(report.factored_clean))
+        telemetry.counter(
+            "fingerprint.extrapolated", len(report.extrapolated_moduli)
+        )
     return report

@@ -14,6 +14,20 @@ everything the higher layers need:
 - :mod:`repro.numt.smooth` — smooth-part extraction, used to recognise
   bit-error artifacts whose spurious gcd divisors are products of many small
   primes (Section 3.3.5).
+
+Everything operates on plain ``int`` values, has no I/O and records no
+telemetry of its own — callers that need per-phase timings wrap these
+primitives in spans (see how :mod:`repro.core.clustered` brackets
+:func:`product_tree` / :func:`remainder_tree` with
+``batch_gcd.task.*`` spans).  The tree functions are the hot path of the
+whole system: at the paper's scale the root product alone is ~2.6 GB of
+integer, which is exactly why the clustered engine splits it k ways.
+
+Performance note: complexities are quasilinear for the trees
+(``M(n) log n`` with ``M`` the multiplication cost), ``O(k log³ n)`` per
+Miller–Rabin witness, and linear in the table size for the sieves; there
+is no global state, so every function here is safe to call from process
+pool workers.
 """
 
 from repro.numt.arith import (

@@ -68,9 +68,10 @@ from repro.scans.rimon import RimonInterceptor
 from repro.scans.scanner import HttpsScanner, reconstruct_chains
 from repro.scans.sources import source_for_month
 from repro.studyconfig import StudyConfig
+from repro.telemetry import RunReport, Telemetry, get_telemetry, use_telemetry
 from repro.timeline import Month
 
-__all__ = ["StudyWorld", "StudyResult", "build_world", "run_study"]
+__all__ = ["STAGE_SPANS", "StudyWorld", "StudyResult", "build_world", "run_study"]
 
 logger = logging.getLogger(__name__)
 
@@ -232,122 +233,169 @@ class StudyResult:
     weak_moduli_truth: set[int]
     divisors: dict[str, int]
     timings: dict[str, float] = field(default_factory=dict)
+    telemetry: RunReport | None = None
 
     def vulnerable_moduli(self) -> set[int]:
         """Factored, artifact-free moduli."""
         return self.fingerprints.vulnerable_moduli()
 
 
-def run_study(config: StudyConfig | None = None) -> StudyResult:
+#: The six top-level stage spans every instrumented run emits, in order
+#: (see ``docs/TELEMETRY.md``).
+STAGE_SPANS = (
+    "world_build",
+    "timeline_walk",
+    "corpus",
+    "batch_gcd",
+    "fingerprint",
+    "analysis",
+)
+
+
+def run_study(
+    config: StudyConfig | None = None,
+    *,
+    telemetry: Telemetry | None = None,
+) -> StudyResult:
     """Run the full reproduction pipeline.
 
     Args:
         config: study configuration (defaults to :meth:`StudyConfig.full`).
+        telemetry: registry to record into for the duration of the run
+            (activated via :func:`repro.telemetry.use_telemetry`, so every
+            instrumented layer lands in it).  Defaults to the currently
+            active registry — a disabled no-op unless a caller opted in.
+            When recording, the snapshot is attached as
+            :attr:`StudyResult.telemetry`.
     """
     config = config or StudyConfig.full()
+    with use_telemetry(telemetry if telemetry is not None else get_telemetry()) as tel:
+        result = _run_study_instrumented(config, tel)
+    if tel.enabled:
+        result.telemetry = tel.report()
+    return result
+
+
+def _run_study_instrumented(config: StudyConfig, tel: Telemetry) -> StudyResult:
+    """The pipeline body, recording one span per stage into ``tel``."""
     timings: dict[str, float] = {}
 
     started = time.perf_counter()
-    world = build_world(config)
-    store = CertificateStore()
-    scanner = HttpsScanner(
-        store=store,
-        rng=_model_rng(config.seed, "scanner"),
-        bit_error_rate=config.bit_error_rate,
-        ca_pool=world.ca_pool,
-        interceptor=world.interceptor,
-    )
-    snapshots: list[ScanSnapshot] = []
-    for month in Month.range(config.start, config.end):
-        world.step(month)
-        source = source_for_month(month)
-        if source is None:
-            continue
-        snapshot = scanner.scan(month, source, world.populations)
-        if source.includes_unchained_intermediates:
-            reconstruct_chains(snapshot, store)
-        snapshots.append(snapshot)
-        logger.info(
-            "scan %s (%s): %d records", month, source.name, snapshot.host_count
+    with tel.span("world_build", seed=config.seed, scale=config.scale):
+        world = build_world(config)
+        store = CertificateStore()
+        scanner = HttpsScanner(
+            store=store,
+            rng=_model_rng(config.seed, "scanner"),
+            bit_error_rate=config.bit_error_rate,
+            ca_pool=world.ca_pool,
+            interceptor=world.interceptor,
         )
+
+    snapshots: list[ScanSnapshot] = []
+    with tel.span("timeline_walk"):
+        for month in Month.range(config.start, config.end):
+            world.step(month)
+            source = source_for_month(month)
+            if source is None:
+                continue
+            snapshot = scanner.scan(month, source, world.populations)
+            if source.includes_unchained_intermediates:
+                reconstruct_chains(snapshot, store)
+            snapshots.append(snapshot)
+            logger.info(
+                "scan %s (%s): %d records", month, source.name, snapshot.host_count
+            )
+        tel.annotate(snapshots=len(snapshots))
     timings["world_and_scans"] = time.perf_counter() - started
 
     started = time.perf_counter()
-    protocol_corpora = build_protocol_corpora(
-        scale=config.scale,
-        factory=world.background_factory,
-        rng=_model_rng(config.seed, "protocols"),
-    )
-    timings["protocols"] = time.perf_counter() - started
+    with tel.span("corpus"):
+        protocol_corpora = build_protocol_corpora(
+            scale=config.scale,
+            factory=world.background_factory,
+            rng=_model_rng(config.seed, "protocols"),
+        )
+        timings["protocols"] = time.perf_counter() - started
+        corpus: dict[int, None] = {}
+        for n in store.moduli_with_weights():
+            corpus[n] = None
+        for protocol_corpus in protocol_corpora:
+            for n in protocol_corpus.all_moduli():
+                corpus[n] = None
+        moduli = list(corpus)
+        tel.annotate(distinct_moduli=len(moduli))
+    logger.info("batch GCD over %d distinct moduli", len(moduli))
 
     started = time.perf_counter()
-    corpus: dict[int, None] = {}
-    for n in store.moduli_with_weights():
-        corpus[n] = None
-    for protocol_corpus in protocol_corpora:
-        for n in protocol_corpus.all_moduli():
-            corpus[n] = None
-    moduli = list(corpus)
-    logger.info("batch GCD over %d distinct moduli", len(moduli))
-    engine = ClusteredBatchGcd(
-        k=config.batchgcd_k, processes=config.batchgcd_processes
-    )
-    batch_result = engine.run(moduli)
+    with tel.span(
+        "batch_gcd", k=config.batchgcd_k, processes=config.batchgcd_processes
+    ):
+        engine = ClusteredBatchGcd(
+            k=config.batchgcd_k, processes=config.batchgcd_processes
+        )
+        batch_result = engine.run(moduli)
     timings["batch_gcd"] = time.perf_counter() - started
 
     started = time.perf_counter()
-    fingerprints = fingerprint_study(
-        store,
-        batch_result,
-        openssl_table=config.openssl_table(),
-        check_safe_primes=False,
-    )
+    with tel.span("fingerprint"):
+        fingerprints = fingerprint_study(
+            store,
+            batch_result,
+            openssl_table=config.openssl_table(),
+            check_safe_primes=False,
+        )
     timings["fingerprint"] = time.perf_counter() - started
 
     started = time.perf_counter()
-    vulnerable = fingerprints.vulnerable_moduli()
-    series = build_series(snapshots, store, fingerprints.vendor_by_cert, vulnerable)
-    transitions = analyze_transitions(
-        snapshots, store, fingerprints.vendor_by_cert, vulnerable
-    )
-    eol_dates = {
-        model.display_model: (model.eol, model.end_of_sale)
-        for model in DEVICE_CATALOG
-        if model.display_model and model.eol is not None
-    }
-    result = StudyResult(
-        config=config,
-        store=store,
-        snapshots=snapshots,
-        protocol_corpora=protocol_corpora,
-        batch_result=batch_result,
-        cluster_stats=engine.last_stats,
-        fingerprints=fingerprints,
-        series=series,
-        transitions=transitions,
-        table1=build_table1(snapshots, store, protocol_corpora, vulnerable),
-        table2=build_table2(),
-        table3=build_table3(snapshots, store),
-        table4=build_table4(snapshots, store, protocol_corpora, vulnerable),
-        table5=build_table5(fingerprints),
-        heartbleed=analyze_heartbleed(series),
-        eol=analyze_eol(snapshots, store, fingerprints.model_by_cert, eol_dates),
-        exposure=(
-            analyze_exposure(snapshots[-1], store, vulnerable)
-            if snapshots
-            else None
-        ),
-        ibm_ip_reuse=analyze_ip_reuse(
-            snapshots, store, fingerprints.vendor_by_cert, vulnerable, "IBM"
-        ),
-        weak_moduli_truth=world.weak_moduli_truth()
-        | {
-            n
-            for protocol_corpus in protocol_corpora
-            for n in protocol_corpus.weak_moduli_truth
-        },
-        divisors=world.divisors,
-        timings=timings,
-    )
+    with tel.span("analysis"):
+        vulnerable = fingerprints.vulnerable_moduli()
+        series = build_series(
+            snapshots, store, fingerprints.vendor_by_cert, vulnerable
+        )
+        transitions = analyze_transitions(
+            snapshots, store, fingerprints.vendor_by_cert, vulnerable
+        )
+        eol_dates = {
+            model.display_model: (model.eol, model.end_of_sale)
+            for model in DEVICE_CATALOG
+            if model.display_model and model.eol is not None
+        }
+        result = StudyResult(
+            config=config,
+            store=store,
+            snapshots=snapshots,
+            protocol_corpora=protocol_corpora,
+            batch_result=batch_result,
+            cluster_stats=engine.last_stats,
+            fingerprints=fingerprints,
+            series=series,
+            transitions=transitions,
+            table1=build_table1(snapshots, store, protocol_corpora, vulnerable),
+            table2=build_table2(),
+            table3=build_table3(snapshots, store),
+            table4=build_table4(snapshots, store, protocol_corpora, vulnerable),
+            table5=build_table5(fingerprints),
+            heartbleed=analyze_heartbleed(series),
+            eol=analyze_eol(
+                snapshots, store, fingerprints.model_by_cert, eol_dates
+            ),
+            exposure=(
+                analyze_exposure(snapshots[-1], store, vulnerable)
+                if snapshots
+                else None
+            ),
+            ibm_ip_reuse=analyze_ip_reuse(
+                snapshots, store, fingerprints.vendor_by_cert, vulnerable, "IBM"
+            ),
+            weak_moduli_truth=world.weak_moduli_truth()
+            | {
+                n
+                for protocol_corpus in protocol_corpora
+                for n in protocol_corpus.weak_moduli_truth
+            },
+            divisors=world.divisors,
+            timings=timings,
+        )
     timings["analysis"] = time.perf_counter() - started
     return result

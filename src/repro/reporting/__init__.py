@@ -1,4 +1,27 @@
-"""Text reporting: tables, ASCII charts, study renderers, CSV/JSON export."""
+"""Presentation layer: every way a finished study leaves the pipeline.
+
+Three modules, three audiences:
+
+- :mod:`repro.reporting.text` — low-level formatting primitives: aligned
+  text tables (:func:`render_table`), ASCII time-series charts
+  (:func:`render_series_chart`), and human-scale count formatting
+  (:func:`format_count`, "313,330" style).  These know nothing about the
+  study; they render rows and series.
+- :mod:`repro.reporting.study` — the paper-facing renderers: one function
+  per table (:func:`render_table1` .. :func:`render_table5`) and figure
+  (:func:`render_figure1`, :func:`render_vendor_figure`,
+  :func:`render_figure7`), each taking a
+  :class:`~repro.pipeline.StudyResult` and returning the text the
+  benchmark harness writes to ``benchmarks/output/``.
+- :mod:`repro.reporting.export` — machine-readable exits: per-vendor CSV
+  (:func:`series_to_csv`, :func:`global_series_to_csv`) and the JSON
+  bundle (:func:`study_to_json`), which embeds the run's telemetry
+  RunReport when one was recorded.
+
+Rule of thumb: if a human reads it, it lives in ``study``/``text``; if a
+plotting script reads it, it lives in ``export``; per-run performance
+accounting lives in :mod:`repro.telemetry` and rides along in the export.
+"""
 
 from repro.reporting.export import (
     global_series_to_csv,

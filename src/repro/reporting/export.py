@@ -81,7 +81,10 @@ def study_to_json(result: StudyResult, indent: int | None = 2) -> str:
     """The study's headline results as a JSON document.
 
     Includes Table 1, Table 4, the Table 5 partition, the Heartbleed
-    impact, transitions, exposure, and per-vendor series.
+    impact, transitions, exposure, and per-vendor series.  When the run
+    recorded telemetry (``run_study(..., telemetry=Telemetry())``), the
+    full RunReport is embedded under ``"telemetry"`` using the schema
+    documented in ``docs/TELEMETRY.md``.
     """
     payload: dict[str, Any] = {
         "config": {
@@ -138,4 +141,6 @@ def study_to_json(result: StudyResult, indent: int | None = 2) -> str:
             "passively_decryptable": result.exposure.passively_decryptable,
             "passive_fraction": result.exposure.passive_fraction,
         }
+    if result.telemetry is not None:
+        payload["telemetry"] = result.telemetry.to_dict()
     return json.dumps(payload, indent=indent)

@@ -23,6 +23,7 @@ from repro.devices.population import ModelPopulation
 from repro.scans.records import CertificateStore, ScanSnapshot
 from repro.scans.rimon import RimonInterceptor
 from repro.scans.sources import ScanSource
+from repro.telemetry import get_telemetry
 from repro.timeline import Month
 
 __all__ = ["HttpsScanner", "reconstruct_chains"]
@@ -71,7 +72,11 @@ class HttpsScanner:
         """Scan all populations; the bool flags Rimon-intercepted fleets."""
         snapshot = ScanSnapshot(source=source.name, month=month)
         rng = self.rng
+        bit_errors_before = self.bit_error_records
+        intercepted_before = self.intercepted_records
+        hosts_online = 0
         for population, intercepted in populations:
+            hosts_online += len(population.online)
             weight = population.divisor
             for device in population.online:
                 if rng.random() >= source.coverage:
@@ -99,6 +104,20 @@ class HttpsScanner:
                     if issuer is not None:
                         ca_id = self.store.intern(issuer, weight)
                         snapshot.append(device.ip, ca_id)
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.counter("scans.snapshots")
+            telemetry.counter("scans.records", snapshot.host_count)
+            telemetry.counter(f"scans.era.{source.name}.records", snapshot.host_count)
+            telemetry.counter(
+                "scans.bit_errors", self.bit_error_records - bit_errors_before
+            )
+            telemetry.counter(
+                "scans.intercepted",
+                self.intercepted_records - intercepted_before,
+            )
+            telemetry.gauge("scans.coverage", source.coverage)
+            telemetry.gauge("scans.hosts_online", hosts_online)
         return snapshot
 
     def _corrupt(self, certificate: Certificate) -> Certificate:
@@ -143,4 +162,6 @@ def reconstruct_chains(snapshot: ScanSnapshot, store: CertificateStore) -> int:
             certificate = store[cert_id].certificate
             if certificate.is_ca and certificate.subject.rfc4514() in issuers:
                 to_remove.add(position)
-    return snapshot.remove_indices(to_remove)
+    removed = snapshot.remove_indices(to_remove)
+    get_telemetry().counter("scans.chain_reconstruction.removed", removed)
+    return removed

@@ -1,0 +1,63 @@
+"""Observability for the measurement pipeline: counters, timers, spans, reports.
+
+The paper's Section 3.2 reports detailed accounting — 1089 CPU-hours,
+86-minute wall time at k=16 across 22 machines, per-stage corpus sizes.
+This package is the reproduction's equivalent instrument panel: a
+zero-dependency telemetry layer every stage of :func:`repro.pipeline.run_study`
+records into, surfaced at the edges as a JSON :class:`RunReport`
+(``--telemetry-json``) or a human-readable summary (``--timings``).
+
+The pieces:
+
+- :class:`Telemetry` — the recording registry: monotonic counters,
+  last-value gauges, aggregate wall/CPU timers, and a hierarchical span
+  tracer (``with telemetry.span("batch_gcd.products"): ...``).
+- :class:`RunReport` / :class:`SpanNode` / :class:`TimerStats` — the
+  serialisable snapshot; JSON round-trips and merges across processes
+  (:meth:`Telemetry.merge_report` folds a worker's report into the
+  parent's open span — see :mod:`repro.core.clustered`).
+- :func:`get_telemetry` / :func:`use_telemetry` and the free functions
+  :func:`span` / :func:`counter` / :func:`gauge` / :func:`timer` — the
+  module-level *active registry*, disabled by default so instrumented
+  library code costs almost nothing unless a run opts in.
+- :class:`~repro.telemetry.clock.FakeClock` — injectable time for
+  deterministic tests.
+- :func:`~repro.telemetry.schema.validate_report` — structural validation
+  of serialised reports (``python -m repro.telemetry report.json``).
+
+Span names follow the dotted ``stage.substage`` convention documented in
+``docs/TELEMETRY.md`` (e.g. ``batch_gcd.task.remainder_tree``).
+"""
+
+from repro.telemetry.clock import Clock, FakeClock, SystemClock
+from repro.telemetry.registry import (
+    Telemetry,
+    counter,
+    gauge,
+    get_telemetry,
+    set_telemetry,
+    span,
+    timer,
+    use_telemetry,
+)
+from repro.telemetry.report import SCHEMA_VERSION, RunReport, SpanNode, TimerStats
+from repro.telemetry.schema import validate_report
+
+__all__ = [
+    "Clock",
+    "FakeClock",
+    "RunReport",
+    "SCHEMA_VERSION",
+    "SpanNode",
+    "SystemClock",
+    "Telemetry",
+    "TimerStats",
+    "counter",
+    "gauge",
+    "get_telemetry",
+    "set_telemetry",
+    "span",
+    "timer",
+    "use_telemetry",
+    "validate_report",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.telemetry REPORT.json`` — validate RunReport files."""
+
+from repro.telemetry.schema import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

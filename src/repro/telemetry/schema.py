@@ -1,0 +1,144 @@
+"""Structural validation of serialised RunReports (no third-party deps).
+
+The JSON schema is documented in ``docs/TELEMETRY.md``; this module is the
+executable version of that document.  CI's smoke job runs::
+
+    python -m repro.telemetry report.json
+
+which exits non-zero and lists every problem when a report drifts from the
+schema.  :func:`validate_report` is also usable as a library (the tests
+feed it both good and corrupted reports).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any
+
+from repro.telemetry.report import SCHEMA_VERSION
+
+__all__ = ["validate_report", "main"]
+
+_TIMER_FIELDS = (
+    "count",
+    "wall_seconds",
+    "cpu_seconds",
+    "min_wall_seconds",
+    "max_wall_seconds",
+)
+_SPAN_FIELDS = ("name", "wall_seconds", "cpu_seconds", "attrs", "children")
+
+#: JSON-safe scalar types allowed in counters, gauges and span attrs.
+_SCALAR = (int, float, str, bool, type(None))
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _check_span(span: Any, path: str, problems: list[str]) -> None:
+    if not isinstance(span, dict):
+        problems.append(f"{path}: span must be an object, got {type(span).__name__}")
+        return
+    for key in _SPAN_FIELDS:
+        if key not in span:
+            problems.append(f"{path}: missing field {key!r}")
+    name = span.get("name")
+    if not isinstance(name, str) or not name:
+        problems.append(f"{path}: name must be a non-empty string")
+    elif not all(part for part in name.split(".")):
+        problems.append(f"{path}: dotted name {name!r} has an empty segment")
+    for key in ("wall_seconds", "cpu_seconds"):
+        value = span.get(key)
+        if key in span and (not _is_number(value) or value < 0):
+            problems.append(f"{path}.{key}: must be a non-negative number")
+    attrs = span.get("attrs", {})
+    if not isinstance(attrs, dict):
+        problems.append(f"{path}.attrs: must be an object")
+    else:
+        for key, value in attrs.items():
+            if not isinstance(value, _SCALAR):
+                problems.append(
+                    f"{path}.attrs[{key!r}]: must be a JSON scalar, "
+                    f"got {type(value).__name__}"
+                )
+    children = span.get("children", [])
+    if not isinstance(children, list):
+        problems.append(f"{path}.children: must be a list")
+    else:
+        label = name if isinstance(name, str) else "?"
+        for index, child in enumerate(children):
+            _check_span(child, f"{path}.children[{index}] ({label})", problems)
+
+
+def validate_report(payload: Any) -> list[str]:
+    """Check a parsed report against the documented schema.
+
+    Returns:
+        A list of human-readable problems; empty means the report is valid.
+    """
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return [f"report must be a JSON object, got {type(payload).__name__}"]
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version: expected {SCHEMA_VERSION}, got {version!r}"
+        )
+    if not isinstance(payload.get("enabled"), bool):
+        problems.append("enabled: must be a boolean")
+    for section in ("counters", "gauges"):
+        mapping = payload.get(section)
+        if not isinstance(mapping, dict):
+            problems.append(f"{section}: must be an object")
+            continue
+        for name, value in mapping.items():
+            if not _is_number(value):
+                problems.append(f"{section}[{name!r}]: must be a number")
+    timers = payload.get("timers")
+    if not isinstance(timers, dict):
+        problems.append("timers: must be an object")
+    else:
+        for name, stats in timers.items():
+            if not isinstance(stats, dict):
+                problems.append(f"timers[{name!r}]: must be an object")
+                continue
+            for key in _TIMER_FIELDS:
+                value = stats.get(key)
+                if not _is_number(value) or value < 0:
+                    problems.append(
+                        f"timers[{name!r}].{key}: must be a non-negative number"
+                    )
+    spans = payload.get("spans")
+    if not isinstance(spans, list):
+        problems.append("spans: must be a list")
+    else:
+        for index, span in enumerate(spans):
+            _check_span(span, f"spans[{index}]", problems)
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Validate report files given on the command line."""
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv:
+        print("usage: python -m repro.telemetry REPORT.json [...]", file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: unreadable: {exc}", file=sys.stderr)
+            failed = True
+            continue
+        problems = validate_report(payload)
+        if problems:
+            failed = True
+            for problem in problems:
+                print(f"{path}: {problem}", file=sys.stderr)
+        else:
+            print(f"{path}: ok")
+    return 1 if failed else 0

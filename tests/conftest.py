@@ -9,6 +9,7 @@ import pytest
 from repro.numt.sieve import first_n_primes
 from repro.pipeline import run_study
 from repro.studyconfig import StudyConfig
+from repro.telemetry import Telemetry
 
 
 @pytest.fixture
@@ -31,5 +32,9 @@ def tiny_config() -> StudyConfig:
 
 @pytest.fixture(scope="session")
 def tiny_study(tiny_config):
-    """One tiny end-to-end study shared by all integration tests."""
-    return run_study(tiny_config)
+    """One tiny end-to-end study shared by all integration tests.
+
+    Runs with telemetry recording so the telemetry integration tests can
+    assert on the same study every other test consumes.
+    """
+    return run_study(tiny_config, telemetry=Telemetry())

@@ -73,6 +73,40 @@ class TestMain:
         # A single deduplicated modulus shares with nothing.
         assert outfile.read_text() == ""
 
+    def test_telemetry_json_report(self, tmp_path, weak_corpus, capsys):
+        from repro.telemetry import validate_report
+        import json
+
+        weak, healthy = weak_corpus
+        infile = tmp_path / "moduli.txt"
+        infile.write_text("\n".join(f"{n:x}" for n in weak + healthy))
+        report_path = tmp_path / "report.json"
+        rc = main(
+            [str(infile), "-o", str(tmp_path / "out.txt"),
+             "--k", "3", "--telemetry-json", str(report_path), "--timings"]
+        )
+        assert rc == 0
+        payload = json.loads(report_path.read_text())
+        assert validate_report(payload) == []
+        [root] = payload["spans"]
+        assert root["name"] == "batch_gcd"
+        tasks = [
+            c for c in root["children"] if c["name"] == "batch_gcd.task"
+        ]
+        assert len(tasks) == 9
+        assert payload["timers"]["batch_gcd.task"]["count"] == 9
+        # --timings prints the human-readable summary on stderr.
+        captured = capsys.readouterr()
+        assert "batch_gcd.task" in captured.err
+
+    def test_no_flags_no_report_file(self, tmp_path, weak_corpus):
+        weak, healthy = weak_corpus
+        infile = tmp_path / "moduli.txt"
+        infile.write_text("\n".join(f"{n:x}" for n in weak + healthy))
+        rc = main([str(infile), "-o", str(tmp_path / "out.txt")])
+        assert rc == 0
+        assert not (tmp_path / "report.json").exists()
+
     def test_stdin_input(self, weak_corpus):
         weak, healthy = weak_corpus
         payload = "\n".join(f"{n:x}" for n in weak + healthy)

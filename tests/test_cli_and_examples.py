@@ -31,6 +31,26 @@ class TestCli:
         proc = run(["-m", "repro.cli", "--preset", "huge"])
         assert proc.returncode != 0
 
+    def test_telemetry_json_and_timings(self, tmp_path):
+        import json
+
+        from repro.pipeline import STAGE_SPANS
+        from repro.telemetry import validate_report
+
+        report_path = tmp_path / "telemetry.json"
+        proc = run(
+            ["-m", "repro.cli", "--preset", "tiny", "--seed", "3",
+             "--telemetry-json", str(report_path), "--timings"]
+        )
+        assert proc.returncode == 0, proc.stderr
+        payload = json.loads(report_path.read_text())
+        assert validate_report(payload) == []
+        assert [s["name"] for s in payload["spans"]] == list(STAGE_SPANS)
+        assert payload["counters"]["scans.records"] > 0
+        # --timings renders the per-stage summary to stdout.
+        assert "batch_gcd" in proc.stdout
+        assert "timeline_walk" in proc.stdout
+
 
 class TestExamples:
     @pytest.mark.parametrize(
@@ -49,6 +69,22 @@ class TestExamples:
         proc = run([str(REPO / "examples" / example)])
         assert proc.returncode == 0, proc.stderr
         assert proc.stdout.strip()
+
+    def test_quickstart_telemetry_report_validates(self, tmp_path):
+        import json
+
+        from repro.telemetry import validate_report
+
+        report_path = tmp_path / "quickstart_report.json"
+        proc = run(
+            [str(REPO / "examples" / "quickstart.py"),
+             "--telemetry-json", str(report_path)]
+        )
+        assert proc.returncode == 0, proc.stderr
+        payload = json.loads(report_path.read_text())
+        assert validate_report(payload) == []
+        names = [s["name"] for s in payload["spans"]]
+        assert "quickstart.batch_gcd" in names
 
     def test_cluster_demo_small(self):
         proc = run(

@@ -8,6 +8,7 @@ from hypothesis import given, settings, strategies as st
 from repro.core.batchgcd import batch_gcd
 from repro.core.clustered import ClusteredBatchGcd, clustered_batch_gcd
 from repro.crypto.primes import generate_prime
+from repro.telemetry import Telemetry, use_telemetry
 
 
 @pytest.fixture(scope="module")
@@ -101,6 +102,37 @@ class TestStatsAccounting:
             engine = ClusteredBatchGcd(k=k)
             engine.run(corpus)
             assert engine.last_stats.tasks == k * k
+
+    def test_cpu_seconds_includes_product_build(self, corpus):
+        # Regression: cpu_seconds used to sum only per-task compute time,
+        # silently omitting the product-tree build phase.  Pin the full
+        # accounting: cpu == product build + sum of per-task times (the
+        # telemetry task timer records exactly the per-task component).
+        telemetry = Telemetry()
+        engine = ClusteredBatchGcd(k=4)
+        with use_telemetry(telemetry):
+            engine.run(corpus)
+        stats = engine.last_stats
+        task_seconds = telemetry.report().timers["batch_gcd.task"].wall_seconds
+        assert stats.product_build_seconds > 0
+        assert stats.cpu_seconds == pytest.approx(
+            stats.product_build_seconds + task_seconds, rel=1e-6
+        )
+
+    def test_serial_cpu_never_exceeds_wall(self, corpus):
+        # On the single-worker (in-process) path every accounted phase is a
+        # disjoint sub-interval of the run, so cpu_seconds > wall_seconds
+        # can never (falsely) hold.
+        engine = ClusteredBatchGcd(k=4, processes=None)
+        engine.run(corpus)
+        stats = engine.last_stats
+        assert stats.cpu_seconds <= stats.wall_seconds
+
+    def test_trivial_corpus_stats_zeroed(self):
+        engine = ClusteredBatchGcd(k=4)
+        engine.run([77])
+        assert engine.last_stats.product_build_seconds == 0.0
+        assert engine.last_stats.cpu_seconds == 0.0
 
 
 class TestMultiprocessing:
