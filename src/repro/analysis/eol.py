@@ -11,7 +11,7 @@ series are built from the fingerprinting layer's ``model_by_cert`` labels.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.scans.records import CertificateStore, ScanSnapshot
 from repro.timeline import Month

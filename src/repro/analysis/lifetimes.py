@@ -97,7 +97,7 @@ def analyze_certificate_lifetimes(
 
     lengths = [last - first + 1 for first, last in spans.values()]
     vulnerable_tenures = replacement = disappearance = 0
-    for (ip, cert_id), (first, last) in spans.items():
+    for (ip, cert_id), (_first, last) in spans.items():
         if not vuln_flags[cert_id]:
             continue
         vulnerable_tenures += 1

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from datetime import date
 
 from repro.crypto.rsa import RsaKeyPair, RsaPrivateKey, RsaPublicKey

@@ -19,7 +19,7 @@ paper-scale units.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.crypto.certs import Certificate
 from repro.crypto.rsa import RsaPrivateKey

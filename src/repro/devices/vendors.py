@@ -15,7 +15,7 @@ Encodes the paper's vendor-level ground truth:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 
 from repro.timeline import Month

@@ -1,0 +1,147 @@
+"""The committed baseline: grandfathered findings that do not gate CI.
+
+A baseline entry matches findings by ``(rule, path, stripped line text)``
+rather than by line number, so unrelated edits that shift code around do
+not invalidate it — but *changing the offending line* does, forcing the
+author to either fix the violation or re-justify it.  Each key carries an
+allowance ``count`` (the same line text can legitimately occur more than
+once per file) and a mandatory human ``justification``.
+
+File format (``reprolint-baseline.json``, committed at the repo root)::
+
+    {
+      "version": 1,
+      "entries": [
+        {
+          "rule": "DET003",
+          "path": "src/repro/pipeline.py",
+          "line_text": "started = time.perf_counter()",
+          "count": 4,
+          "justification": "wall-clock stage timings, independent of ..."
+        }
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.devtools.findings import Finding
+
+__all__ = ["Baseline", "DEFAULT_BASELINE_NAME"]
+
+DEFAULT_BASELINE_NAME = "reprolint-baseline.json"
+_FORMAT_VERSION = 1
+
+
+class Baseline:
+    """An allowance table for grandfathered findings."""
+
+    def __init__(self, allowances: dict[tuple[str, str, str], int] | None = None,
+                 justifications: dict[tuple[str, str, str], str] | None = None) -> None:
+        self._allowances: dict[tuple[str, str, str], int] = dict(allowances or {})
+        self._justifications: dict[tuple[str, str, str], str] = dict(justifications or {})
+
+    def __len__(self) -> int:
+        return sum(self._allowances.values())
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline.
+
+        Raises:
+            ValueError: on a malformed or wrong-version file.
+        """
+        file = Path(path)
+        if not file.exists():
+            return cls()
+        try:
+            payload = json.loads(file.read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"baseline {file}: not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"baseline {file}: expected a v{_FORMAT_VERSION} baseline object"
+            )
+        allowances: dict[tuple[str, str, str], int] = {}
+        justifications: dict[tuple[str, str, str], str] = {}
+        for index, entry in enumerate(payload.get("entries", [])):
+            try:
+                key = (entry["rule"], entry["path"], entry["line_text"])
+                count = int(entry.get("count", 1))
+                justification = entry["justification"]
+            except (TypeError, KeyError) as exc:
+                raise ValueError(
+                    f"baseline {file}: entry {index} is missing {exc}"
+                ) from exc
+            if not justification:
+                raise ValueError(
+                    f"baseline {file}: entry {index} ({key[0]} {key[1]}) has an "
+                    "empty justification — every grandfathered finding needs one"
+                )
+            allowances[key] = allowances.get(key, 0) + count
+            justifications[key] = justification
+        return cls(allowances, justifications)
+
+    @classmethod
+    def from_findings(
+        cls, findings: Iterable[Finding], justification: str = "TODO: justify"
+    ) -> "Baseline":
+        """Build a baseline that grandfathers exactly ``findings``."""
+        counts: Counter[tuple[str, str, str]] = Counter(f.key() for f in findings)
+        return cls(dict(counts), {key: justification for key in counts})
+
+    # -- matching ---------------------------------------------------------
+
+    def filter_new(self, findings: Sequence[Finding]) -> list[Finding]:
+        """Return the findings *not* covered by this baseline.
+
+        Consumes allowances in file order, so ``count`` copies of a line
+        are forgiven and the ``count + 1``-th is reported.
+        """
+        remaining = dict(self._allowances)
+        new: list[Finding] = []
+        for finding in findings:
+            key = finding.key()
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+            else:
+                new.append(finding)
+        return new
+
+    def stale_entries(self, findings: Sequence[Finding]) -> list[tuple[str, str, str]]:
+        """Baseline keys whose allowance is no longer (fully) used.
+
+        Stale entries do not fail the lint, but the CLI reports them so
+        fixed violations get pruned from the baseline.
+        """
+        seen: Counter[tuple[str, str, str]] = Counter(f.key() for f in findings)
+        return sorted(
+            key for key, count in self._allowances.items() if seen[key] < count
+        )
+
+    # -- persistence ------------------------------------------------------
+
+    def to_payload(self) -> dict[str, object]:
+        entries = [
+            {
+                "rule": rule,
+                "path": path,
+                "line_text": line_text,
+                "count": count,
+                "justification": self._justifications.get(
+                    (rule, path, line_text), "TODO: justify"
+                ),
+            }
+            for (rule, path, line_text), count in sorted(self._allowances.items())
+        ]
+        return {"version": _FORMAT_VERSION, "entries": entries}
+
+    def write(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_payload(), indent=2) + "\n")

@@ -1,0 +1,85 @@
+"""NUM — big-integer hygiene rules.
+
+RSA moduli in this codebase are 512-2048-bit Python ints; the factoring
+math (``repro.numt``, ``repro.core``) is exact by construction.  A float
+creeping in truncates to 53 bits of mantissa and the corruption is silent
+— ``math.sqrt`` of a 1024-bit modulus "works" and returns garbage.
+
+- **NUM001** — float-producing operations (true division ``/``,
+  ``float()``, ``math.sqrt``) applied to variables named like moduli or
+  primes.  Use ``//``, :func:`math.isqrt` (wrapped by
+  ``repro.numt.arith``), or keep ratios in exact ints until the final
+  report formats them.
+
+The name heuristic is deliberately narrow (``modulus``/``moduli``/
+``prime``/``primes`` and ``*_modulus``-style suffixes): counters like
+``primes_examined`` or unrelated short names never match.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.engine import ModuleContext, Rule, registry
+from repro.devtools.findings import Severity
+
+_EXACT_NAMES = frozenset({"modulus", "moduli", "prime", "primes"})
+_SUFFIXES = ("_modulus", "_moduli", "_prime", "_primes")
+
+
+def _bigint_name(node: ast.expr) -> str | None:
+    """The identifier, if this expression names a modulus/prime variable."""
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    else:
+        return None
+    if name in _EXACT_NAMES or name.endswith(_SUFFIXES):
+        return name
+    return None
+
+
+@registry.register
+class FloatOnBigint(Rule):
+    code = "NUM001"
+    summary = "float-producing operation on a modulus/prime variable"
+    severity = Severity.ERROR
+    node_types = (ast.BinOp, ast.Call)
+
+    def check(self, node: ast.AST, ctx: ModuleContext) -> Iterator[tuple[ast.AST, str]]:
+        if isinstance(node, ast.BinOp):
+            if not isinstance(node.op, ast.Div):
+                return
+            for side in (node.left, node.right):
+                name = _bigint_name(side)
+                if name is not None:
+                    yield (
+                        node,
+                        f"true division on '{name}' produces a float (53-bit "
+                        "mantissa) — use // for exact arithmetic, or convert "
+                        "explicitly only when formatting a report",
+                    )
+                    return
+        elif isinstance(node, ast.Call):
+            resolved = ctx.resolve(node.func)
+            target = None
+            if isinstance(node.func, ast.Name) and node.func.id == "float":
+                target = "float()"
+            elif resolved == "math.sqrt":
+                target = "math.sqrt()"
+            if target is None or not node.args:
+                return
+            name = _bigint_name(node.args[0])
+            if name is not None:
+                suggestion = (
+                    "math.isqrt / repro.numt.arith"
+                    if target == "math.sqrt()"
+                    else "exact int arithmetic"
+                )
+                yield (
+                    node,
+                    f"{target} on '{name}' truncates a big integer to 53 bits of "
+                    f"mantissa; use {suggestion}",
+                )

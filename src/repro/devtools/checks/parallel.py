@@ -1,0 +1,102 @@
+"""PAR — process-pool / picklability rules.
+
+The clustered batch-GCD (``repro.core.clustered``) ships its ``k**2``
+tasks across a :class:`~concurrent.futures.ProcessPoolExecutor`.  Work
+submitted to a process pool is pickled, and two common Python idioms fail
+that boundary only at runtime, on the worker, with an opaque traceback:
+
+- **PAR001** — a ``lambda`` or a function defined *inside another
+  function* passed to ``submit``/``map``.  Neither pickles; pool entry
+  points must be module-level callables (see ``_run_task``).
+- **PAR002** — mutable default arguments (``def f(x=[])``).  The default
+  is created once per process, so parent and workers silently diverge the
+  moment anyone mutates it — on top of the classic shared-state bug.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.engine import ModuleContext, Rule, registry
+from repro.devtools.findings import Severity
+
+_POOL_METHODS = frozenset({"submit", "map"})
+_POOLISH_RECEIVERS = ("pool", "executor")
+_MUTABLE_FACTORIES = frozenset({"list", "dict", "set"})
+
+
+def _looks_like_pool(func: ast.expr) -> bool:
+    """Heuristic: is this ``<receiver>.submit/<receiver>.map`` on a pool?
+
+    ``submit`` is specific enough to always count; ``map`` is common on
+    other objects, so it only counts when the receiver is named like a
+    pool/executor.
+    """
+    if not isinstance(func, ast.Attribute):
+        return False
+    if func.attr == "submit":
+        return True
+    if func.attr != "map":
+        return False
+    receiver = func.value
+    if isinstance(receiver, ast.Name):
+        lowered = receiver.id.lower()
+    elif isinstance(receiver, ast.Attribute):
+        lowered = receiver.attr.lower()
+    else:
+        return False
+    return any(hint in lowered for hint in _POOLISH_RECEIVERS)
+
+
+@registry.register
+class UnpicklablePoolCallable(Rule):
+    code = "PAR001"
+    summary = "lambda/closure handed to ProcessPoolExecutor submit/map"
+    severity = Severity.ERROR
+    node_types = (ast.Call,)
+
+    def check(self, node: ast.Call, ctx: ModuleContext) -> Iterator[tuple[ast.AST, str]]:
+        if not isinstance(node.func, ast.Attribute) or node.func.attr not in _POOL_METHODS:
+            return
+        if not _looks_like_pool(node.func):
+            return
+        for arg in node.args:
+            if isinstance(arg, ast.Lambda):
+                yield (
+                    arg,
+                    "lambda passed to a process pool cannot pickle across the "
+                    "worker boundary; hoist it to a module-level function",
+                )
+            elif isinstance(arg, ast.Name) and ctx.is_nested_function(arg.id):
+                yield (
+                    arg,
+                    f"'{arg.id}' is defined inside an enclosing function; nested "
+                    "functions cannot pickle across the process-pool boundary — "
+                    "hoist it to module level (see core.clustered._run_task)",
+                )
+
+
+@registry.register
+class MutableDefaultArgument(Rule):
+    code = "PAR002"
+    summary = "mutable default argument"
+    severity = Severity.ERROR
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    def check(self, node: ast.AST, ctx: ModuleContext) -> Iterator[tuple[ast.AST, str]]:
+        args = node.args
+        defaults = list(args.defaults) + [d for d in args.kw_defaults if d is not None]
+        for default in defaults:
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_FACTORIES
+            )
+            if mutable:
+                yield (
+                    default,
+                    "mutable default argument is created once and shared by every "
+                    "call (and independently per pool worker); default to None "
+                    "and construct inside the body",
+                )

@@ -1,0 +1,312 @@
+"""The single-pass AST lint engine.
+
+One :class:`_Walker` (an :class:`ast.NodeVisitor`) traverses each file
+exactly once.  At every node it consults the registry's dispatch table and
+runs only the rules that registered interest in that node type, so adding
+rules does not add walks.  The walker also maintains the shared analysis
+state every rule needs:
+
+- an **import alias table** (``import random as r`` / ``from random import
+  Random``), so rules match on *resolved* dotted names like
+  ``random.Random`` instead of guessing from attribute spellings;
+- a **scope stack** recording functions defined inside enclosing function
+  scopes — what :mod:`repro.devtools.checks.parallel` needs to spot
+  closures handed to a process pool.
+
+Rules are small classes registered on the module-level :data:`registry`;
+:meth:`Rule.check` yields ``(node, message)`` pairs and the engine turns
+them into :class:`~repro.devtools.findings.Finding` objects, applying
+inline suppressions (:mod:`repro.devtools.suppress`) before anything is
+reported.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.devtools.findings import Finding, Severity
+from repro.devtools.suppress import SuppressionIndex
+
+__all__ = ["LintEngine", "ModuleContext", "Rule", "RuleRegistry", "registry"]
+
+
+class ModuleContext:
+    """Shared per-file analysis state, updated by the walker as it descends."""
+
+    def __init__(self, path: str, module: str, source_lines: Sequence[str]) -> None:
+        self.path = path
+        self.module = module
+        self.source_lines = source_lines
+        #: alias -> fully-qualified dotted name ("r" -> "random").
+        self.imports: dict[str, str] = {}
+        #: innermost-last stack of (kind, locally-defined-function-names).
+        self.scopes: list[tuple[str, set[str]]] = [("module", set())]
+
+    @property
+    def is_repro_source(self) -> bool:
+        """True for modules under ``src/repro`` (rules scoped by the spec)."""
+        return self.module == "repro" or self.module.startswith("repro.")
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Resolve a Name/Attribute chain to a dotted name via the imports.
+
+        ``datetime.now(...)`` after ``from datetime import datetime``
+        resolves to ``datetime.datetime.now``; attribute chains rooted at
+        anything that is not an imported alias resolve to ``None``, which
+        keeps rules from firing on look-alike methods of local objects.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.imports.get(node.id)
+        if base is None:
+            return None
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+    def is_nested_function(self, name: str) -> bool:
+        """True if ``name`` is a function defined inside an enclosing function."""
+        return any(
+            kind == "function" and name in local_funcs
+            for kind, local_funcs in self.scopes
+        )
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.source_lines):
+            return self.source_lines[lineno - 1].strip()
+        return ""
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding ``(node, message)`` pairs for each violation.
+    """
+
+    code: str = ""
+    summary: str = ""
+    severity: Severity = Severity.ERROR
+    #: AST node types this rule wants to see (the dispatch key).
+    node_types: tuple[type[ast.AST], ...] = ()
+
+    def check(
+        self, node: ast.AST, ctx: ModuleContext
+    ) -> Iterator[tuple[ast.AST, str]]:
+        raise NotImplementedError  # pragma: no cover
+
+
+class RuleRegistry:
+    """The set of known rules plus the node-type dispatch table."""
+
+    def __init__(self) -> None:
+        self._rules: dict[str, Rule] = {}
+        self._dispatch: dict[type[ast.AST], list[Rule]] = {}
+
+    def register(self, rule_cls: type[Rule]) -> type[Rule]:
+        """Class decorator: instantiate and index a rule."""
+        rule = rule_cls()
+        if not rule.code or not rule.node_types:
+            raise ValueError(f"rule {rule_cls.__name__} needs a code and node_types")
+        if rule.code in self._rules:
+            raise ValueError(f"duplicate rule code {rule.code}")
+        self._rules[rule.code] = rule
+        for node_type in rule.node_types:
+            self._dispatch.setdefault(node_type, []).append(rule)
+        return rule_cls
+
+    def rules(self) -> list[Rule]:
+        return [self._rules[code] for code in sorted(self._rules)]
+
+    def get(self, code: str) -> Rule:
+        return self._rules[code]
+
+    def rules_for(self, node_type: type[ast.AST]) -> list[Rule]:
+        return self._dispatch.get(node_type, [])
+
+
+#: The process-wide registry every ``@registry.register`` rule lands in.
+registry = RuleRegistry()
+
+
+class _Walker(ast.NodeVisitor):
+    """One pre-order pass: update context, dispatch rules, descend."""
+
+    def __init__(self, reg: RuleRegistry, ctx: ModuleContext) -> None:
+        self._registry = reg
+        self.ctx = ctx
+        self.raw_findings: list[tuple[Rule, ast.AST, str]] = []
+
+    # -- context bookkeeping ---------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.ctx.imports[alias.asname or alias.name.split(".")[0]] = (
+                alias.name if alias.asname else alias.name.split(".")[0]
+            )
+        self._dispatch(node)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        prefix = "." * node.level + (node.module or "")
+        for alias in node.names:
+            if alias.name != "*":
+                self.ctx.imports[alias.asname or alias.name] = (
+                    f"{prefix}.{alias.name}" if prefix else alias.name
+                )
+        self._dispatch(node)
+        self.generic_visit(node)
+
+    def _visit_function(self, node: ast.AST, name: str | None) -> None:
+        if name is not None:
+            self.ctx.scopes[-1][1].add(name)
+        self._dispatch(node)
+        self.ctx.scopes.append(("function", set()))
+        try:
+            self.generic_visit(node)
+        finally:
+            self.ctx.scopes.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node, node.name)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node, node.name)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._visit_function(node, None)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._dispatch(node)
+        self.ctx.scopes.append(("class", set()))
+        try:
+            self.generic_visit(node)
+        finally:
+            self.ctx.scopes.pop()
+
+    # -- dispatch ---------------------------------------------------------
+
+    def generic_visit(self, node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            self.visit(child)
+
+    def visit(self, node: ast.AST) -> None:
+        visitor = getattr(
+            self, f"visit_{type(node).__name__}", None
+        )
+        if visitor is not None:
+            visitor(node)
+        else:
+            self._dispatch(node)
+            self.generic_visit(node)
+
+    def _dispatch(self, node: ast.AST) -> None:
+        for rule in self._registry.rules_for(type(node)):
+            for found_node, message in rule.check(node, self.ctx):
+                self.raw_findings.append((rule, found_node, message))
+
+
+class LintEngine:
+    """Lints sources with a registry's rules and applies suppressions."""
+
+    def __init__(self, reg: RuleRegistry | None = None) -> None:
+        from repro.devtools import checks
+
+        checks.load_all()
+        self._registry = reg if reg is not None else registry
+
+    # -- single file ------------------------------------------------------
+
+    def lint_source(
+        self, source: str, path: str, module: str | None = None
+    ) -> list[Finding]:
+        """Lint one source text; ``path`` is used for reporting and scoping."""
+        suppressions = SuppressionIndex(source)
+        if suppressions.skip_file:
+            return []
+        ctx = ModuleContext(
+            path=path,
+            module=module if module is not None else _module_name(path),
+            source_lines=source.splitlines(),
+        )
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            line = exc.lineno or 1
+            return [
+                Finding(
+                    rule="PARSE",
+                    path=path,
+                    line=line,
+                    col=(exc.offset or 1) - 1,
+                    message=f"file does not parse: {exc.msg}",
+                    severity=Severity.ERROR,
+                    line_text=ctx.line_text(line),
+                )
+            ]
+        walker = _Walker(self._registry, ctx)
+        walker.visit(tree)
+        findings = []
+        for rule, node, message in walker.raw_findings:
+            line = getattr(node, "lineno", 1)
+            if suppressions.is_suppressed(rule.code, line):
+                continue
+            findings.append(
+                Finding(
+                    rule=rule.code,
+                    path=path,
+                    line=line,
+                    col=getattr(node, "col_offset", 0),
+                    message=message,
+                    severity=rule.severity,
+                    line_text=ctx.line_text(line),
+                )
+            )
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return findings
+
+    # -- trees ------------------------------------------------------------
+
+    def lint_paths(self, paths: Iterable[str | Path]) -> list[Finding]:
+        """Lint every ``.py`` file under the given files/directories."""
+        findings: list[Finding] = []
+        for file in collect_files(paths):
+            findings.extend(
+                self.lint_source(file.read_text(), file.as_posix())
+            )
+        return findings
+
+
+def collect_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.update(
+                candidate
+                for candidate in path.rglob("*.py")
+                if "__pycache__" not in candidate.parts
+                and not any(part.startswith(".") for part in candidate.parts)
+            )
+        elif path.suffix == ".py":
+            out.add(path)
+    return sorted(out)
+
+
+def _module_name(path: str) -> str:
+    """Best-effort dotted module name; ``src/`` layouts anchor the package."""
+    parts = list(Path(path).parts)
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    if not parts:
+        return ""
+    parts[-1] = Path(parts[-1]).stem
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)

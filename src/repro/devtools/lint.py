@@ -1,0 +1,132 @@
+"""The reprolint CLI.
+
+Usage::
+
+    python -m repro.devtools.lint [paths ...]
+        [--format text|json] [--baseline FILE] [--write-baseline]
+        [--list-rules]
+
+Exit codes: 0 = clean (every finding suppressed or baselined), 1 = new
+findings, 2 = bad invocation.  ``--write-baseline`` snapshots the current
+findings into the baseline file (with TODO justifications for a human to
+fill in) and exits 0 — the workflow for adopting a new rule over existing
+code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.devtools.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.devtools.engine import LintEngine, registry
+
+__all__ = ["main"]
+
+DEFAULT_PATHS = ("src", "tests")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="Project-specific determinism/correctness linter (reprolint).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help=f"files or directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE_NAME,
+        help=f"baseline file of grandfathered findings (default: {DEFAULT_BASELINE_NAME}; "
+        "a missing file is an empty baseline)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file and report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="snapshot current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _list_rules() -> None:
+    engine_rules = registry.rules()
+    width = max(len(rule.code) for rule in engine_rules)
+    for rule in engine_rules:
+        print(f"{rule.code:<{width}}  [{rule.severity.value:<7}]  {rule.summary}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    engine = LintEngine()
+
+    if args.list_rules:
+        _list_rules()
+        return 0
+
+    findings = engine.lint_paths(args.paths)
+
+    if args.write_baseline:
+        Baseline.from_findings(findings).write(args.baseline)
+        print(
+            f"wrote {len(findings)} finding(s) to {args.baseline}; "
+            "fill in the justifications before committing"
+        )
+        return 0
+
+    try:
+        baseline = Baseline() if args.no_baseline else Baseline.load(args.baseline)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    new = baseline.filter_new(findings)
+    stale = baseline.stale_entries(findings)
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "findings": [finding.to_dict() for finding in new],
+                    "baselined": len(findings) - len(new),
+                    "stale_baseline_entries": [list(key) for key in stale],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in new:
+            print(finding.render())
+        baselined = len(findings) - len(new)
+        summary = f"reprolint: {len(new)} new finding(s), {baselined} baselined"
+        if stale:
+            summary += f", {len(stale)} stale baseline entr(y/ies) — prune them:"
+        print(summary)
+        for rule, path, line_text in stale:
+            print(f"  stale: {rule} {path}: {line_text!r}")
+
+    return 1 if new else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    sys.exit(main())

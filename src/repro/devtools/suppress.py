@@ -1,0 +1,57 @@
+"""Inline suppressions: ``# reprolint: disable=RULE[,RULE...]``.
+
+A suppression comment silences the named rules on its own line — either a
+trailing comment on the offending statement or a comment-only line
+immediately above it (for lines too crowded to annotate in place).  A bare
+``# reprolint: disable`` (no rule list) silences every rule on that line;
+use sparingly.  ``# reprolint: skip-file`` anywhere in the first ten lines
+exempts the whole file (reserved for vendored or generated code).
+
+Suppressions are matched against the *reported* line of a finding, which
+for multi-line statements is the line of the offending AST node.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["SuppressionIndex"]
+
+_DIRECTIVE = re.compile(r"#\s*reprolint:\s*(disable|skip-file)(?:=([A-Z0-9,\s]+))?")
+_SKIP_FILE_WINDOW = 10
+
+
+class SuppressionIndex:
+    """Per-file index of suppression directives, built once per lint pass."""
+
+    __slots__ = ("skip_file", "_by_line")
+
+    def __init__(self, source: str) -> None:
+        self.skip_file = False
+        #: line number -> set of suppressed rule codes ("*" = all rules).
+        self._by_line: dict[int, set[str]] = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _DIRECTIVE.search(text)
+            if match is None:
+                continue
+            kind, rule_list = match.groups()
+            if kind == "skip-file":
+                if lineno <= _SKIP_FILE_WINDOW:
+                    self.skip_file = True
+                continue
+            rules = (
+                {code.strip() for code in rule_list.split(",") if code.strip()}
+                if rule_list
+                else {"*"}
+            )
+            self._by_line.setdefault(lineno, set()).update(rules)
+            # A comment-only line suppresses the statement below it.
+            if text.lstrip().startswith("#"):
+                self._by_line.setdefault(lineno + 1, set()).update(rules)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """True when ``rule`` is silenced on ``line`` (or file-wide)."""
+        if self.skip_file:
+            return True
+        rules = self._by_line.get(line)
+        return rules is not None and ("*" in rules or rule in rules)

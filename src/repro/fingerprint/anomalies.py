@@ -17,7 +17,7 @@ paper set them aside before analysing vendors:
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.results import BatchGcdResult
 from repro.numt.primality import is_probable_prime

@@ -167,7 +167,7 @@ def shared_prime_overlaps(
         vendors_by_prime[fact.p].add(vendor)
         vendors_by_prime[fact.q].add(vendor)
     overlaps: dict[frozenset[str], int] = Counter()
-    for prime, vendors in vendors_by_prime.items():
+    for _prime, vendors in vendors_by_prime.items():
         if len(vendors) > 1:
             for pair in _pairs(sorted(vendors)):
                 overlaps[frozenset(pair)] += 1

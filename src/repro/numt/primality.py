@@ -50,8 +50,11 @@ def is_probable_prime(n: int, rounds: int = 32, rng: random.Random | None = None
     Args:
         n: integer to test.
         rounds: number of random witnesses for large ``n``.
-        rng: randomness source for witness selection (a fresh one is created
-            when omitted, keeping the test reproducible only for small ``n``).
+        rng: randomness source for witness selection.  When omitted,
+            witnesses are drawn from ``random.Random(n)`` — deterministic
+            per input across runs and processes, so the whole pipeline
+            stays bit-identical for a given seed even above the
+            deterministic-witness bound.
     """
     if n < 2:
         return False
@@ -71,7 +74,9 @@ def is_probable_prime(n: int, rounds: int = 32, rng: random.Random | None = None
     if n < _DETERMINISTIC_BOUND:
         witnesses: tuple[int, ...] | list[int] = _DETERMINISTIC_WITNESSES[1:]
     else:
-        rng = rng or random.Random()
+        # Seeding on n keeps witness selection reproducible run-to-run
+        # while still varying witnesses between candidates.
+        rng = rng or random.Random(n)
         witnesses = [rng.randrange(2, n - 1) for _ in range(rounds)]
     return all(_miller_rabin_round(n, d, r, a) for a in witnesses)
 

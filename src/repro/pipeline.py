@@ -53,7 +53,6 @@ from repro.devices.models import (
     SubjectStyle,
 )
 from repro.devices.population import (
-    DivisorLimits,
     IpAllocator,
     ModelPopulation,
     resolve_divisor,

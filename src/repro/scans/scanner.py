@@ -151,7 +151,7 @@ def reconstruct_chains(snapshot: ScanSnapshot, store: CertificateStore) -> int:
     for position, (ip, cert_id) in enumerate(snapshot.records()):
         by_ip.setdefault(ip, []).append((position, cert_id))
     to_remove: set[int] = set()
-    for ip, entries in by_ip.items():
+    for _ip, entries in by_ip.items():
         if len(entries) < 2:
             continue
         issuers = {

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.crypto import dsa
-from repro.crypto.rsa import RsaKeyPair, RsaPrivateKey, recover_private_key
+from repro.crypto.rsa import RsaKeyPair, recover_private_key
 from repro.ssh.hostkeys import DsaHostKey, RsaHostKey, SshServer
 
 __all__ = ["HostImpersonator"]

@@ -15,7 +15,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.crypto import dsa
-from repro.crypto.rsa import RsaKeyPair, RsaPrivateKey, RsaPublicKey
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey
 
 __all__ = [
     "RsaHostKey",

@@ -26,7 +26,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.crypto.certs import Certificate
-from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
+from repro.crypto.rsa import RsaPrivateKey
 from repro.tls.suites import CipherSuite, DHE_GENERATOR, DHE_PRIME
 
 __all__ = [

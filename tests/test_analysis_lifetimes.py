@@ -72,7 +72,7 @@ class TestLifetimes:
         assert stats.max_tenure_scans == 3
 
     def test_empty_vendor(self):
-        stats = self.run({1: [self.fresh_id]})
+        self.run({1: [self.fresh_id]})
         # fresh cert is IBM-labelled; use a different vendor entirely.
         empty = analyze_certificate_lifetimes(
             [], self.store, self.labels, self.vulnerable, "HP"

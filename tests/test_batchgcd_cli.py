@@ -1,6 +1,5 @@
 """Tests for the fastgcd-style repro-batchgcd CLI."""
 
-import random
 import subprocess
 import sys
 

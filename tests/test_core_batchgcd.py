@@ -1,6 +1,5 @@
 """Tests for the classic batch-GCD engine against the naive oracle."""
 
-import math
 import random
 
 import pytest

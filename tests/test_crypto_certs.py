@@ -6,7 +6,6 @@ from datetime import date
 import pytest
 
 from repro.crypto.certs import (
-    Certificate,
     DistinguishedName,
     issue_certificate,
     self_signed_certificate,

@@ -1,6 +1,5 @@
 """Tests for device-model specifications and population schedules."""
 
-import pytest
 
 from repro.devices.models import (
     HeartbleedBehavior,

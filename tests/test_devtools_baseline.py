@@ -1,0 +1,124 @@
+"""Baseline and suppression-index unit tests for reprolint."""
+
+import json
+
+import pytest
+
+from repro.devtools import Baseline, Finding, Severity
+from repro.devtools.suppress import SuppressionIndex
+
+
+def make_finding(rule="DET001", path="src/repro/m.py", line=5, text="rng = X()"):
+    return Finding(
+        rule=rule,
+        path=path,
+        line=line,
+        col=0,
+        message="msg",
+        severity=Severity.ERROR,
+        line_text=text,
+    )
+
+
+class TestBaselineMatching:
+    def test_covered_finding_is_filtered(self):
+        finding = make_finding()
+        baseline = Baseline.from_findings([finding])
+        assert baseline.filter_new([finding]) == []
+
+    def test_line_number_drift_still_matches(self):
+        baseline = Baseline.from_findings([make_finding(line=5)])
+        moved = make_finding(line=50)
+        assert baseline.filter_new([moved]) == []
+
+    def test_changed_line_text_invalidates(self):
+        baseline = Baseline.from_findings([make_finding(text="old text")])
+        edited = make_finding(text="new text")
+        assert baseline.filter_new([edited]) == [edited]
+
+    def test_allowance_counts(self):
+        baseline = Baseline.from_findings([make_finding(), make_finding()])
+        three = [make_finding(), make_finding(), make_finding()]
+        assert len(baseline.filter_new(three)) == 1
+
+    def test_stale_entries_reported(self):
+        baseline = Baseline.from_findings([make_finding(), make_finding(rule="NUM001")])
+        stale = baseline.stale_entries([make_finding()])
+        assert stale == [("NUM001", "src/repro/m.py", "rng = X()")]
+        assert baseline.stale_entries([make_finding(), make_finding(rule="NUM001")]) == []
+
+
+class TestBaselinePersistence:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        original = Baseline.from_findings([make_finding()], justification="because")
+        original.write(path)
+        loaded = Baseline.load(path)
+        assert loaded.filter_new([make_finding()]) == []
+        assert json.loads(path.read_text())["entries"][0]["justification"] == "because"
+
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "absent.json")
+        assert len(baseline) == 0
+        finding = make_finding()
+        assert baseline.filter_new([finding]) == [finding]
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            Baseline.load(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99, "entries": []}')
+        with pytest.raises(ValueError, match="v1"):
+            Baseline.load(path)
+
+    def test_empty_justification_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "entries": [
+                        {
+                            "rule": "DET003",
+                            "path": "src/repro/m.py",
+                            "line_text": "x",
+                            "count": 1,
+                            "justification": "",
+                        }
+                    ],
+                }
+            )
+        )
+        with pytest.raises(ValueError, match="justification"):
+            Baseline.load(path)
+
+
+class TestSuppressionIndex:
+    def test_trailing_comment(self):
+        index = SuppressionIndex("x = 1\ny = f()  # reprolint: disable=DET001\n")
+        assert index.is_suppressed("DET001", 2)
+        assert not index.is_suppressed("DET001", 1)
+        assert not index.is_suppressed("DET002", 2)
+
+    def test_multiple_rules(self):
+        index = SuppressionIndex("y = f()  # reprolint: disable=DET001,NUM001\n")
+        assert index.is_suppressed("DET001", 1)
+        assert index.is_suppressed("NUM001", 1)
+
+    def test_bare_disable_silences_all(self):
+        index = SuppressionIndex("y = f()  # reprolint: disable\n")
+        assert index.is_suppressed("ANYTHING", 1)
+
+    def test_comment_line_covers_next_line(self):
+        index = SuppressionIndex("# reprolint: disable=DET001\ny = f()\n")
+        assert index.is_suppressed("DET001", 2)
+
+    def test_skip_file_only_near_top(self):
+        near_top = "# reprolint: skip-file\n" + "x = 1\n" * 20
+        buried = "x = 1\n" * 20 + "# reprolint: skip-file\n"
+        assert SuppressionIndex(near_top).skip_file
+        assert not SuppressionIndex(buried).skip_file

@@ -1,0 +1,110 @@
+"""CLI behaviour tests for ``python -m repro.devtools.lint``."""
+
+import json
+
+import pytest
+
+from repro.devtools.lint import main
+
+CLEAN = "VALUE = 1\n"
+
+VIOLATION = (
+    "import random\n"
+    "\n"
+    "rng = random.Random()\n"
+)
+
+SUPPRESSED = (
+    "import random\n"
+    "\n"
+    "rng = random.Random()  # reprolint: disable=DET001\n"
+)
+
+
+@pytest.fixture()
+def tree(tmp_path, monkeypatch):
+    """A scratch tree the CLI lints, with cwd pinned inside it."""
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "src" / "repro").mkdir(parents=True)
+    return tmp_path
+
+
+def write(tree, relative, content):
+    path = tree / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(content)
+    return path
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tree, capsys):
+        write(tree, "src/repro/clean.py", CLEAN)
+        assert main(["src"]) == 0
+        assert "0 new finding(s)" in capsys.readouterr().out
+
+    def test_violation_exits_one(self, tree, capsys):
+        write(tree, "src/repro/bad.py", VIOLATION)
+        assert main(["src"]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out
+        assert "src/repro/bad.py:3" in out
+
+    def test_suppressed_violation_exits_zero(self, tree):
+        write(tree, "src/repro/bad.py", SUPPRESSED)
+        assert main(["src"]) == 0
+
+    def test_malformed_baseline_exits_two(self, tree, capsys):
+        write(tree, "src/repro/clean.py", CLEAN)
+        write(tree, "reprolint-baseline.json", "{broken")
+        assert main(["src"]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+
+class TestBaselineWorkflow:
+    def test_write_baseline_then_clean(self, tree, capsys):
+        write(tree, "src/repro/bad.py", VIOLATION)
+        assert main(["src", "--write-baseline"]) == 0
+        assert "1 finding(s)" in capsys.readouterr().out
+        # grandfathered now
+        assert main(["src"]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+        # but --no-baseline still reports it
+        assert main(["src", "--no-baseline"]) == 1
+
+    def test_new_finding_alongside_baseline(self, tree):
+        write(tree, "src/repro/bad.py", VIOLATION)
+        main(["src", "--write-baseline"])
+        write(tree, "src/repro/worse.py", "import time\nstamp = time.time()\n")
+        assert main(["src"]) == 1
+
+    def test_stale_entry_reported_but_passes(self, tree, capsys):
+        write(tree, "src/repro/bad.py", VIOLATION)
+        main(["src", "--write-baseline"])
+        write(tree, "src/repro/bad.py", CLEAN)
+        assert main(["src"]) == 0
+        assert "stale" in capsys.readouterr().out
+
+
+class TestOutputFormats:
+    def test_json_format(self, tree, capsys):
+        write(tree, "src/repro/bad.py", VIOLATION)
+        assert main(["src", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["baselined"] == 0
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "DET001"
+        assert finding["path"] == "src/repro/bad.py"
+        assert finding["line"] == 3
+        assert finding["severity"] == "error"
+
+    def test_list_rules(self, tree, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("DET001", "DET002", "DET003", "TEL001", "TEL002",
+                     "PAR001", "PAR002", "NUM001"):
+            assert code in out
+
+    def test_default_paths_lint_src_and_tests(self, tree):
+        write(tree, "src/repro/clean.py", CLEAN)
+        write(tree, "tests/test_ok.py", CLEAN)
+        assert main([]) == 0

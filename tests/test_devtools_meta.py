@@ -1,0 +1,58 @@
+"""Meta-test: reprolint over this repository must be clean.
+
+This is the same gate CI runs (``python -m repro.devtools.lint src
+tests``): zero findings that are not suppressed inline or grandfathered in
+the committed ``reprolint-baseline.json``.  A second check seeds a
+violation into a copy of a real module and asserts the linter catches it,
+so the gate cannot silently go blind.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def run_lint(*args, cwd=REPO_ROOT):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.devtools.lint", *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+        env={"PYTHONPATH": str(REPO_ROOT / "src")},
+    )
+
+
+class TestRepositoryIsClean:
+    def test_src_and_tests_have_no_new_findings(self):
+        result = run_lint("src", "tests", "--format", "json")
+        assert result.returncode == 0, result.stdout + result.stderr
+        payload = json.loads(result.stdout)
+        assert payload["findings"] == []
+
+    def test_baseline_is_fully_used(self):
+        """Every grandfathered allowance still matches a real finding."""
+        result = run_lint("src", "tests", "--format", "json")
+        payload = json.loads(result.stdout)
+        assert payload["stale_baseline_entries"] == []
+
+    def test_baseline_only_grandfathers_det003(self):
+        """The baseline is for the known duration-clock sites, nothing else."""
+        payload = json.loads((REPO_ROOT / "reprolint-baseline.json").read_text())
+        rules = {entry["rule"] for entry in payload["entries"]}
+        assert rules == {"DET003"}
+        assert all(entry["justification"] for entry in payload["entries"])
+
+
+class TestGateStillBites:
+    def test_seeded_violation_fails(self, tmp_path):
+        """Copy a real module, plant an unseeded RNG, expect exit 1."""
+        victim = tmp_path / "src" / "repro" / "planted.py"
+        victim.parent.mkdir(parents=True)
+        source = (REPO_ROOT / "src" / "repro" / "numt" / "primality.py").read_text()
+        victim.write_text(source + "\n\n_PLANTED = random.Random()\n")
+        result = run_lint("src", cwd=tmp_path)
+        assert result.returncode == 1, result.stdout + result.stderr
+        assert "DET001" in result.stdout

@@ -1,0 +1,434 @@
+"""Per-rule fixtures for reprolint: positive, negative, and suppressed."""
+
+import textwrap
+
+import pytest
+
+from repro.devtools import LintEngine
+
+REPRO_PATH = "src/repro/somemodule.py"
+TEST_PATH = "tests/test_somemodule.py"
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return LintEngine()
+
+
+def lint(engine, snippet, path=REPRO_PATH):
+    return engine.lint_source(textwrap.dedent(snippet), path)
+
+
+def codes(engine, snippet, path=REPRO_PATH):
+    return [f.rule for f in lint(engine, snippet, path)]
+
+
+class TestDet001UnseededRng:
+    def test_positive_no_arg_random(self, engine):
+        findings = lint(
+            engine,
+            """
+            import random
+
+            def pick(values):
+                rng = random.Random()
+                return rng.choice(values)
+            """,
+        )
+        assert [f.rule for f in findings] == ["DET001"]
+        assert findings[0].line == 5
+        assert "seed" in findings[0].message
+
+    def test_positive_global_rng_call_in_repro(self, engine):
+        assert codes(
+            engine,
+            """
+            import random
+
+            def jitter():
+                return random.random()
+            """,
+        ) == ["DET001"]
+
+    def test_positive_from_import_alias(self, engine):
+        assert codes(
+            engine,
+            """
+            from random import Random as R
+
+            rng = R()
+            """,
+        ) == ["DET001"]
+
+    def test_negative_seeded(self, engine):
+        assert codes(
+            engine,
+            """
+            import random
+
+            rng = random.Random(42)
+            value = rng.random()
+            """,
+        ) == []
+
+    def test_negative_global_rng_outside_repro(self, engine):
+        # module-level random.* is scoped to src/repro by the spec
+        assert codes(
+            engine,
+            """
+            import random
+
+            value = random.randrange(10)
+            """,
+            path=TEST_PATH,
+        ) == []
+
+    def test_negative_lookalike_method(self, engine):
+        assert codes(
+            engine,
+            """
+            def run(rng):
+                return rng.random()
+            """,
+        ) == []
+
+    def test_suppressed(self, engine):
+        assert codes(
+            engine,
+            """
+            import random
+
+            rng = random.Random()  # reprolint: disable=DET001
+            """,
+        ) == []
+
+
+class TestDet002WallClock:
+    def test_positive_time_time(self, engine):
+        assert codes(
+            engine,
+            """
+            import time
+
+            stamp = time.time()
+            """,
+        ) == ["DET002"]
+
+    def test_positive_datetime_now_from_import(self, engine):
+        assert codes(
+            engine,
+            """
+            from datetime import datetime
+
+            today = datetime.now()
+            """,
+        ) == ["DET002"]
+
+    def test_positive_date_today(self, engine):
+        assert codes(
+            engine,
+            """
+            import datetime
+
+            day = datetime.date.today()
+            """,
+        ) == ["DET002"]
+
+    def test_negative_clock_module_exempt(self, engine):
+        assert codes(
+            engine,
+            """
+            import time
+
+            def wall():
+                return time.time()
+            """,
+            path="src/repro/telemetry/clock.py",
+        ) == []
+
+    def test_negative_instance_now(self, engine):
+        # .now() on an unresolvable receiver must not fire
+        assert codes(
+            engine,
+            """
+            def f(clock):
+                return clock.now()
+            """,
+        ) == []
+
+
+class TestDet003DurationClock:
+    def test_positive_perf_counter_in_repro(self, engine):
+        findings = lint(
+            engine,
+            """
+            import time
+
+            start = time.perf_counter()
+            """,
+        )
+        assert [f.rule for f in findings] == ["DET003"]
+        assert findings[0].severity.value == "warning"
+
+    def test_negative_outside_repro(self, engine):
+        assert codes(
+            engine,
+            """
+            import time
+
+            start = time.perf_counter()
+            """,
+            path=TEST_PATH,
+        ) == []
+
+
+class TestTel001DiscardedHandle:
+    def test_positive_bare_span(self, engine):
+        assert codes(
+            engine,
+            """
+            from repro.telemetry import span
+
+            def stage():
+                span("batch_gcd.products")
+            """,
+        ) == ["TEL001"]
+
+    def test_positive_method_timer(self, engine):
+        assert codes(
+            engine,
+            """
+            def stage(telemetry):
+                telemetry.timer("batch_gcd.task")
+            """,
+        ) == ["TEL001"]
+
+    def test_negative_with_block(self, engine):
+        assert codes(
+            engine,
+            """
+            def stage(telemetry):
+                with telemetry.span("batch_gcd.products"):
+                    pass
+            """,
+        ) == []
+
+    def test_negative_assigned_handle(self, engine):
+        assert codes(
+            engine,
+            """
+            def stage(telemetry):
+                handle = telemetry.span("batch_gcd.products")
+                return handle
+            """,
+        ) == []
+
+
+class TestTel002MetricNames:
+    @pytest.mark.parametrize(
+        "name",
+        ["Batch_GCD.products", "batch gcd", ".products", "batch_gcd..task", "camelCase.x"],
+    )
+    def test_positive_bad_names(self, engine, name):
+        snippet = f"""
+        def stage(telemetry):
+            telemetry.counter({name!r})
+        """
+        assert codes(engine, snippet) == ["TEL002"]
+
+    @pytest.mark.parametrize(
+        "name", ["batch_gcd.products", "world_build", "scans.era_2012.records"]
+    )
+    def test_negative_canonical_names(self, engine, name):
+        snippet = f"""
+        def stage(telemetry):
+            telemetry.counter({name!r})
+        """
+        assert codes(engine, snippet) == []
+
+    def test_negative_dynamic_name_not_checked(self, engine):
+        assert codes(
+            engine,
+            """
+            def stage(telemetry, name):
+                telemetry.counter(name)
+            """,
+        ) == []
+
+
+class TestPar001UnpicklablePoolCallable:
+    def test_positive_lambda_submit(self, engine):
+        assert codes(
+            engine,
+            """
+            def run(pool, items):
+                return [pool.submit(lambda x: x + 1, i) for i in items]
+            """,
+        ) == ["PAR001"]
+
+    def test_positive_nested_function_map(self, engine):
+        findings = lint(
+            engine,
+            """
+            def run(executor, items):
+                def work(item):
+                    return item + 1
+                return list(executor.map(work, items))
+            """,
+        )
+        assert [f.rule for f in findings] == ["PAR001"]
+        assert "hoist" in findings[0].message
+
+    def test_negative_module_level_function(self, engine):
+        assert codes(
+            engine,
+            """
+            def work(item):
+                return item + 1
+
+            def run(pool, items):
+                return list(pool.map(work, items))
+            """,
+        ) == []
+
+    def test_negative_non_pool_map(self, engine):
+        assert codes(
+            engine,
+            """
+            def run(frame):
+                return frame.map(lambda x: x + 1)
+            """,
+        ) == []
+
+
+class TestPar002MutableDefault:
+    def test_positive_list_default(self, engine):
+        assert codes(
+            engine,
+            """
+            def accumulate(value, into=[]):
+                into.append(value)
+                return into
+            """,
+        ) == ["PAR002"]
+
+    def test_positive_dict_call_default(self, engine):
+        assert codes(
+            engine,
+            """
+            def merge(extra=dict()):
+                return extra
+            """,
+        ) == ["PAR002"]
+
+    def test_negative_none_default(self, engine):
+        assert codes(
+            engine,
+            """
+            def accumulate(value, into=None):
+                into = [] if into is None else into
+                into.append(value)
+                return into
+            """,
+        ) == []
+
+
+class TestNum001FloatOnBigint:
+    def test_positive_true_division(self, engine):
+        assert codes(
+            engine,
+            """
+            def cofactor(modulus, p):
+                return modulus / p
+            """,
+        ) == ["NUM001"]
+
+    def test_positive_math_sqrt(self, engine):
+        findings = lint(
+            engine,
+            """
+            import math
+
+            def root(modulus):
+                return math.sqrt(modulus)
+            """,
+        )
+        assert [f.rule for f in findings] == ["NUM001"]
+        assert "isqrt" in findings[0].message
+
+    def test_positive_float_cast(self, engine):
+        assert codes(
+            engine,
+            """
+            def approx(prime):
+                return float(prime)
+            """,
+        ) == ["NUM001"]
+
+    def test_negative_floor_division(self, engine):
+        assert codes(
+            engine,
+            """
+            def cofactor(modulus, p):
+                return modulus // p
+            """,
+        ) == []
+
+    def test_negative_unrelated_names(self, engine):
+        # counters like primes_examined must not match the heuristic
+        assert codes(
+            engine,
+            """
+            def rate(satisfying, primes_examined):
+                return satisfying / primes_examined
+            """,
+        ) == []
+
+
+class TestEngineBehaviour:
+    def test_parse_error_is_a_finding(self, engine):
+        findings = lint(engine, "def broken(:\n")
+        assert [f.rule for f in findings] == ["PARSE"]
+
+    def test_skip_file_directive(self, engine):
+        assert codes(
+            engine,
+            """
+            # reprolint: skip-file  (vendored example)
+            import random
+
+            rng = random.Random()
+            """,
+        ) == []
+
+    def test_suppression_on_preceding_comment_line(self, engine):
+        assert codes(
+            engine,
+            """
+            import random
+
+            # reprolint: disable=DET001
+            rng = random.Random()
+            """,
+        ) == []
+
+    def test_suppression_is_rule_specific(self, engine):
+        assert codes(
+            engine,
+            """
+            import random
+
+            rng = random.Random()  # reprolint: disable=DET002
+            """,
+        ) == ["DET001"]
+
+    def test_multiple_rules_one_line(self, engine):
+        assert codes(
+            engine,
+            """
+            import random, time
+
+            def f():
+                return random.random(), time.time()
+            """,
+        ) == ["DET001", "DET002"]

@@ -6,7 +6,6 @@ from repro.devices.vendors import notified_2012_vendors
 from repro.disclosure.process import (
     ContactChannel,
     NotificationCampaign,
-    CampaignSummary,
 )
 from repro.timeline import Month
 
@@ -16,7 +15,10 @@ def run_campaign(seed, cert_fraction=0.6):
     return campaign.run(notified_2012_vendors(), random.Random(seed))
 
 
-def average_over_seeds(attribute, seeds=range(30), **kwargs):
+SEEDS = range(30)
+
+
+def average_over_seeds(attribute, seeds=SEEDS, **kwargs):
     total = 0.0
     for seed in seeds:
         summary = run_campaign(seed, **kwargs)

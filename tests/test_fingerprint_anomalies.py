@@ -3,7 +3,6 @@
 import random
 from datetime import date
 
-import pytest
 
 from repro.core.batchgcd import batch_gcd
 from repro.crypto.certs import DistinguishedName, self_signed_certificate, substitute_public_key

@@ -1,6 +1,5 @@
 """Integration tests for the fingerprint engine over the tiny study."""
 
-import pytest
 
 from repro.devices.vendors import VENDORS
 

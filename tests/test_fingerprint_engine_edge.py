@@ -1,6 +1,5 @@
 """Edge-case tests for the fingerprint engine (empty and tiny inputs)."""
 
-import random
 from datetime import date
 
 from repro.core.batchgcd import batch_gcd

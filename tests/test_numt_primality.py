@@ -92,3 +92,64 @@ class TestRandomPrime:
         a = random_prime(64, random.Random(42))
         b = random_prime(64, random.Random(42))
         assert a == b
+
+
+class TestWitnessDeterminism:
+    """Regression: witness selection above the deterministic bound must be
+    reproducible across runs (the rng defaulted to unseeded random.Random(),
+    which silently broke bit-identical pipelines — DET001)."""
+
+    # A 618-bit-range prime comfortably above the 3.3e24 deterministic bound.
+    LARGE_PRIME = 2**89 - 1
+    LARGE_COMPOSITE = (2**89 - 1) * (2**107 - 1)
+
+    def _witnesses_used(self, n, rounds=8):
+        from repro.numt import primality
+
+        recorded = []
+        original = primality._miller_rabin_round
+
+        def recording(n_, d, r, a):
+            recorded.append(a)
+            return original(n_, d, r, a)
+
+        primality._miller_rabin_round = recording
+        try:
+            primality.is_probable_prime(n, rounds=rounds)
+        finally:
+            primality._miller_rabin_round = original
+        return recorded
+
+    def test_witnesses_identical_across_calls(self):
+        first = self._witnesses_used(self.LARGE_PRIME)
+        second = self._witnesses_used(self.LARGE_PRIME)
+        # base-2 pre-round plus the 8 derived witnesses, identical each time
+        assert len(first) == 9
+        assert first == second
+
+    def test_witnesses_identical_across_processes(self):
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.numt.primality import is_probable_prime\n"
+            f"print(is_probable_prime({self.LARGE_PRIME}), "
+            f"is_probable_prime({self.LARGE_COMPOSITE}))\n"
+        )
+        outputs = {
+            subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                check=True,
+                env={"PYTHONPATH": "src", "PYTHONHASHSEED": str(seed)},
+            ).stdout
+            for seed in ("1", "2")
+        }
+        assert outputs == {"True False\n"}
+
+    def test_explicit_rng_still_wins(self):
+        from repro.numt.primality import is_probable_prime
+
+        assert is_probable_prime(self.LARGE_PRIME, rng=random.Random(7))
+        assert not is_probable_prime(self.LARGE_COMPOSITE, rng=random.Random(7))

@@ -1,6 +1,5 @@
 """Tests for repro.numt.sieve."""
 
-import pytest
 
 from repro.numt.sieve import (
     OPENSSL_TRIAL_PRIME_COUNT,

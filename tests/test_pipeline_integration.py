@@ -1,6 +1,5 @@
 """End-to-end integration tests over the shared tiny study."""
 
-import pytest
 
 from repro.pipeline import build_world, run_study
 from repro.studyconfig import StudyConfig

@@ -1,7 +1,6 @@
 """Cross-cutting property-based tests on core invariants (hypothesis)."""
 
 import math
-import random
 
 from hypothesis import given, settings, strategies as st
 

@@ -10,7 +10,7 @@ from repro.scans.background import (
     build_background_population,
     build_ca_pool,
 )
-from repro.timeline import Month, STUDY_END, STUDY_START
+from repro.timeline import STUDY_END, STUDY_START
 
 
 class TestCaPool:

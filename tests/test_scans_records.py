@@ -3,7 +3,6 @@
 import random
 from datetime import date
 
-import pytest
 
 from repro.crypto.certs import DistinguishedName, self_signed_certificate
 from repro.crypto.rsa import generate_rsa_keypair

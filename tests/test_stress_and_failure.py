@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.core.batchgcd import batch_gcd
 from repro.core.clustered import clustered_batch_gcd
@@ -16,7 +15,7 @@ from repro.devices.models import (
 )
 from repro.devices.population import IpAllocator, ModelPopulation
 from repro.entropy.keygen import IbmNinePrimeProfile, WeakKeyFactory
-from repro.scans.records import CertificateStore, ScanSnapshot
+from repro.scans.records import CertificateStore
 from repro.scans.scanner import HttpsScanner
 from repro.scans.sources import ScanSource
 from repro.timeline import Month
