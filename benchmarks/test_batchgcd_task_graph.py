@@ -1,0 +1,246 @@
+"""Before/after benchmark for the clustered batch-GCD task-graph overhaul.
+
+Measures the two schedulers of :class:`repro.core.clustered.ClusteredBatchGcd`
+against each other and against the naive / classic engines, and emits
+``BENCH_batchgcd.json`` — the committed perf-trajectory artifact proving the
+streaming task graph's win:
+
+- **fanout** (the original driver): every task payload carries its whole
+  subset and product (k**2 big-int serialisations) and rebuilds its
+  subset's product tree from scratch (k**2 builds);
+- **streaming** (the overhaul): per-subset trees built once, one-shot
+  worker broadcast, index-pair task payloads, bounded in-flight window.
+
+Scale is selected by ``REPRO_BENCH_BATCHGCD_SCALE``:
+
+- ``bench`` (default): the committed-artifact scale — 8 000 moduli from a
+  48-bit prime pool, k=128, 2 workers, 3 repetitions (medians).
+- ``smoke``: CI-sized (seconds); same legs, no speedup assertion (a loaded
+  shared runner cannot honestly assert a ratio), telemetry overhead budget
+  still enforced.
+
+Timing uses ``time.perf_counter`` directly: benchmarks are exempt from the
+determinism linter by design (they measure, they don't simulate).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import pickle
+import random
+import statistics
+import time
+
+import pytest
+
+from repro.core.batchgcd import batch_gcd
+from repro.core.clustered import ClusteredBatchGcd
+from repro.core.naive import naive_pairwise_gcd
+from repro.crypto.primes import generate_prime
+from repro.numt.backend import available_backends
+from repro.numt.trees import product_tree
+from repro.telemetry import Telemetry, use_telemetry
+
+from conftest import OUTPUT_DIR
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+SCALE = os.environ.get("REPRO_BENCH_BATCHGCD_SCALE", "bench")
+
+#: Per-scale knobs: corpus size, prime bits, subset count, workers, reps,
+#: and the subsample size for the (quadratic) naive-engine leg.
+PARAMS = {
+    "bench": dict(
+        moduli=8_000, prime_bits=48, k=128, processes=2, reps=3, subsample=600
+    ),
+    "smoke": dict(
+        moduli=400, prime_bits=32, k=16, processes=2, reps=1, subsample=200
+    ),
+}[SCALE]
+
+
+def _make_corpus(n: int, bits: int, seed: int = 2016) -> list[int]:
+    """A benchmark corpus shaped like the study's: mostly-unique semiprimes
+    with a small shared-prime pool injecting vulnerable cliques (~2%)."""
+    rng = random.Random(seed)
+    shared_pool = [generate_prime(bits, rng) for _ in range(max(8, n // 100))]
+    corpus = []
+    for i in range(n):
+        if i % 50 == 0:
+            p, q = rng.sample(shared_pool, 2)
+        else:
+            p = generate_prime(bits, rng)
+            q = generate_prime(bits, rng)
+        corpus.append(p * q)
+    rng.shuffle(corpus)
+    return corpus
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return _make_corpus(PARAMS["moduli"], PARAMS["prime_bits"])
+
+
+@pytest.fixture(scope="module")
+def subsample(corpus):
+    stride = max(1, len(corpus) // PARAMS["subsample"])
+    return corpus[::stride]
+
+
+@pytest.fixture(scope="module")
+def bench_record():
+    """Accumulates every leg's measurements; dumped to JSON at teardown."""
+    record = {
+        "schema": "bench-batchgcd/1",
+        "scale": SCALE,
+        "params": dict(PARAMS),
+        "backends_available": available_backends(),
+        "engines": {},
+        "headline": {},
+        "ipc": {},
+        "telemetry_overhead": {},
+    }
+    yield record
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    payload = json.dumps(record, indent=2, sort_keys=True) + "\n"
+    (OUTPUT_DIR / "BENCH_batchgcd.json").write_text(payload)
+    if SCALE == "bench":
+        (REPO_ROOT / "BENCH_batchgcd.json").write_text(payload)
+
+
+def _timed(fn, *args):
+    start = time.perf_counter()
+    result = fn(*args)
+    return result, time.perf_counter() - start
+
+
+def test_all_engines_agree_and_are_recorded(subsample, bench_record):
+    """naive vs classic vs both clustered schedulers: identical verdicts."""
+    legs = {
+        "naive": lambda m: naive_pairwise_gcd(m),
+        "classic": lambda m: batch_gcd(m),
+        "clustered_fanout": lambda m: ClusteredBatchGcd(
+            k=8, scheduler="fanout"
+        ).run(m),
+        "clustered_streaming": lambda m: ClusteredBatchGcd(
+            k=8, scheduler="streaming"
+        ).run(m),
+        "clustered_streaming_pool": lambda m: ClusteredBatchGcd(
+            k=8, processes=PARAMS["processes"], scheduler="streaming"
+        ).run(m),
+    }
+    reference = None
+    for name, run in legs.items():
+        result, wall = _timed(run, subsample)
+        bench_record["engines"][name] = {
+            "wall_seconds": round(wall, 4),
+            "moduli": len(subsample),
+            "vulnerable": result.vulnerable_count(),
+        }
+        flags = [d > 1 for d in result.divisors]
+        if reference is None:
+            reference = flags
+        assert flags == reference, f"{name} disagrees with naive"
+
+
+def test_backends_identical_results(subsample, bench_record):
+    """Every importable big-int backend produces identical divisors."""
+    reference = None
+    for name in ("python", "gmpy2"):
+        if name not in available_backends():
+            bench_record["engines"][f"streaming_backend_{name}"] = "unavailable"
+            continue
+        engine = ClusteredBatchGcd(k=8, scheduler="streaming", backend=name)
+        result, wall = _timed(engine.run, subsample)
+        bench_record["engines"][f"streaming_backend_{name}"] = {
+            "wall_seconds": round(wall, 4),
+            "cpu_seconds": round(engine.last_stats.cpu_seconds, 4),
+        }
+        if reference is None:
+            reference = result.divisors
+        assert result.divisors == reference, f"backend {name} diverges"
+
+
+def test_ipc_payload_asymmetry(corpus, bench_record):
+    """Streaming tasks are index pairs; fanout payloads carry the corpus."""
+    k = PARAMS["k"]
+    engine = ClusteredBatchGcd(
+        k=k, processes=PARAMS["processes"], scheduler="streaming"
+    )
+    telemetry = Telemetry()
+    with use_telemetry(telemetry):
+        with telemetry.span("bench"):
+            engine.run(corpus)
+    stats = engine.last_stats
+    # What the fanout driver would have pickled for the same run: every
+    # task tuple with its embedded subset and product.
+    subsets = [corpus[s::k] for s in range(k)]
+    products = [product_tree(s)[-1][0] for s in subsets]
+    fanout_bytes = sum(
+        len(pickle.dumps((i, j, subsets[i], products[j], i == j, False, "python")))
+        for i in range(k)
+        for j in range(k)
+    )
+    bench_record["ipc"] = {
+        "streaming_broadcast_bytes": stats.ipc_broadcast_bytes,
+        "streaming_task_bytes": stats.ipc_task_bytes,
+        "fanout_task_bytes": fanout_bytes,
+        "tasks": stats.tasks,
+    }
+    assert stats.ipc_task_bytes < 100 * stats.tasks
+    assert stats.ipc_task_bytes * 10 < fanout_bytes
+
+
+def test_headline_pooled_speedup(corpus, bench_record):
+    """The committed number: pooled streaming vs pooled fanout, medians."""
+    k, processes, reps = PARAMS["k"], PARAMS["processes"], PARAMS["reps"]
+    walls = {"fanout": [], "streaming": []}
+    cpus = {"fanout": [], "streaming": []}
+    results = {}
+    for rep in range(reps):
+        for scheduler in ("fanout", "streaming"):
+            engine = ClusteredBatchGcd(
+                k=k, processes=processes, scheduler=scheduler
+            )
+            result, wall = _timed(engine.run, corpus)
+            walls[scheduler].append(wall)
+            cpus[scheduler].append(engine.last_stats.cpu_seconds)
+            results[scheduler] = result.divisors
+    assert results["streaming"] == results["fanout"]
+    fanout_wall = statistics.median(walls["fanout"])
+    streaming_wall = statistics.median(walls["streaming"])
+    speedup = fanout_wall / streaming_wall
+    bench_record["headline"] = {
+        "k": k,
+        "processes": processes,
+        "moduli": len(corpus),
+        "reps": reps,
+        "fanout_wall_seconds": round(fanout_wall, 4),
+        "streaming_wall_seconds": round(streaming_wall, 4),
+        "fanout_cpu_seconds": round(statistics.median(cpus["fanout"]), 4),
+        "streaming_cpu_seconds": round(statistics.median(cpus["streaming"]), 4),
+        "fanout_walls": [round(w, 4) for w in walls["fanout"]],
+        "streaming_walls": [round(w, 4) for w in walls["streaming"]],
+        "speedup": round(speedup, 4),
+    }
+    if SCALE == "bench":
+        # Committed-artifact criterion is >= 1.5x; assert with noise
+        # headroom so a loaded machine doesn't flake the suite.
+        assert speedup >= 1.2, f"streaming speedup regressed: {speedup:.2f}x"
+
+
+def test_telemetry_overhead_budget(subsample, bench_record):
+    """Instrumentation must not dominate: generous 2x + slack budget."""
+    engine = ClusteredBatchGcd(k=8, scheduler="streaming")
+    _, plain_wall = _timed(engine.run, subsample)
+    telemetry = Telemetry()
+    with use_telemetry(telemetry):
+        with telemetry.span("bench"):
+            _, instrumented_wall = _timed(engine.run, subsample)
+    bench_record["telemetry_overhead"] = {
+        "plain_wall_seconds": round(plain_wall, 4),
+        "instrumented_wall_seconds": round(instrumented_wall, 4),
+    }
+    assert instrumented_wall <= plain_wall * 2.0 + 0.5

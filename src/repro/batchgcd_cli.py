@@ -25,7 +25,8 @@ import sys
 import time
 from pathlib import Path
 
-from repro.core.clustered import ClusteredBatchGcd
+from repro.core.clustered import SCHEDULERS, ClusteredBatchGcd
+from repro.numt.backend import available_backends
 from repro.telemetry import Telemetry, use_telemetry
 
 __all__ = ["main", "read_moduli", "format_results"]
@@ -85,6 +86,20 @@ def main(argv: list[str] | None = None) -> int:
         help="drop duplicate moduli before the computation",
     )
     parser.add_argument(
+        "--scheduler", choices=SCHEDULERS, default="streaming",
+        help="task-graph driver: cached/streaming or the original fanout "
+        "pool.map (default: streaming)",
+    )
+    parser.add_argument(
+        "--backend", choices=sorted(available_backends()), default=None,
+        help="big-int backend (default: $REPRO_NUMT_BACKEND or python)",
+    )
+    parser.add_argument(
+        "--max-inflight", type=int, default=None, metavar="N",
+        help="streaming scheduler: bound on in-flight task chunks "
+        "(default: 2x processes)",
+    )
+    parser.add_argument(
         "--telemetry-json", metavar="PATH",
         help="write a telemetry RunReport (per-task spans) as JSON",
     )
@@ -108,7 +123,13 @@ def main(argv: list[str] | None = None) -> int:
     # CLI-level elapsed display wants real time whether or not telemetry
     # is enabled for the run.
     started = time.perf_counter()  # reprolint: disable=DET003
-    engine = ClusteredBatchGcd(k=args.k, processes=args.processes)
+    engine = ClusteredBatchGcd(
+        k=args.k,
+        processes=args.processes,
+        scheduler=args.scheduler,
+        backend=args.backend,
+        max_inflight=args.max_inflight,
+    )
     with use_telemetry(telemetry):
         with telemetry.span("batch_gcd", moduli=len(moduli), k=args.k):
             result = engine.run(moduli)

@@ -18,6 +18,8 @@ import logging
 import pathlib
 import sys
 
+from repro.core.clustered import SCHEDULERS
+from repro.numt.backend import available_backends
 from repro.pipeline import run_study
 from repro.reporting.study import (
     render_figure1,
@@ -89,12 +91,28 @@ def main(argv: list[str] | None = None) -> int:
         "--timings", action="store_true",
         help="print a per-stage wall/CPU timing summary",
     )
+    parser.add_argument(
+        "--batchgcd-scheduler", choices=SCHEDULERS, default=None,
+        metavar="NAME",
+        help="clustered batch-GCD task-graph driver "
+        "(streaming or fanout; default: streaming)",
+    )
+    parser.add_argument(
+        "--numt-backend", choices=sorted(available_backends()), default=None,
+        metavar="NAME",
+        help="big-int backend for the batch GCD "
+        "(default: $REPRO_NUMT_BACKEND or python)",
+    )
     args = parser.parse_args(argv)
     logging.basicConfig(
         level=logging.INFO if args.verbose else logging.WARNING,
         format="%(asctime)s %(name)s %(message)s",
     )
     config = _PRESETS[args.preset](seed=args.seed)
+    if args.batchgcd_scheduler is not None:
+        config = config.with_(batchgcd_scheduler=args.batchgcd_scheduler)
+    if args.numt_backend is not None:
+        config = config.with_(batchgcd_backend=args.numt_backend)
     telemetry = (
         Telemetry() if (args.telemetry_json or args.timings) else None
     )

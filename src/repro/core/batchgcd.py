@@ -14,17 +14,24 @@ moduli — exactly the quantity whose GCD with ``N_i`` exposes shared primes.
 
 from __future__ import annotations
 
-import math
 from typing import Sequence
 
 from repro.core.results import BatchGcdResult
+from repro.numt.backend import BigIntBackend, resolve_backend
 from repro.numt.trees import product_tree, remainder_tree_squared
 
 __all__ = ["batch_gcd_divisors", "batch_gcd"]
 
 
-def batch_gcd_divisors(moduli: Sequence[int]) -> list[int]:
+def batch_gcd_divisors(
+    moduli: Sequence[int], backend: str | BigIntBackend | None = None
+) -> list[int]:
     """Return ``gcd(N_i, (P mod N_i**2) / N_i)`` for each modulus.
+
+    Args:
+        moduli: the corpus.
+        backend: big-int backend name or instance (``None`` = active
+            default, plain ``int``).
 
     Raises:
         ValueError: if any modulus is < 2 (zero and one would corrupt the
@@ -36,14 +43,18 @@ def batch_gcd_divisors(moduli: Sequence[int]) -> list[int]:
         return []
     if len(moduli) == 1:
         return [1]
-    tree = product_tree(list(moduli))
+    backend = resolve_backend(backend)
+    tree = product_tree(list(moduli), backend=backend)
     remainders = remainder_tree_squared(tree)
+    gcd = backend.gcd
     divisors = []
-    for n, z in zip(moduli, remainders):
-        divisors.append(math.gcd(n, z // n))
+    for n, z in zip(tree[0], remainders):
+        divisors.append(backend.unwrap(gcd(n, z // n)))
     return divisors
 
 
-def batch_gcd(moduli: Sequence[int]) -> BatchGcdResult:
+def batch_gcd(
+    moduli: Sequence[int], backend: str | BigIntBackend | None = None
+) -> BatchGcdResult:
     """Run the classic batch GCD over a corpus and wrap the result."""
-    return BatchGcdResult(list(moduli), batch_gcd_divisors(moduli))
+    return BatchGcdResult(list(moduli), batch_gcd_divisors(moduli, backend=backend))

@@ -27,32 +27,64 @@ spread across subsets), the reported divisor may be a proper divisor of the
 classic one — the vulnerable/clean flagging is identical either way, which
 is what the paper's pipeline consumes.
 
+Schedulers.  The ``k**2`` task graph can be driven two ways:
+
+- ``"streaming"`` (default): the parent builds each subset's product tree
+  **once** (``k`` builds total, each under a ``batch_gcd.subset_tree``
+  span), prepares Barrett reciprocals for its large nodes when the big-int
+  backend profits from them, and broadcasts trees + reciprocals + products
+  to the worker pool **once** through the executor initializer.  Task
+  payloads shrink to ``(subset, product)`` index pairs, submitted in
+  chunks, largest operands first, through a bounded in-flight window
+  (``submit`` + ``wait``) so completed results merge back immediately
+  instead of queueing behind slow head-of-line tasks.  Workers return
+  sparse ``(position, divisor)`` hits.
+- ``"fanout"``: the original ordered ``pool.map`` driver, kept as the
+  before/after baseline: every task payload carries its whole subset and
+  product (``k**2`` big-int serialisations) and every task rebuilds its
+  subset's product tree from scratch.
+
 Telemetry: when a registry is active (see :mod:`repro.telemetry`), the run
-records a ``batch_gcd.products`` span for the product-build phase and one
-``batch_gcd.task`` span per (subset, product) task — workers record into
-their own per-process registry and the parent merges the snapshots back, so
-the final report shows every task's wall/CPU time and operand bit-sizes
-regardless of whether the task ran in-process or on the pool.
+records a ``batch_gcd.products`` span for the build phase (with one
+``batch_gcd.subset_tree`` child per reusable tree under the streaming
+scheduler) and one ``batch_gcd.task`` span per (subset, product) task —
+workers record into their own per-process registry and the parent merges
+the snapshots back, so the final report shows every task's wall/CPU time
+and operand bit-sizes regardless of whether the task ran in-process or on
+the pool.  Pooled streaming runs additionally record the
+``batch_gcd.ipc_broadcast_bytes`` / ``batch_gcd.ipc_task_bytes`` counters
+(pickled payload sizes) and a ``batch_gcd.queue_latency`` timer
+(submit-to-merge per chunk); the ``batch_gcd.queue_depth`` gauge drains to
+zero as tasks complete under either scheduler.
 """
 
 from __future__ import annotations
 
-import math
-import time
-from concurrent.futures import ProcessPoolExecutor
+import pickle
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Any, Sequence
 
 from repro.core.results import BatchGcdResult
+from repro.numt.backend import BigIntBackend, resolve_backend
 from repro.numt.trees import (
+    prepare_reciprocals,
     product_tree,
-    remainder_tree,
+    remainder_tree_prepared,
     remainder_tree_squared,
     tree_product,
 )
 from repro.telemetry import RunReport, Telemetry, get_telemetry, use_telemetry
 
-__all__ = ["ClusteredBatchGcd", "ClusterRunStats", "clustered_batch_gcd"]
+__all__ = [
+    "SCHEDULERS",
+    "ClusteredBatchGcd",
+    "ClusterRunStats",
+    "clustered_batch_gcd",
+]
+
+#: Recognised task-graph drivers (see the module docstring).
+SCHEDULERS = ("streaming", "fanout")
 
 
 @dataclass(slots=True)
@@ -63,11 +95,25 @@ class ClusterRunStats:
         k: number of subsets.
         tasks: number of (subset, product) tasks executed (``k**2``).
         wall_seconds: end-to-end elapsed time.
-        cpu_seconds: total compute time — the product-tree build phase plus
-            the sum of per-task compute times (the "1089 CPU hours" figure
-            of the paper, at simulation scale).
-        product_build_seconds: time spent building the ``k`` subset
-            products before any task runs (part of ``cpu_seconds``).
+        cpu_seconds: total compute time — the build prologue plus the sum
+            of per-task compute times (the "1089 CPU hours" figure of the
+            paper, at simulation scale).
+        product_build_seconds: the serial prologue before any task runs
+            (part of ``cpu_seconds``): subset products under ``"fanout"``;
+            subset trees, Barrett reciprocals and products under
+            ``"streaming"``.
+        scheduler: which driver ran (``"streaming"`` or ``"fanout"``).
+        tree_builds: parent-side reusable product-tree builds (``k`` under
+            ``"streaming"``; 0 under ``"fanout"``, which rebuilds inside
+            every task).
+        tree_build_seconds: time inside those parent-side builds
+            (including reciprocal preparation; part of
+            ``product_build_seconds``).
+        ipc_broadcast_bytes: pickled size of the one-shot worker broadcast
+            (trees + reciprocals + products).  Only measured on
+            instrumented pooled streaming runs, else 0.
+        ipc_task_bytes: pickled size of all task payloads.  Only measured
+            on instrumented pooled streaming runs, else 0.
     """
 
     k: int
@@ -75,40 +121,167 @@ class ClusterRunStats:
     wall_seconds: float
     cpu_seconds: float
     product_build_seconds: float = 0.0
+    scheduler: str = "streaming"
+    tree_builds: int = 0
+    tree_build_seconds: float = 0.0
+    ipc_broadcast_bytes: int = 0
+    ipc_task_bytes: int = 0
+
+
+# --------------------------------------------------------------------------
+# Streaming scheduler: broadcast worker state + index-pair chunk tasks.
+# --------------------------------------------------------------------------
+
+#: Per-process broadcast state, installed once by :func:`_pool_init` (or
+#: passed directly on the in-process path).  Holding it at module level is
+#: what keeps task payloads down to index pairs.
+_WORKER_STATE: dict[str, Any] | None = None
+
+
+def _pool_init(
+    trees: list[list[list[int]]],
+    reciprocals: list[list[list[tuple[int, int] | None]] | None],
+    products: list[int],
+    backend_name: str,
+    instrument: bool,
+) -> None:
+    """Process-pool initializer: receive the one-shot broadcast."""
+    global _WORKER_STATE
+    _WORKER_STATE = {
+        "trees": trees,
+        "reciprocals": reciprocals,
+        "products": products,
+        "backend": resolve_backend(backend_name),
+        "instrument": instrument,
+    }
+
+
+def _task_divisors(
+    state: dict[str, Any], i: int, j: int
+) -> list[tuple[int, int]]:
+    """One (subset, product) pass against broadcast state, sparse result.
+
+    Returns ``(position, divisor)`` pairs for the positions of subset ``i``
+    whose modulus shares a factor with product ``j`` — almost always a
+    short list, which is what keeps result payloads small.
+    """
+    backend: BigIntBackend = state["backend"]
+    gcd = backend.gcd
+    unwrap = backend.unwrap
+    tree = state["trees"][i]
+    leaves = tree[0]
+    telemetry = get_telemetry()
+    if i == j:
+        with telemetry.span("batch_gcd.task.remainder_tree", own=True):
+            remainders = remainder_tree_squared(tree)
+        return [
+            (pos, unwrap(d))
+            for pos, (n, z) in enumerate(zip(leaves, remainders))
+            if (d := gcd(n, z // n)) > 1
+        ]
+    with telemetry.span("batch_gcd.task.remainder_tree", own=False):
+        remainders = remainder_tree_prepared(
+            state["products"][j], tree, state["reciprocals"][i]
+        )
+    return [
+        (pos, unwrap(d))
+        for pos, (n, z) in enumerate(zip(leaves, remainders))
+        if (d := gcd(n, z)) > 1
+    ]
+
+
+def _execute_chunk(
+    state: dict[str, Any], pairs: Sequence[tuple[int, int]]
+) -> tuple[list[tuple[int, int, list[tuple[int, int]], float]], dict[str, Any] | None]:
+    """Run a chunk of (subset, product) index pairs against broadcast state.
+
+    Returns per-task ``(i, j, sparse_divisors, seconds)`` records plus the
+    serialised telemetry report when instrumentation is on (one
+    ``batch_gcd.task`` span and timer observation per task, exactly as the
+    fanout scheduler records them — only the per-task
+    ``batch_gcd.task.product_tree`` span is gone, because the tree is
+    reused rather than rebuilt).
+    """
+    if not state["instrument"]:
+        clock = get_telemetry().clock
+        results = []
+        for i, j in pairs:
+            started = clock.wall()
+            found = _task_divisors(state, i, j)
+            results.append((i, j, found, clock.wall() - started))
+        return results, None
+    telemetry = Telemetry()
+    clock = telemetry.clock
+    results = []
+    with use_telemetry(telemetry):
+        for i, j in pairs:
+            started = clock.wall()
+            with telemetry.span(
+                "batch_gcd.task",
+                subset=i,
+                product=j,
+                own=i == j,
+                subset_size=len(state["trees"][i][0]),
+                product_bits=int(state["products"][j].bit_length()),
+            ):
+                found = _task_divisors(state, i, j)
+            seconds = clock.wall() - started
+            telemetry.observe("batch_gcd.task", seconds, seconds)
+            results.append((i, j, found, seconds))
+    return results, telemetry.report().to_dict()
+
+
+def _run_chunk(
+    pairs: Sequence[tuple[int, int]]
+) -> tuple[list[tuple[int, int, list[tuple[int, int]], float]], dict[str, Any] | None]:
+    """Process-pool entry point (top level so it pickles): index pairs only."""
+    assert _WORKER_STATE is not None, "worker used before _pool_init broadcast"
+    return _execute_chunk(_WORKER_STATE, pairs)
+
+
+# --------------------------------------------------------------------------
+# Fanout scheduler: the original self-contained-payload pool.map driver.
+# --------------------------------------------------------------------------
 
 
 def _subset_pass(
-    subset: Sequence[int], product: int, own_subset: bool
+    subset: Sequence[int], product: int, own_subset: bool, backend: BigIntBackend
 ) -> tuple[list[int], float]:
-    """One (subset, product) task: partial divisors for the subset's moduli."""
-    start = time.perf_counter()
+    """One fanout task: dense partial divisors for the subset's moduli."""
     telemetry = get_telemetry()
+    start = telemetry.clock.wall()
+    gcd = backend.gcd
     with telemetry.span("batch_gcd.task.product_tree", leaves=len(subset)):
-        tree = product_tree(list(subset))
+        tree = product_tree(subset, backend=backend)
     if own_subset:
         with telemetry.span("batch_gcd.task.remainder_tree", own=True):
             remainders = remainder_tree_squared(tree)
-        divisors = [math.gcd(n, z // n) for n, z in zip(subset, remainders)]
+        divisors = [
+            backend.unwrap(gcd(n, z // n)) for n, z in zip(tree[0], remainders)
+        ]
     else:
         with telemetry.span("batch_gcd.task.remainder_tree", own=False):
-            remainders = remainder_tree(product, tree)
-        divisors = [math.gcd(n, z) for n, z in zip(subset, remainders)]
-    return divisors, time.perf_counter() - start
+            remainders = remainder_tree_prepared(product, tree)
+        divisors = [
+            backend.unwrap(gcd(n, z)) for n, z in zip(tree[0], remainders)
+        ]
+    return divisors, telemetry.clock.wall() - start
 
 
 def _run_task(
-    args: tuple[int, int, list[int], int, bool, bool]
+    args: tuple[int, int, list[int], int, bool, bool, str]
 ) -> tuple[int, int, list[int], float, dict[str, Any] | None]:
-    """Process-pool entry point (top level so it pickles).
+    """Fanout process-pool entry point (top level so it pickles).
 
     When instrumentation is requested the task records into a private
     per-process registry and returns its serialised report, which the
     parent merges into its own (registries never cross process boundaries
     live — only snapshots do).
     """
-    subset_index, product_index, subset, product, own, instrument = args
+    subset_index, product_index, subset, product, own, instrument, backend_name = args
+    backend = resolve_backend(backend_name)
     if not instrument:
-        divisors, seconds = _subset_pass(subset, product, own)
+        divisors, seconds = _subset_pass(subset, product, own, backend)
         return subset_index, product_index, divisors, seconds, None
     telemetry = Telemetry()
     with use_telemetry(telemetry):
@@ -118,9 +291,9 @@ def _run_task(
             product=product_index,
             own=own,
             subset_size=len(subset),
-            product_bits=product.bit_length(),
+            product_bits=int(product.bit_length()),
         ):
-            divisors, seconds = _subset_pass(subset, product, own)
+            divisors, seconds = _subset_pass(subset, product, own, backend)
         telemetry.observe("batch_gcd.task", seconds, seconds)
     report = telemetry.report().to_dict()
     return subset_index, product_index, divisors, seconds, report
@@ -134,15 +307,40 @@ class ClusteredBatchGcd:
         processes: worker processes for the ``k**2`` tasks.  ``None`` runs
             in-process (a "simulated cluster", still exercising the exact
             task decomposition); values >= 1 use a process pool.
+        scheduler: task-graph driver — ``"streaming"`` (cached trees,
+            one-shot broadcast, bounded-window submission; the default) or
+            ``"fanout"`` (the original ``pool.map`` of self-contained
+            payloads).
+        backend: big-int backend name (``"python"``, ``"gmpy2"``), an
+            already-resolved :class:`~repro.numt.backend.BigIntBackend`,
+            or ``None`` for ``$REPRO_NUMT_BACKEND`` / the active default.
+        max_inflight: bound on simultaneously submitted task chunks under
+            the streaming scheduler (``None`` = twice the worker count).
     """
 
-    def __init__(self, k: int = 16, processes: int | None = None) -> None:
+    def __init__(
+        self,
+        k: int = 16,
+        processes: int | None = None,
+        scheduler: str = "streaming",
+        backend: str | BigIntBackend | None = None,
+        max_inflight: int | None = None,
+    ) -> None:
         if k < 1:
             raise ValueError("k must be >= 1")
         if processes is not None and processes < 1:
             raise ValueError("processes must be >= 1 or None")
+        if scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r} (choose from {SCHEDULERS})"
+            )
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1 or None")
         self.k = k
         self.processes = processes
+        self.scheduler = scheduler
+        self.backend = backend
+        self.max_inflight = max_inflight
         self.last_stats: ClusterRunStats | None = None
 
     def run(self, moduli: Sequence[int]) -> BatchGcdResult:
@@ -155,23 +353,197 @@ class ClusteredBatchGcd:
             raise ValueError("all moduli must be >= 2")
         corpus = list(moduli)
         if len(corpus) < 2:
-            self.last_stats = ClusterRunStats(self.k, 0, 0.0, 0.0)
+            self.last_stats = ClusterRunStats(
+                self.k, 0, 0.0, 0.0, scheduler=self.scheduler
+            )
             return BatchGcdResult(corpus, [1] * len(corpus))
-        telemetry = get_telemetry()
-        instrument = telemetry.enabled
+        backend = resolve_backend(self.backend)
         k = min(self.k, len(corpus))
-        started = time.perf_counter()
-        # Round-robin partition: subset s holds corpus[s::k].
         subsets = [corpus[s::k] for s in range(k)]
-        with telemetry.span("batch_gcd.products", k=k, moduli=len(corpus)):
-            products = [tree_product(subset) for subset in subsets]
-        product_build_seconds = time.perf_counter() - started
+        if self.scheduler == "fanout":
+            return self._run_fanout(corpus, subsets, k, backend)
+        return self._run_streaming(corpus, subsets, k, backend)
+
+    # -- streaming -------------------------------------------------------
+
+    def _run_streaming(
+        self,
+        corpus: list[int],
+        subsets: list[list[int]],
+        k: int,
+        backend: BigIntBackend,
+    ) -> BatchGcdResult:
+        telemetry = get_telemetry()
+        clock = telemetry.clock
+        instrument = telemetry.enabled
+        started = clock.wall()
+
+        # Build each subset's tree exactly once; products are the roots.
+        trees: list[list[list[int]]] = []
+        reciprocals: list[list[list[tuple[int, int] | None]] | None] = []
+        tree_build_seconds = 0.0
+        with telemetry.span(
+            "batch_gcd.products", k=k, moduli=len(corpus), scheduler="streaming"
+        ):
+            for s, subset in enumerate(subsets):
+                build_start = clock.wall()
+                with telemetry.span(
+                    "batch_gcd.subset_tree", subset=s, leaves=len(subset)
+                ):
+                    tree = product_tree(subset, backend=backend)
+                    recips = (
+                        prepare_reciprocals(tree) if backend.use_barrett else None
+                    )
+                    telemetry.annotate(
+                        root_bits=int(tree[-1][0].bit_length()),
+                        reciprocal_nodes=sum(
+                            1 for level in recips or [] for r in level if r
+                        ),
+                    )
+                tree_build_seconds += clock.wall() - build_start
+                trees.append(tree)
+                reciprocals.append(recips)
+        products = [tree[-1][0] for tree in trees]
+        prologue_seconds = clock.wall() - started
         telemetry.gauge(
             "batch_gcd.max_product_bits",
-            max(p.bit_length() for p in products),
+            max(int(p.bit_length()) for p in products),
+        )
+
+        # Largest operands first: heavy subsets up front, and within each
+        # subset the own pass (squared push-down, the heaviest) leads.
+        bits = [int(p.bit_length()) for p in products]
+        order = sorted(range(k), key=lambda s: (-bits[s], s))
+        tasks: list[tuple[int, int]] = []
+        for i in order:
+            tasks.append((i, i))
+            tasks.extend(
+                (i, j)
+                for j in sorted(
+                    (j for j in range(k) if j != i),
+                    key=lambda j: (-bits[j], j),
+                )
+            )
+        chunk_size = max(1, k // 4)
+        chunks = [
+            tasks[c : c + chunk_size] for c in range(0, len(tasks), chunk_size)
+        ]
+        telemetry.gauge("batch_gcd.queue_depth", len(tasks))
+
+        partials: dict[tuple[int, int], list[tuple[int, int]]] = {}
+        cpu_seconds = prologue_seconds
+        remaining = len(tasks)
+        broadcast_bytes = 0
+        task_bytes = 0
+
+        def consume(
+            results: list[tuple[int, int, list[tuple[int, int]], float]],
+            report: dict[str, Any] | None,
+            queued_seconds: float,
+        ) -> None:
+            nonlocal cpu_seconds, remaining
+            for i, j, found, seconds in results:
+                partials[(i, j)] = found
+                cpu_seconds += seconds
+            remaining -= len(results)
+            # Drain progress is reported whether or not the chunk carried
+            # a worker report (uninstrumented runs still gauge).
+            telemetry.gauge("batch_gcd.queue_depth", remaining)
+            telemetry.observe("batch_gcd.queue_latency", queued_seconds)
+            if report is not None:
+                telemetry.merge_report(RunReport.from_dict(report))
+
+        if self.processes is None:
+            state = {
+                "trees": trees,
+                "reciprocals": reciprocals,
+                "products": products,
+                "backend": backend,
+                "instrument": instrument,
+            }
+            for chunk in chunks:
+                chunk_start = clock.wall()
+                results, report = _execute_chunk(state, chunk)
+                consume(results, report, clock.wall() - chunk_start)
+        else:
+            broadcast = (trees, reciprocals, products, backend.name, instrument)
+            if instrument:
+                broadcast_bytes = len(pickle.dumps(broadcast))
+                telemetry.counter(
+                    "batch_gcd.ipc_broadcast_bytes", broadcast_bytes
+                )
+            with ProcessPoolExecutor(
+                max_workers=self.processes,
+                initializer=_pool_init,
+                initargs=broadcast,
+            ) as pool:
+                window = self.max_inflight or 2 * self.processes
+                pending: dict[Any, float] = {}
+                chunk_iter = iter(chunks)
+
+                def submit_next() -> bool:
+                    nonlocal task_bytes
+                    chunk = next(chunk_iter, None)
+                    if chunk is None:
+                        return False
+                    if instrument:
+                        payload = len(pickle.dumps(chunk))
+                        task_bytes += payload
+                        telemetry.counter("batch_gcd.ipc_task_bytes", payload)
+                    pending[pool.submit(_run_chunk, chunk)] = clock.wall()
+                    return True
+
+                for _ in range(window):
+                    if not submit_next():
+                        break
+                while pending:
+                    done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        submitted = pending.pop(future)
+                        results, report = future.result()
+                        consume(results, report, clock.wall() - submitted)
+                        submit_next()
+
+        divisors = self._aggregate_sparse(corpus, k, partials)
+        self.last_stats = ClusterRunStats(
+            k=k,
+            tasks=len(tasks),
+            wall_seconds=clock.wall() - started,
+            cpu_seconds=cpu_seconds,
+            product_build_seconds=prologue_seconds,
+            scheduler="streaming",
+            tree_builds=k,
+            tree_build_seconds=tree_build_seconds,
+            ipc_broadcast_bytes=broadcast_bytes,
+            ipc_task_bytes=task_bytes,
+        )
+        telemetry.counter("batch_gcd.tasks", len(tasks))
+        return BatchGcdResult(corpus, divisors)
+
+    # -- fanout (the original driver, kept as the baseline) --------------
+
+    def _run_fanout(
+        self,
+        corpus: list[int],
+        subsets: list[list[int]],
+        k: int,
+        backend: BigIntBackend,
+    ) -> BatchGcdResult:
+        telemetry = get_telemetry()
+        clock = telemetry.clock
+        instrument = telemetry.enabled
+        started = clock.wall()
+        with telemetry.span(
+            "batch_gcd.products", k=k, moduli=len(corpus), scheduler="fanout"
+        ):
+            products = [tree_product(subset, backend=backend) for subset in subsets]
+        product_build_seconds = clock.wall() - started
+        telemetry.gauge(
+            "batch_gcd.max_product_bits",
+            max(int(p.bit_length()) for p in products),
         )
         tasks = [
-            (i, j, subsets[i], products[j], i == j, instrument)
+            (i, j, subsets[i], products[j], i == j, instrument, backend.name)
             for i in range(k)
             for j in range(k)
         ]
@@ -187,9 +559,11 @@ class ClusteredBatchGcd:
             nonlocal completed
             partials[(i, j)] = divisors
             completed += 1
+            # Drain progress does not depend on a worker report being
+            # attached (uninstrumented pool runs still gauge).
+            telemetry.gauge("batch_gcd.queue_depth", len(tasks) - completed)
             if worker_report is not None:
                 telemetry.merge_report(RunReport.from_dict(worker_report))
-                telemetry.gauge("batch_gcd.queue_depth", len(tasks) - completed)
             return seconds
 
         if self.processes is None:
@@ -203,18 +577,23 @@ class ClusteredBatchGcd:
         self.last_stats = ClusterRunStats(
             k=k,
             tasks=len(tasks),
-            wall_seconds=time.perf_counter() - started,
+            wall_seconds=clock.wall() - started,
             cpu_seconds=cpu_seconds,
             product_build_seconds=product_build_seconds,
+            scheduler="fanout",
         )
         telemetry.counter("batch_gcd.tasks", len(tasks))
         return BatchGcdResult(corpus, divisors)
+
+    # -- aggregation -----------------------------------------------------
 
     @staticmethod
     def _aggregate(
         corpus: list[int], k: int, partials: dict[tuple[int, int], list[int]]
     ) -> list[int]:
-        """lcm-combine the k per-product passes for every modulus."""
+        """lcm-combine dense fanout partials for every modulus."""
+        import math
+
         combined = [1] * len(corpus)
         for (i, _j), divisors in partials.items():
             for pos, d in enumerate(divisors):
@@ -226,9 +605,32 @@ class ClusteredBatchGcd:
         # normalise back to an actual divisor of N.
         return [math.gcd(d, n) for d, n in zip(combined, corpus)]
 
+    @staticmethod
+    def _aggregate_sparse(
+        corpus: list[int],
+        k: int,
+        partials: dict[tuple[int, int], list[tuple[int, int]]],
+    ) -> list[int]:
+        """lcm-combine sparse streaming partials for every modulus."""
+        import math
+
+        combined = [1] * len(corpus)
+        for (i, _j), found in partials.items():
+            for pos, d in found:
+                corpus_index = i + pos * k
+                current = combined[corpus_index]
+                combined[corpus_index] = current * d // math.gcd(current, d)
+        return [math.gcd(d, n) for d, n in zip(combined, corpus)]
+
 
 def clustered_batch_gcd(
-    moduli: Sequence[int], k: int = 16, processes: int | None = None
+    moduli: Sequence[int],
+    k: int = 16,
+    processes: int | None = None,
+    scheduler: str = "streaming",
+    backend: str | BigIntBackend | None = None,
 ) -> BatchGcdResult:
     """Convenience wrapper: run :class:`ClusteredBatchGcd` once."""
-    return ClusteredBatchGcd(k=k, processes=processes).run(moduli)
+    return ClusteredBatchGcd(
+        k=k, processes=processes, scheduler=scheduler, backend=backend
+    ).run(moduli)

@@ -47,30 +47,54 @@ from repro.numt.sieve import (
     primes_below,
     smallest_factor_below,
 )
+from repro.numt.backend import (
+    BigIntBackend,
+    available_backends,
+    get_backend,
+    resolve_backend,
+    set_backend,
+    use_backend,
+)
 from repro.numt.smooth import smooth_part, trial_factor
 from repro.numt.trees import (
+    barrett_reduce,
+    newton_reciprocal,
+    prepare_reciprocals,
     product_tree,
     remainder_tree,
+    remainder_tree_prepared,
+    remainder_tree_squared,
     remainders_mod_squares,
     tree_product,
 )
 
 __all__ = [
+    "BigIntBackend",
+    "available_backends",
+    "barrett_reduce",
     "crt_pair",
     "egcd",
     "first_n_primes",
+    "get_backend",
     "introot",
     "is_perfect_power",
     "is_probable_prime",
     "modinv",
+    "newton_reciprocal",
     "next_prime",
+    "prepare_reciprocals",
     "primes_below",
     "product_tree",
     "random_prime",
     "remainder_tree",
+    "remainder_tree_prepared",
+    "remainder_tree_squared",
     "remainders_mod_squares",
+    "resolve_backend",
+    "set_backend",
     "smallest_factor_below",
     "smooth_part",
     "tree_product",
     "trial_factor",
+    "use_backend",
 ]

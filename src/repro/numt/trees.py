@@ -12,23 +12,64 @@ of the paper:
 
 The trees are represented level-by-level, leaves first, matching the diagram
 in Figure 2 of the paper.
+
+Remainder-tree reduction is the hot path of the whole system, and on
+CPython it is division-bound: ``%`` is schoolbook, O(quotient limbs ×
+divisor limbs), while multiplication goes Karatsuba above ~2100 bits.  A
+task that reduces one value down the *same* tree many times can therefore
+trade each large division for two large multiplications: precompute a
+truncated reciprocal ``mu ~= floor(4**t / m)`` per node once
+(:func:`prepare_reciprocals`, Newton precision-doubling) and reduce with
+Barrett's method (:func:`barrett_reduce`, unconditionally exact thanks to
+a correction step).  :func:`remainder_tree_prepared` is the drop-in
+remainder tree over such a prepared tree; the clustered batch-GCD engine
+amortises one preparation over its k passes per subset.  Reciprocals only
+pay off where multiplication is genuinely subquadratic, so nodes below
+``BARRETT_MIN_BITS`` keep plain ``%``.
+
+All functions accept an optional big-int ``backend``
+(:mod:`repro.numt.backend`): the tree algorithms are identical, only the
+operand type changes.  The default is the active backend — plain ``int``.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
+from repro.numt.backend import BigIntBackend, resolve_backend
+
 __all__ = [
+    "BARRETT_MIN_BITS",
+    "barrett_reduce",
+    "newton_reciprocal",
+    "prepare_reciprocals",
     "product_tree",
-    "tree_product",
     "remainder_tree",
+    "remainder_tree_prepared",
     "remainder_tree_squared",
     "remainders_mod_squares",
+    "tree_product",
 ]
 
+#: Below this many bits, ``floor(4**t / m)`` is computed by one direct
+#: division; above it, Newton precision-doubling (all multiplications).
+NEWTON_DIRECT_BITS = 2048
 
-def product_tree(values: Sequence[int]) -> list[list[int]]:
+#: Nodes smaller than this keep plain ``%``: near the Karatsuba threshold
+#: (~2100 bits) Barrett's two multiplications cost as much as the one
+#: schoolbook division they replace, so a reciprocal would be pure loss.
+BARRETT_MIN_BITS = 6000
+
+
+def product_tree(
+    values: Sequence[int], backend: BigIntBackend | None = None
+) -> list[list[int]]:
     """Build a product tree over ``values``.
+
+    Args:
+        values: the leaf values (moduli).
+        backend: big-int backend for the tree's operands (default: the
+            active backend, plain ``int``).
 
     Returns:
         A list of levels; ``levels[0]`` is ``list(values)`` and each
@@ -36,7 +77,8 @@ def product_tree(values: Sequence[int]) -> list[list[int]]:
         last level has a single element, the product of all inputs.  An empty
         input yields ``[[1]]`` so the root is always well-defined.
     """
-    level = list(values) if values else [1]
+    backend = resolve_backend(backend)
+    level = backend.wrap_all(values) if values else [backend.wrap(1)]
     levels = [level]
     while len(level) > 1:
         nxt = [
@@ -48,9 +90,11 @@ def product_tree(values: Sequence[int]) -> list[list[int]]:
     return levels
 
 
-def tree_product(values: Sequence[int]) -> int:
+def tree_product(
+    values: Sequence[int], backend: BigIntBackend | None = None
+) -> int:
     """Return the product of ``values`` using a product tree (1 when empty)."""
-    return product_tree(values)[-1][0]
+    return product_tree(values, backend=backend)[-1][0]
 
 
 def remainder_tree(x: int, levels: list[list[int]]) -> list[int]:
@@ -67,16 +111,25 @@ def remainder_tree(x: int, levels: list[list[int]]) -> list[int]:
     return remainders
 
 
-def remainder_tree_squared(levels: list[list[int]]) -> list[int]:
-    """Given a product tree over moduli, return ``P mod N_i**2`` per leaf.
+def remainder_tree_squared(
+    levels: list[list[int]], value: int | None = None
+) -> list[int]:
+    """Return ``value mod N_i**2`` per leaf of a product tree over moduli.
 
     Uses the fastgcd trick: instead of building a second tree over the
-    squares, the root product ``P`` is pushed down the *moduli* tree, reducing
-    the running remainder modulo the **square** of each node.  Correct because
+    squares, the value is pushed down the *moduli* tree, reducing the
+    running remainder modulo the **square** of each node.  Correct because
     ``N_i**2`` divides ``node**2`` for every ancestor node of leaf ``i``.
+
+    Args:
+        levels: a tree produced by :func:`product_tree`.
+        value: the value to reduce.  ``None`` (the batch-GCD case) means
+            the tree's own root product ``P``, which is already smaller
+            than ``root**2``, so the initial reduction is skipped.
     """
     root = levels[-1][0]
-    remainders = [root]
+    remainder = root if value is None else value % (root * root)
+    remainders = [remainder]
     for level in reversed(levels[:-1]):
         remainders = [
             remainders[i // 2] % (node * node) for i, node in enumerate(level)
@@ -84,14 +137,118 @@ def remainder_tree_squared(levels: list[list[int]]) -> list[int]:
     return remainders
 
 
-def remainders_mod_squares(x: int, moduli: Sequence[int]) -> list[int]:
-    """Return ``x mod Ni**2`` for each modulus, sharing one tree of squares.
+def remainders_mod_squares(
+    x: int, moduli: Sequence[int], backend: BigIntBackend | None = None
+) -> list[int]:
+    """Return ``x mod Ni**2`` for each modulus, via one shared tree.
 
     The batch-GCD algorithm needs ``P mod Ni**2`` (not ``P mod Ni``) so that
     ``(P mod Ni**2) / Ni`` retains the cofactor information required by the
-    final ``gcd(Ni, z_i / Ni)`` step.
+    final ``gcd(Ni, z_i / Ni)`` step.  This is a thin wrapper over
+    :func:`remainder_tree_squared`, which reduces modulo squared *nodes* of
+    the moduli tree rather than building a second tree whose every operand
+    is twice as long.
     """
     if not moduli:
         return []
-    squares = [n * n for n in moduli]
-    return remainder_tree(x, product_tree(squares))
+    return remainder_tree_squared(product_tree(moduli, backend=backend), value=x)
+
+
+def newton_reciprocal(m: int) -> int:
+    """An under-approximation of ``floor(4**t / m)`` for ``t = m.bit_length()``.
+
+    Small operands use one direct division.  Large operands seed from a
+    ``NEWTON_DIRECT_BITS``-bit division and double the precision per
+    iteration (``y += y * (1 - m*y) >> ...``, all multiplications), with an
+    8-bit guard margin per step.  The result may be short of the exact
+    floor by a few units — :func:`barrett_reduce` corrects for that, so
+    exactness of the reduction never depends on exactness of ``mu``.
+    """
+    t = m.bit_length()
+    if t <= NEWTON_DIRECT_BITS:
+        return (1 << (2 * t)) // m
+    precision = NEWTON_DIRECT_BITS // 2
+    y = (1 << (2 * precision)) // ((m >> (t - precision)) + 1)
+    while precision < t:
+        doubled = min(t, 2 * precision - 8)
+        m_high = m >> (t - doubled)
+        y <<= doubled - precision
+        residual = (1 << (2 * doubled)) - m_high * y
+        y += (y * residual) >> (2 * doubled)
+        precision = doubled
+    return y
+
+
+def barrett_reduce(x: int, m: int, mu: int, t: int) -> int:
+    """Exact ``x % m`` using a precomputed reciprocal ``mu ~ floor(4**t/m)``.
+
+    Requires ``x < 4**t`` (callers check ``x.bit_length() <= 2*t``).  The
+    quotient estimate uses a truncated multiply — top half of ``x`` times
+    ``mu`` — so both multiplications stay ~t bits wide.  A short correction
+    loop absorbs the (at most a few units) estimation error; a degenerate
+    estimate falls back to plain ``%``, making the function unconditionally
+    exact for any ``mu`` no larger than the true reciprocal.
+    """
+    q = ((x >> (t - 1)) * mu) >> (t + 1)
+    r = x - q * m
+    if r < 0 or (r >> 3) >= m:
+        return x % m
+    while r >= m:
+        r -= m
+    return r
+
+
+def prepare_reciprocals(
+    levels: list[list[int]], min_bits: int = BARRETT_MIN_BITS
+) -> list[list[tuple[int, int] | None]]:
+    """Precompute Barrett reciprocals for every large-enough tree node.
+
+    Returns a structure congruent with ``levels``: entry ``[li][i]`` is
+    ``(mu, t)`` for node ``levels[li][i]`` when the node has at least
+    ``min_bits`` bits, else ``None`` (plain ``%`` is cheaper there).  One
+    preparation is worth roughly one plain remainder pass; it pays for
+    itself when the same tree absorbs several passes (the clustered
+    engine's k passes per subset).
+    """
+    return [
+        [
+            (newton_reciprocal(node), node.bit_length())
+            if node.bit_length() >= min_bits
+            else None
+            for node in level
+        ]
+        for level in levels
+    ]
+
+
+def remainder_tree_prepared(
+    x: int,
+    levels: list[list[int]],
+    reciprocals: list[list[tuple[int, int] | None]] | None = None,
+) -> list[int]:
+    """:func:`remainder_tree`, using prepared Barrett reciprocals where held.
+
+    With ``reciprocals=None`` this is exactly :func:`remainder_tree`.  A
+    node's reciprocal is used only when the incoming remainder fits the
+    Barrett precondition (``< 4**t``); otherwise that node falls back to
+    plain ``%``, so results are identical either way.
+    """
+    if reciprocals is None:
+        return remainder_tree(x, levels)
+    root = levels[-1][0]
+    root_recip = reciprocals[-1][0]
+    if root_recip is not None and x.bit_length() <= 2 * root_recip[1]:
+        remainders = [barrett_reduce(x, root, *root_recip)]
+    else:
+        remainders = [x % root]
+    for level_index in range(len(levels) - 2, -1, -1):
+        level = levels[level_index]
+        level_recips = reciprocals[level_index]
+        remainders = [
+            remainders[i // 2] % node
+            if (recip := level_recips[i]) is None
+            or remainders[i // 2].bit_length() > 2 * recip[1]
+            else barrett_reduce(remainders[i // 2], node, *recip)
+            for i, node in enumerate(level)
+        ]
+    return remainders

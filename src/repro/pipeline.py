@@ -328,10 +328,17 @@ def _run_study_instrumented(config: StudyConfig, tel: Telemetry) -> StudyResult:
 
     started = time.perf_counter()
     with tel.span(
-        "batch_gcd", k=config.batchgcd_k, processes=config.batchgcd_processes
+        "batch_gcd",
+        k=config.batchgcd_k,
+        processes=config.batchgcd_processes,
+        scheduler=config.batchgcd_scheduler,
     ):
         engine = ClusteredBatchGcd(
-            k=config.batchgcd_k, processes=config.batchgcd_processes
+            k=config.batchgcd_k,
+            processes=config.batchgcd_processes,
+            scheduler=config.batchgcd_scheduler,
+            backend=config.batchgcd_backend,
+            max_inflight=config.batchgcd_inflight,
         )
         batch_result = engine.run(moduli)
     timings["batch_gcd"] = time.perf_counter() - started

@@ -48,6 +48,13 @@ class StudyConfig:
         start, end: study window.
         batchgcd_k: subset count for the clustered batch GCD.
         batchgcd_processes: worker processes (None = in-process).
+        batchgcd_scheduler: task-graph driver for the clustered engine
+            (``"streaming"`` or ``"fanout"``; see
+            :mod:`repro.core.clustered`).
+        batchgcd_backend: big-int backend name (``"python"``/``"gmpy2"``,
+            None = ``$REPRO_NUMT_BACKEND`` or the active default).
+        batchgcd_inflight: bound on in-flight task chunks under the
+            streaming scheduler (None = twice the worker count).
     """
 
     seed: int = 2016
@@ -64,6 +71,9 @@ class StudyConfig:
     end: Month = STUDY_END
     batchgcd_k: int = 16
     batchgcd_processes: int | None = None
+    batchgcd_scheduler: str = "streaming"
+    batchgcd_backend: str | None = None
+    batchgcd_inflight: int | None = None
 
     def openssl_table(self) -> tuple[int, ...] | None:
         """The odd-prime table for OpenSSL-style generation (None = default)."""

@@ -1,0 +1,150 @@
+"""Degenerate-corpus equivalence: every engine must flag the same moduli.
+
+The paper's corpora are full of pathologies — byte-identical duplicate
+keys across hosts, the 9-prime IBM remote-supervisor moduli (Section
+3.3.2), and corrupted records that are prime powers rather than
+semiprimes.  The naive pairwise engine, the classic Bernstein engine, and
+both clustered schedulers (in-process and pooled) must agree on the
+vulnerable/clean verdict for every modulus; on non-squarefree inputs the
+reported *divisor* may legitimately differ in multiplicity, but never the
+flag.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core.batchgcd import batch_gcd
+from repro.core.clustered import ClusteredBatchGcd
+from repro.core.naive import naive_pairwise_gcd
+from repro.crypto.primes import generate_prime
+
+
+def _flags(result):
+    return [d > 1 for d in result.divisors]
+
+
+def _engines():
+    """(label, runner) for every engine the corpus must agree across."""
+    return [
+        ("naive", naive_pairwise_gcd),
+        ("classic", batch_gcd),
+        (
+            "streaming",
+            lambda m: ClusteredBatchGcd(k=3, scheduler="streaming").run(m),
+        ),
+        (
+            "fanout",
+            lambda m: ClusteredBatchGcd(k=3, scheduler="fanout").run(m),
+        ),
+        (
+            "streaming-pool",
+            lambda m: ClusteredBatchGcd(
+                k=3, processes=2, scheduler="streaming"
+            ).run(m),
+        ),
+        (
+            "fanout-pool",
+            lambda m: ClusteredBatchGcd(
+                k=3, processes=2, scheduler="fanout"
+            ).run(m),
+        ),
+    ]
+
+
+def assert_identical_flags(moduli):
+    reference = None
+    for label, run in _engines():
+        flags = _flags(run(moduli))
+        if reference is None:
+            reference = flags
+        assert flags == reference, f"{label} disagrees: {flags} != {reference}"
+    return reference
+
+
+class TestDuplicateModuli:
+    def test_exact_duplicates_flag_each_other(self):
+        rng = random.Random(5)
+        p, q, r, s = (generate_prime(40, rng) for _ in range(4))
+        dup = p * q
+        moduli = [dup, r * s, dup, dup]
+        flags = assert_identical_flags(moduli)
+        assert flags == [True, False, True, True]
+
+    def test_duplicates_mixed_with_shared_primes(self):
+        rng = random.Random(6)
+        p, q, r, s = (generate_prime(40, rng) for _ in range(4))
+        moduli = [p * q, p * r, q * r, s * s, p * q]
+        assert_identical_flags(moduli)
+
+
+class TestPrimePowers:
+    def test_square_shares_with_semiprime(self):
+        rng = random.Random(7)
+        p, q, r = (generate_prime(40, rng) for _ in range(3))
+        moduli = [p * p, p * q, q * r]
+        flags = assert_identical_flags(moduli)
+        assert flags == [True, True, True]
+
+    def test_isolated_square_stays_clean(self):
+        rng = random.Random(8)
+        p, q, r, s = (generate_prime(40, rng) for _ in range(4))
+        moduli = [p * p, q * r, q * s]
+        flags = assert_identical_flags(moduli)
+        assert flags[0] is False  # nothing else carries p
+
+    def test_two_copies_of_same_square(self):
+        rng = random.Random(9)
+        p, q, r = (generate_prime(40, rng) for _ in range(3))
+        moduli = [p * p, p * p, q * r]
+        flags = assert_identical_flags(moduli)
+        assert flags == [True, True, False]
+
+
+class TestNinePrimeIbmKeys:
+    def test_ibm_style_clique_flags_everywhere(self):
+        # Section 3.3.2: IBM remote supervisor adapters drew nine primes
+        # from a tiny pool, so their moduli pairwise share factors.
+        rng = random.Random(10)
+        pool = [generate_prime(24, rng) for _ in range(12)]
+        clique = [
+            math.prod(rng.sample(pool, 9)),
+            math.prod(rng.sample(pool, 9)),
+            math.prod(rng.sample(pool, 9)),
+        ]
+        clean = [
+            generate_prime(40, rng) * generate_prime(40, rng)
+            for _ in range(3)
+        ]
+        moduli = [clique[0], clean[0], clique[1], clean[1], clique[2], clean[2]]
+        flags = assert_identical_flags(moduli)
+        assert flags == [True, False, True, False, True, False]
+
+
+class TestMixedPathologies:
+    @pytest.mark.parametrize("k", [1, 2, 5])
+    def test_everything_at_once(self, k):
+        rng = random.Random(11)
+        p, q, r, s, t = (generate_prime(32, rng) for _ in range(5))
+        pool = [generate_prime(20, rng) for _ in range(10)]
+        dup = p * q
+        moduli = [
+            dup,
+            dup,
+            r * r,
+            r * s,
+            math.prod(rng.sample(pool, 9)),
+            math.prod(rng.sample(pool, 9)),
+            s * t,
+            generate_prime(32, rng) * generate_prime(32, rng),
+        ]
+        classic = _flags(batch_gcd(moduli))
+        for scheduler in ("streaming", "fanout"):
+            for processes in (None, 2):
+                engine = ClusteredBatchGcd(
+                    k=k, processes=processes, scheduler=scheduler
+                )
+                assert _flags(engine.run(moduli)) == classic, (
+                    f"{scheduler} k={k} processes={processes}"
+                )

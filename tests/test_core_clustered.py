@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.batchgcd import batch_gcd
-from repro.core.clustered import ClusteredBatchGcd, clustered_batch_gcd
+from repro.core.clustered import SCHEDULERS, ClusteredBatchGcd, clustered_batch_gcd
 from repro.crypto.primes import generate_prime
 from repro.telemetry import Telemetry, use_telemetry
 
@@ -140,3 +140,138 @@ class TestMultiprocessing:
         serial = clustered_batch_gcd(corpus, k=4, processes=None)
         parallel = clustered_batch_gcd(corpus, k=4, processes=2)
         assert serial.divisors == parallel.divisors
+
+
+class TestTaskGraph:
+    """The streaming scheduler's cached, broadcast task graph."""
+
+    def test_rejects_unknown_scheduler(self):
+        with pytest.raises(ValueError):
+            ClusteredBatchGcd(k=2, scheduler="mapreduce")
+
+    def test_rejects_invalid_max_inflight(self):
+        with pytest.raises(ValueError):
+            ClusteredBatchGcd(k=2, max_inflight=0)
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_schedulers_match_classic(self, corpus, scheduler):
+        result = clustered_batch_gcd(corpus, k=4, scheduler=scheduler)
+        assert result.divisors == batch_gcd(corpus).divisors
+
+    def test_streaming_matches_fanout_on_pool(self, corpus):
+        streaming = clustered_batch_gcd(
+            corpus, k=4, processes=2, scheduler="streaming"
+        )
+        fanout = clustered_batch_gcd(
+            corpus, k=4, processes=2, scheduler="fanout"
+        )
+        assert streaming.divisors == fanout.divisors
+
+    def test_subset_trees_built_exactly_k_times(self, corpus):
+        # The tentpole: the fanout driver rebuilt every subset's tree in
+        # every task (k**2 builds); streaming builds each exactly once.
+        telemetry = Telemetry()
+        engine = ClusteredBatchGcd(k=4, scheduler="streaming")
+        with use_telemetry(telemetry):
+            with telemetry.span("batch_gcd"):
+                engine.run(corpus)
+        report = telemetry.report()
+        products = report.find_span("batch_gcd.products")
+        builds = [
+            c for c in products.children if c.name == "batch_gcd.subset_tree"
+        ]
+        assert len(builds) == 4
+        assert engine.last_stats.tree_builds == 4
+        assert engine.last_stats.tree_build_seconds > 0
+        # ... and no task rebuilds one.
+        tasks = [
+            c
+            for c in report.find_span("batch_gcd").children
+            if c.name == "batch_gcd.task"
+        ]
+        assert len(tasks) == 16
+        for task in tasks:
+            assert all(
+                c.name != "batch_gcd.task.product_tree" for c in task.children
+            )
+
+    def test_fanout_rebuilds_trees_per_task(self, corpus):
+        telemetry = Telemetry()
+        engine = ClusteredBatchGcd(k=3, scheduler="fanout")
+        with use_telemetry(telemetry):
+            with telemetry.span("batch_gcd"):
+                engine.run(corpus)
+        report = telemetry.report()
+        assert report.find_span("batch_gcd.subset_tree") is None
+        task = report.find_span("batch_gcd.task")
+        assert any(
+            c.name == "batch_gcd.task.product_tree" for c in task.children
+        )
+        assert engine.last_stats.tree_builds == 0
+
+    def test_task_payloads_carry_no_subset_products(self, corpus):
+        # The one-shot broadcast carries all big ints; task payloads are
+        # chunks of (i, j) index pairs.  The IPC byte counters make the
+        # asymmetry checkable: all task payloads together stay tiny (a few
+        # dozen bytes per task) while the broadcast holds the corpus.
+        telemetry = Telemetry()
+        engine = ClusteredBatchGcd(k=4, processes=2, scheduler="streaming")
+        with use_telemetry(telemetry):
+            with telemetry.span("batch_gcd"):
+                engine.run(corpus)
+        stats = engine.last_stats
+        report = telemetry.report()
+        assert stats.ipc_broadcast_bytes > 0
+        assert stats.ipc_task_bytes > 0
+        assert stats.ipc_task_bytes < 100 * stats.tasks
+        assert stats.ipc_task_bytes < stats.ipc_broadcast_bytes
+        assert (
+            report.counters["batch_gcd.ipc_broadcast_bytes"]
+            == stats.ipc_broadcast_bytes
+        )
+        assert (
+            report.counters["batch_gcd.ipc_task_bytes"] == stats.ipc_task_bytes
+        )
+        assert report.timers["batch_gcd.queue_latency"].count > 0
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_queue_depth_drains_without_worker_reports(
+        self, corpus, scheduler, monkeypatch
+    ):
+        # Satellite regression: the fanout consume() used to decrement the
+        # queue_depth gauge only when a worker report was attached, so runs
+        # whose workers were uninstrumented appeared stuck at full depth.
+        # Simulate that shape: a recording parent registry, but every task
+        # outcome stripped of its report before consumption.
+        from repro.core import clustered as mod
+
+        real_run_task = mod._run_task
+        real_execute_chunk = mod._execute_chunk
+
+        def run_task_no_report(args):
+            i, j, divisors, seconds, _report = real_run_task(args)
+            return i, j, divisors, seconds, None
+
+        def execute_chunk_no_report(state, pairs):
+            results, _report = real_execute_chunk(state, pairs)
+            return results, None
+
+        monkeypatch.setattr(mod, "_run_task", run_task_no_report)
+        monkeypatch.setattr(mod, "_execute_chunk", execute_chunk_no_report)
+        telemetry = Telemetry()
+        engine = ClusteredBatchGcd(k=3, scheduler=scheduler)
+        with use_telemetry(telemetry):
+            engine.run(corpus)
+        assert telemetry.report().gauges["batch_gcd.queue_depth"] == 0
+
+    def test_streaming_respects_max_inflight_window(self, corpus):
+        result = ClusteredBatchGcd(
+            k=4, processes=2, scheduler="streaming", max_inflight=1
+        ).run(corpus)
+        assert result.divisors == batch_gcd(corpus).divisors
+
+    def test_stats_record_scheduler(self, corpus):
+        for scheduler in SCHEDULERS:
+            engine = ClusteredBatchGcd(k=2, scheduler=scheduler)
+            engine.run(corpus)
+            assert engine.last_stats.scheduler == scheduler

@@ -1,12 +1,19 @@
 """Tests for product/remainder trees — the heart of batch GCD."""
 
 import math
+import random
 
 from hypothesis import given, settings, strategies as st
 
 from repro.numt.trees import (
+    BARRETT_MIN_BITS,
+    NEWTON_DIRECT_BITS,
+    barrett_reduce,
+    newton_reciprocal,
+    prepare_reciprocals,
     product_tree,
     remainder_tree,
+    remainder_tree_prepared,
     remainder_tree_squared,
     remainders_mod_squares,
     tree_product,
@@ -94,3 +101,112 @@ class TestRemaindersModSquares:
         values = [7, 9, 11]
         x = 10**9 + 7
         assert remainders_mod_squares(x, values) == [x % (v * v) for v in values]
+
+    def test_value_larger_than_root_squared(self):
+        # Deduplicated onto remainder_tree_squared(value=...): an external
+        # value first reduces modulo root**2, then pushes down normally.
+        values = [101, 103, 107]
+        x = math.prod(values) ** 3 + 12345
+        assert remainders_mod_squares(x, values) == [x % (v * v) for v in values]
+
+    @given(moduli_lists, st.integers(min_value=0, max_value=2**200))
+    @settings(max_examples=40)
+    def test_property_matches_direct(self, values, x):
+        assert remainders_mod_squares(x, values) == [
+            x % (v * v) for v in values
+        ]
+
+
+class TestNewtonReciprocal:
+    def test_small_operand_is_exact(self):
+        m = (1 << 1000) + 12345
+        t = m.bit_length()
+        assert newton_reciprocal(m) == (1 << (2 * t)) // m
+
+    def test_large_operand_underapproximates_tightly(self):
+        rng = random.Random(7)
+        for bits in (NEWTON_DIRECT_BITS + 1, 5000, 16384):
+            m = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+            t = m.bit_length()
+            mu = newton_reciprocal(m)
+            exact = (1 << (2 * t)) // m
+            assert 0 <= exact - mu < 1 << 16  # short of floor by units only
+
+    def test_power_of_two_edge(self):
+        m = 1 << 8192
+        mu = newton_reciprocal(m)
+        exact = (1 << (2 * m.bit_length())) // m
+        assert 0 <= exact - mu < 1 << 16
+
+
+class TestBarrettReduce:
+    def test_matches_mod_exactly(self):
+        rng = random.Random(11)
+        for _ in range(20):
+            m = rng.getrandbits(7000) | (1 << 6999) | 1
+            t = m.bit_length()
+            mu = newton_reciprocal(m)
+            x = rng.getrandbits(2 * t - rng.randrange(0, 64))
+            assert barrett_reduce(x, m, mu, t) == x % m
+
+    def test_exact_even_with_sloppy_mu(self):
+        # The correction step makes the reduction exact for any
+        # under-approximated reciprocal, however bad.
+        m = (1 << 4099) + 977
+        t = m.bit_length()
+        mu = newton_reciprocal(m) - 3
+        x = (m - 1) * (m - 1)
+        assert barrett_reduce(x, m, mu, t) == x % m
+
+    def test_small_x(self):
+        m = (1 << 4099) + 977
+        t = m.bit_length()
+        mu = newton_reciprocal(m)
+        assert barrett_reduce(42, m, mu, t) == 42
+
+
+class TestPreparedRemainderTree:
+    def _tree(self, leaf_bits, count, seed=3):
+        rng = random.Random(seed)
+        leaves = [
+            rng.getrandbits(leaf_bits) | (1 << (leaf_bits - 1)) | 1
+            for _ in range(count)
+        ]
+        return leaves, product_tree(leaves)
+
+    def test_none_reciprocals_is_plain_remainder_tree(self):
+        leaves, levels = self._tree(64, 8)
+        x = 2**512 + 9
+        assert remainder_tree_prepared(x, levels) == remainder_tree(x, levels)
+
+    def test_matches_plain_with_reciprocals(self):
+        # min_bits low enough that internal nodes get real reciprocals
+        # (roots well past NEWTON_DIRECT_BITS exercise the Newton path).
+        leaves, levels = self._tree(512, 16)
+        recips = prepare_reciprocals(levels, min_bits=256)
+        x = tree_product(self._tree(512, 16, seed=99)[0])
+        assert remainder_tree_prepared(x, levels, recips) == remainder_tree(
+            x, levels
+        )
+
+    def test_small_nodes_skipped_by_default(self):
+        leaves, levels = self._tree(64, 8)
+        recips = prepare_reciprocals(levels)  # default BARRETT_MIN_BITS
+        assert all(r is None for level in recips for r in level)
+        x = 2**700 + 123
+        assert remainder_tree_prepared(x, levels, recips) == remainder_tree(
+            x, levels
+        )
+
+    def test_wide_value_falls_back_to_plain_mod(self):
+        # x far beyond 4**t at the root: the Barrett precondition fails and
+        # the prepared tree must fall back without losing exactness.
+        leaves, levels = self._tree(512, 4)
+        recips = prepare_reciprocals(levels, min_bits=256)
+        x = tree_product(leaves) ** 3 + 7
+        assert remainder_tree_prepared(x, levels, recips) == remainder_tree(
+            x, levels
+        )
+
+    def test_default_cutoff_above_karatsuba(self):
+        assert BARRETT_MIN_BITS >= 2048

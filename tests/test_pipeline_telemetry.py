@@ -58,10 +58,22 @@ class TestBatchGcdSpans:
         task = report.find_span("batch_gcd.task")
         assert task.attrs["product_bits"] > 0
         assert task.attrs["subset_size"] > 0
+        # Streaming tasks reuse the parent-built subset tree, so the only
+        # per-task substage is the remainder pass — no product_tree child.
         assert {c.name for c in task.children} == {
-            "batch_gcd.task.product_tree",
             "batch_gcd.task.remainder_tree",
         }
+
+    def test_subset_trees_built_once_per_subset(self, tiny_study, report):
+        stage = report.find_span("batch_gcd")
+        products = next(
+            c for c in stage.children if c.name == "batch_gcd.products"
+        )
+        builds = [
+            c for c in products.children if c.name == "batch_gcd.subset_tree"
+        ]
+        assert len(builds) == tiny_study.cluster_stats.k
+        assert all(b.attrs["root_bits"] > 0 for b in builds)
 
     def test_task_timer_aggregates_every_task(self, tiny_study, report):
         stats = report.timers["batch_gcd.task"]
