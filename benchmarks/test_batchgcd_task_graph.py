@@ -170,9 +170,8 @@ def test_ipc_payload_asymmetry(corpus, bench_record):
         k=k, processes=PARAMS["processes"], scheduler="streaming"
     )
     telemetry = Telemetry()
-    with use_telemetry(telemetry):
-        with telemetry.span("bench"):
-            engine.run(corpus)
+    with use_telemetry(telemetry), telemetry.span("bench"):
+        engine.run(corpus)
     stats = engine.last_stats
     # What the fanout driver would have pickled for the same run: every
     # task tuple with its embedded subset and product.
@@ -236,9 +235,8 @@ def test_telemetry_overhead_budget(subsample, bench_record):
     engine = ClusteredBatchGcd(k=8, scheduler="streaming")
     _, plain_wall = _timed(engine.run, subsample)
     telemetry = Telemetry()
-    with use_telemetry(telemetry):
-        with telemetry.span("bench"):
-            _, instrumented_wall = _timed(engine.run, subsample)
+    with use_telemetry(telemetry), telemetry.span("bench"):
+        _, instrumented_wall = _timed(engine.run, subsample)
     bench_record["telemetry_overhead"] = {
         "plain_wall_seconds": round(plain_wall, 4),
         "instrumented_wall_seconds": round(instrumented_wall, 4),

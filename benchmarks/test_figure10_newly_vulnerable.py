@@ -9,7 +9,7 @@ increased dramatically"; these ramps drive Figure 1's late rise.
 import pytest
 
 from repro.reporting.study import render_vendor_figure
-from repro.timeline import Month, STUDY_END
+from repro.timeline import STUDY_END, Month
 
 from conftest import write_artifact
 from figutil import series_for, values_between

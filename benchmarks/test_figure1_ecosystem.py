@@ -6,10 +6,11 @@ into 2012-2014, drop sharply around Heartbleed (April 2014), then climb
 again late in the study as newly vulnerable products (Figure 10) appear.
 """
 
+import pytest
+
 from repro.analysis.timeseries import build_series
 from repro.reporting.study import render_figure1
 from repro.timeline import HEARTBLEED, Month
-import pytest
 
 from conftest import write_artifact
 

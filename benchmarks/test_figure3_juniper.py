@@ -7,8 +7,9 @@ total fingerprinted hosts is April 2014 (Heartbleed), when ~30 k hosts
 vulnerable->clean / clean->vulnerable / multiple times.
 """
 
-from repro.timeline import HEARTBLEED, Month
 import pytest
+
+from repro.timeline import HEARTBLEED, Month
 
 from conftest import write_artifact
 from figutil import regenerate, series_for, values_between

@@ -5,8 +5,9 @@ are fixed), while the vulnerable population "has stayed mostly consistent
 during the four years since the public security advisory" (June 2012).
 """
 
-from repro.timeline import Month, STUDY_END
 import pytest
+
+from repro.timeline import STUDY_END, Month
 
 from conftest import write_artifact
 from figutil import regenerate, series_for, values_between

@@ -6,8 +6,9 @@ drops markedly at Heartbleed; every key is a product of two of nine primes
 ever-vulnerable IPs later served unrelated certificates.
 """
 
-from repro.timeline import HEARTBLEED, Month
 import pytest
+
+from repro.timeline import HEARTBLEED, Month
 
 from conftest import write_artifact
 from figutil import regenerate, series_for, values_between

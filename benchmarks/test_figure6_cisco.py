@@ -5,8 +5,9 @@ Paper shape: "The number of broken Cisco hosts increased steadily through
 privately and never published an advisory.
 """
 
-from repro.timeline import Month
 import pytest
+
+from repro.timeline import Month
 
 from conftest import write_artifact
 from figutil import regenerate, series_for, values_between

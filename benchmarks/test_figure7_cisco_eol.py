@@ -6,10 +6,11 @@ end-of-sale by several months; vulnerable hosts were found for all models
 except the RV082.
 """
 
+import pytest
+
 from repro.analysis.eol import analyze_eol
 from repro.devices.catalog import DEVICE_CATALOG
 from repro.reporting.study import render_figure7
-import pytest
 
 from conftest import write_artifact
 

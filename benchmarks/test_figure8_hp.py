@@ -11,8 +11,9 @@ The vulnerable-series assertions are therefore bounded rather than exact;
 DESIGN.md documents this floor.
 """
 
-from repro.timeline import HEARTBLEED, Month
 import pytest
+
+from repro.timeline import HEARTBLEED, Month
 
 from conftest import write_artifact
 from figutil import regenerate, series_for, values_between

@@ -9,7 +9,7 @@ Fritz!Box instead rises until its silent 2014 fix, then declines.
 import pytest
 
 from repro.reporting.study import render_vendor_figure
-from repro.timeline import Month, STUDY_END
+from repro.timeline import STUDY_END, Month
 
 from conftest import write_artifact
 from figutil import series_for, values_between

@@ -6,9 +6,10 @@ regenerates the table from the shared study and checks the magnitudes land
 within the documented tolerance of the paper's scale-corrected values.
 """
 
+import pytest
+
 from repro.analysis.tables import build_table1
 from repro.reporting.study import render_table1
-import pytest
 
 from conftest import write_artifact
 

@@ -1,9 +1,10 @@
 """Table 2: the 37 notified vendors and their response categories."""
 
+import pytest
+
 from repro.analysis.tables import build_table2
 from repro.devices.vendors import ResponseCategory
 from repro.reporting.study import render_table2
-import pytest
 
 from conftest import write_artifact
 

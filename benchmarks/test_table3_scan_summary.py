@@ -4,9 +4,10 @@ Paper: 11.26 M -> 38.01 M TLS handshakes; 5.48 M -> 10.67 M distinct
 certificates (per-scan); nearly all keys RSA.
 """
 
+import pytest
+
 from repro.analysis.tables import build_table3
 from repro.reporting.study import render_table3
-import pytest
 
 from conftest import write_artifact
 

@@ -4,9 +4,10 @@ Paper: HTTPS 59,628 vulnerable; SSH 723; IMAPS/POP3S/SMTPS all zero —
 "the majority of vulnerable keys were associated with HTTPS".
 """
 
+import pytest
+
 from repro.analysis.tables import build_table4
 from repro.reporting.study import render_table4
-import pytest
 
 from conftest import write_artifact
 

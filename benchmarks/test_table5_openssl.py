@@ -5,10 +5,11 @@ Paper: 23 vendors' factored keys satisfy the fingerprint, 8 do not
 no vulnerable implementation emitted exclusively safe primes.
 """
 
+import pytest
+
 from repro.analysis.tables import build_table5
 from repro.devices.vendors import VENDORS
 from repro.reporting.study import render_table5
-import pytest
 
 from conftest import write_artifact
 

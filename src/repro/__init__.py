@@ -35,7 +35,7 @@ from repro.core import batch_gcd, clustered_batch_gcd, naive_pairwise_gcd
 from repro.pipeline import StudyResult, StudyWorld, build_world, run_study
 from repro.studyconfig import StudyConfig
 from repro.telemetry import RunReport, Telemetry
-from repro.timeline import HEARTBLEED, Month, STUDY_END, STUDY_START
+from repro.timeline import HEARTBLEED, STUDY_END, STUDY_START, Month
 
 __version__ = "1.0.0"
 

@@ -10,14 +10,14 @@
 
 from repro.analysis.eol import ModelEolAnalysis, analyze_eol, build_model_series
 from repro.analysis.exposure import ExposureStats, analyze_exposure
-from repro.analysis.lifetimes import (
-    CertificateLifetimes,
-    analyze_certificate_lifetimes,
-)
 from repro.analysis.heartbleed import (
     HeartbleedImpact,
     VendorHeartbleedImpact,
     analyze_heartbleed,
+)
+from repro.analysis.lifetimes import (
+    CertificateLifetimes,
+    analyze_certificate_lifetimes,
 )
 from repro.analysis.tables import (
     Table1DatasetSummary,

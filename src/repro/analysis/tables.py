@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.devices.vendors import ResponseCategory, VENDORS, notified_2012_vendors
+from repro.devices.vendors import VENDORS, ResponseCategory, notified_2012_vendors
 from repro.fingerprint.engine import FingerprintReport
 from repro.fingerprint.openssl import VendorOpensslVerdict
 from repro.scans.protocols import ProtocolCorpus

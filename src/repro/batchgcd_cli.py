@@ -130,9 +130,8 @@ def main(argv: list[str] | None = None) -> int:
         backend=args.backend,
         max_inflight=args.max_inflight,
     )
-    with use_telemetry(telemetry):
-        with telemetry.span("batch_gcd", moduli=len(moduli), k=args.k):
-            result = engine.run(moduli)
+    with use_telemetry(telemetry), telemetry.span("batch_gcd", moduli=len(moduli), k=args.k):
+        result = engine.run(moduli)
     elapsed = time.perf_counter() - started  # reprolint: disable=DET003
 
     lines = format_results(result)

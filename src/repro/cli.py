@@ -98,6 +98,19 @@ def main(argv: list[str] | None = None) -> int:
         "(streaming or fanout; default: streaming)",
     )
     parser.add_argument(
+        "--batchgcd-k", type=int, default=None, metavar="K",
+        help="clustered batch-GCD subset count (default: preset value)",
+    )
+    parser.add_argument(
+        "--batchgcd-processes", type=int, default=None, metavar="N",
+        help="batch-GCD worker processes (default: in-process)",
+    )
+    parser.add_argument(
+        "--batchgcd-inflight", type=int, default=None, metavar="N",
+        help="streaming scheduler: bound on in-flight task chunks "
+        "(default: 2x processes)",
+    )
+    parser.add_argument(
         "--numt-backend", choices=sorted(available_backends()), default=None,
         metavar="NAME",
         help="big-int backend for the batch GCD "
@@ -113,6 +126,12 @@ def main(argv: list[str] | None = None) -> int:
         config = config.with_(batchgcd_scheduler=args.batchgcd_scheduler)
     if args.numt_backend is not None:
         config = config.with_(batchgcd_backend=args.numt_backend)
+    if args.batchgcd_k is not None:
+        config = config.with_(batchgcd_k=args.batchgcd_k)
+    if args.batchgcd_processes is not None:
+        config = config.with_(batchgcd_processes=args.batchgcd_processes)
+    if args.batchgcd_inflight is not None:
+        config = config.with_(batchgcd_inflight=args.batchgcd_inflight)
     telemetry = (
         Telemetry() if (args.telemetry_json or args.timings) else None
     )

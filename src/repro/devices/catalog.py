@@ -33,7 +33,7 @@ from repro.devices.models import (
     PopulationSchedule,
     SubjectStyle,
 )
-from repro.timeline import HEARTBLEED, Month, STUDY_END, STUDY_START
+from repro.timeline import HEARTBLEED, STUDY_END, STUDY_START, Month
 
 __all__ = ["DEVICE_CATALOG", "catalog_models", "models_for_vendor"]
 

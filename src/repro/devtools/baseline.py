@@ -115,6 +115,37 @@ class Baseline:
                 new.append(finding)
         return new
 
+    def refreshed(
+        self, findings: Sequence[Finding]
+    ) -> tuple["Baseline", list[tuple[str, str, str]]]:
+        """Regenerate the baseline from ``findings``, keeping justifications.
+
+        Exact ``(rule, path, line_text)`` matches carry their justification
+        over; a finding whose line text drifted migrates the justification
+        from the *unique* old entry with the same ``(rule, path)`` (the
+        common case after editing a grandfathered line).  Returns the new
+        baseline plus the keys that could not inherit a justification —
+        callers must refuse to write when that list is non-empty, because
+        entries would otherwise silently lose their human rationale.
+        """
+        counts: Counter[tuple[str, str, str]] = Counter(f.key() for f in findings)
+        justifications: dict[tuple[str, str, str], str] = {}
+        unresolved: list[tuple[str, str, str]] = []
+        vanished = [key for key in self._allowances if key not in counts]
+        for key in sorted(counts):
+            if key in self._justifications:
+                justifications[key] = self._justifications[key]
+                continue
+            donors = [
+                old for old in vanished if old[0] == key[0] and old[1] == key[1]
+            ]
+            if len(donors) == 1:
+                justifications[key] = self._justifications[donors[0]]
+                vanished.remove(donors[0])
+            else:
+                unresolved.append(key)
+        return Baseline(dict(counts), justifications), unresolved
+
     def stale_entries(self, findings: Sequence[Finding]) -> list[tuple[str, str, str]]:
         """Baseline keys whose allowance is no longer (fully) used.
 

@@ -1,0 +1,282 @@
+"""X — cross-module rules over the whole-program graph.
+
+Where the per-file families (DET/TEL/PAR/NUM) see one module at a time,
+these rules query :mod:`repro.devtools.graph` and check contracts that
+only exist *between* files:
+
+- **XPAR001** — interprocedural process-boundary safety.  Any function
+  reachable (through the resolved call graph, indirect edges included)
+  from a callable submitted to a ``ProcessPoolExecutor`` must not rebind
+  module globals or mutate module-level containers: each worker process
+  has its own copy, so the mutation silently diverges across workers and
+  across ``processes=None`` vs pooled runs.  Setting worker state in the
+  pool *initializer* (``_pool_init``-style) is the blessed pattern and is
+  not flagged.
+- **XTEL001** — telemetry contract drift.  Every metric name literal in
+  ``src/repro`` must appear in the machine-readable metric catalog of
+  ``docs/TELEMETRY.md``, and every catalogued metric must still be
+  emitted somewhere — both directions, so the documented schema and the
+  code cannot drift apart.  F-string names match ``<placeholder>``
+  wildcard segments.
+- **XCFG001** — ``StudyConfig`` ↔ CLI drift: a ``with_``/constructor
+  keyword in either CLI that is not a real field (stale after a rename),
+  an ``argparse`` flag whose dest names a field but is never threaded
+  into a call, and an engine-tuning ``batchgcd_*`` field exposed by
+  neither CLI.
+- **XDEAD001** — public ``repro`` symbols (module-level classes and
+  functions) referenced nowhere across ``src``, ``tests``,
+  ``benchmarks``, or ``examples`` — import aliases and ``__all__``
+  strings do not count as references, so merely re-exported surface is
+  still dead.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from repro.devtools.engine import ProjectRule, registry
+from repro.devtools.findings import Severity
+from repro.devtools.graph import ProjectGraph
+
+_TELEMETRY_DOC = "docs/TELEMETRY.md"
+_CATALOG_BEGIN = "<!-- metric-catalog:begin -->"
+_CATALOG_END = "<!-- metric-catalog:end -->"
+_CATALOG_ROW = re.compile(r"^\|\s*`([^`]+)`")
+_PLACEHOLDER = re.compile(r"<[^<>]+>")
+
+_CONFIG_MODULE = "repro.studyconfig"
+_CONFIG_CLASS = "StudyConfig"
+_CLI_MODULES = ("repro.cli", "repro.batchgcd_cli")
+#: Engine-tuning fields with a deliberately different CLI spelling.
+_FLAG_ALIASES: dict[str, frozenset[str]] = {
+    "batchgcd_k": frozenset({"k"}),
+    "batchgcd_processes": frozenset({"processes"}),
+    "batchgcd_scheduler": frozenset({"scheduler"}),
+    "batchgcd_backend": frozenset({"backend", "numt_backend"}),
+    "batchgcd_inflight": frozenset({"max_inflight"}),
+}
+#: Symbols referenced from outside the Python tree (pyproject scripts).
+_DEAD_EXEMPT = frozenset({"main"})
+
+
+@registry.register_project
+class ProcessBoundaryMutation(ProjectRule):
+    code = "XPAR001"
+    summary = "global state mutated by code reachable from a process-pool task"
+    severity = Severity.ERROR
+
+    def check_project(
+        self, graph: ProjectGraph
+    ) -> Iterator[tuple[str, int, int, str]]:
+        reported: set[str] = set()
+        for entry, submit in sorted(graph.pool_entry_points().items()):
+            for qualname in sorted(graph.reachable_from([entry])):
+                if qualname in reported:
+                    continue
+                func = graph.functions[qualname]
+                module = graph.modules.get(func.module)
+                if module is None:
+                    continue
+                mutated = list(func.global_writes) + [
+                    name
+                    for name in func.container_writes
+                    if name in module.mutable_globals
+                ]
+                if not mutated:
+                    continue
+                reported.add(qualname)
+                names = ", ".join(f"'{name}'" for name in sorted(set(mutated)))
+                yield (
+                    func.path,
+                    func.lineno,
+                    0,
+                    f"'{qualname}' mutates module global(s) {names} and is "
+                    f"reachable from process-pool entry point '{entry}' "
+                    f"(submitted at {submit.path}:{submit.lineno}); each worker "
+                    "owns a private copy, so the mutation diverges across "
+                    "processes — keep task state worker-local, or set it once "
+                    "in the pool initializer",
+                )
+
+
+def _parse_metric_catalog(text: str) -> list[tuple[str, int]] | None:
+    """``(pattern, lineno)`` rows of the documented catalog, or None."""
+    lines = text.splitlines()
+    begin = end = None
+    for index, line in enumerate(lines):
+        if _CATALOG_BEGIN in line:
+            begin = index
+        elif _CATALOG_END in line:
+            end = index
+    if begin is None or end is None or end <= begin:
+        return None
+    entries: list[tuple[str, int]] = []
+    for index in range(begin + 1, end):
+        match = _CATALOG_ROW.match(lines[index].strip())
+        if match:
+            entries.append((match.group(1), index + 1))
+    return entries
+
+
+def _metric_matches(code_name: str, doc_pattern: str) -> bool:
+    """Segment-wise match; ``*`` (code f-string field or doc ``<ph>``)
+    matches exactly one segment."""
+    doc = _PLACEHOLDER.sub("*", doc_pattern)
+    code_segments = code_name.split(".")
+    doc_segments = doc.split(".")
+    if len(code_segments) != len(doc_segments):
+        return False
+    return all(
+        c == d or c == "*" or d == "*"
+        for c, d in zip(code_segments, doc_segments)
+    )
+
+
+@registry.register_project
+class TelemetryContractDrift(ProjectRule):
+    code = "XTEL001"
+    summary = "metric emitted but undocumented, or documented but never emitted"
+    severity = Severity.ERROR
+
+    def check_project(
+        self, graph: ProjectGraph
+    ) -> Iterator[tuple[str, int, int, str]]:
+        doc_path = graph.root / _TELEMETRY_DOC
+        try:
+            doc_text = doc_path.read_text()
+        except OSError:
+            return  # no telemetry contract in this tree
+        catalog = _parse_metric_catalog(doc_text)
+        if catalog is None:
+            return  # doc exists but carries no machine-readable catalog
+        calls = graph.metric_calls()
+        doc_rel = doc_path.as_posix()
+
+        seen: set[tuple[str, str, int]] = set()
+        for call in calls:
+            if not any(_metric_matches(call.name, pattern) for pattern, _ in catalog):
+                key = (call.name, call.path, call.lineno)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield (
+                    call.path,
+                    call.lineno,
+                    call.col,
+                    f"metric {call.name!r} ({call.instrument}) is not in the "
+                    f"documented catalog — add it to the metric-catalog table "
+                    f"in {_TELEMETRY_DOC} (or rename to a documented metric)",
+                )
+        emitted = {call.name for call in calls}
+        for pattern, lineno in catalog:
+            if not any(_metric_matches(name, pattern) for name in emitted):
+                yield (
+                    doc_rel,
+                    lineno,
+                    0,
+                    f"documented metric {pattern!r} is emitted nowhere in "
+                    "src/repro — prune the catalog row or restore the "
+                    "instrumentation",
+                )
+
+
+@registry.register_project
+class StudyConfigCliDrift(ProjectRule):
+    code = "XCFG001"
+    summary = "StudyConfig fields and CLI argparse flags have drifted apart"
+    severity = Severity.ERROR
+
+    def check_project(
+        self, graph: ProjectGraph
+    ) -> Iterator[tuple[str, int, int, str]]:
+        config_module = graph.modules.get(_CONFIG_MODULE)
+        if config_module is None:
+            return
+        fields = config_module.dataclass_fields.get(_CONFIG_CLASS)
+        if not fields:
+            return
+        field_names = {name for name, _ in fields}
+        clis = [
+            graph.modules[name] for name in _CLI_MODULES if name in graph.modules
+        ]
+
+        for cli in clis:
+            for kwarg, lineno in sorted(cli.config_kwargs):
+                if kwarg not in field_names:
+                    yield (
+                        cli.path,
+                        lineno,
+                        0,
+                        f"'{kwarg}' is not a {_CONFIG_CLASS} field — the CLI "
+                        "keyword is stale (field renamed or removed in "
+                        f"{_CONFIG_MODULE})",
+                    )
+            for flag in cli.argparse_flags:
+                matched = self._field_for_dest(flag.dest, field_names)
+                if matched is None:
+                    continue
+                if matched in cli.call_kwargs or flag.dest in cli.call_kwargs:
+                    continue
+                yield (
+                    cli.path,
+                    flag.lineno,
+                    0,
+                    f"flag '--{flag.dest.replace('_', '-')}' maps to "
+                    f"{_CONFIG_CLASS}.{matched} but is never threaded into a "
+                    "call — the parsed value is silently dropped",
+                )
+
+        for name, lineno in fields:
+            if not name.startswith("batchgcd_"):
+                continue
+            if any(self._exposes(cli, name) for cli in clis):
+                continue
+            yield (
+                config_module.path,
+                lineno,
+                0,
+                f"engine-tuning knob {_CONFIG_CLASS}.{name} is exposed by "
+                "neither CLI — thread it through repro.cli or "
+                "repro.batchgcd_cli (or drop the field)",
+            )
+
+    @staticmethod
+    def _field_for_dest(dest: str, field_names: set[str]) -> str | None:
+        if dest in field_names:
+            return dest
+        for field, aliases in _FLAG_ALIASES.items():
+            if dest in aliases and field in field_names:
+                return field
+        return None
+
+    @staticmethod
+    def _exposes(cli, field: str) -> bool:
+        if field in cli.call_kwargs:
+            return True
+        accepted = {field} | _FLAG_ALIASES.get(field, frozenset())
+        return any(flag.dest in accepted for flag in cli.argparse_flags)
+
+
+@registry.register_project
+class DeadPublicSymbol(ProjectRule):
+    code = "XDEAD001"
+    summary = "public repro symbol referenced nowhere in src/tests/benchmarks/examples"
+    severity = Severity.WARNING
+
+    def check_project(
+        self, graph: ProjectGraph
+    ) -> Iterator[tuple[str, int, int, str]]:
+        for _, module in sorted(graph.modules.items()):
+            for name, lineno in sorted(module.public.items(), key=lambda kv: kv[1]):
+                if name in _DEAD_EXEMPT or name in graph.referenced_names:
+                    continue
+                yield (
+                    module.path,
+                    lineno,
+                    0,
+                    f"public symbol '{module.name}.{name}' is referenced "
+                    "nowhere in src, tests, benchmarks, or examples "
+                    "(imports and __all__ do not count) — delete it, make it "
+                    "private, or cover it with a test",
+                )

@@ -29,7 +29,14 @@ from typing import Iterable, Iterator, Sequence
 from repro.devtools.findings import Finding, Severity
 from repro.devtools.suppress import SuppressionIndex
 
-__all__ = ["LintEngine", "ModuleContext", "Rule", "RuleRegistry", "registry"]
+__all__ = [
+    "LintEngine",
+    "ModuleContext",
+    "ProjectRule",
+    "Rule",
+    "RuleRegistry",
+    "registry",
+]
 
 
 class ModuleContext:
@@ -101,30 +108,66 @@ class Rule:
         raise NotImplementedError  # pragma: no cover
 
 
+class ProjectRule:
+    """Base class for one *cross-module* rule.
+
+    Project rules run once per lint invocation, after the per-file pass,
+    against the whole-program :class:`~repro.devtools.graph.ProjectGraph`.
+    :meth:`check_project` yields ``(path, line, col, message)`` tuples;
+    the engine turns them into :class:`Finding` objects and applies the
+    same inline-suppression and baseline machinery as per-file rules.
+    """
+
+    code: str = ""
+    summary: str = ""
+    severity: Severity = Severity.ERROR
+
+    def check_project(
+        self, graph: "object"
+    ) -> Iterator[tuple[str, int, int, str]]:
+        raise NotImplementedError  # pragma: no cover
+
+
 class RuleRegistry:
     """The set of known rules plus the node-type dispatch table."""
 
     def __init__(self) -> None:
         self._rules: dict[str, Rule] = {}
         self._dispatch: dict[type[ast.AST], list[Rule]] = {}
+        self._project_rules: dict[str, ProjectRule] = {}
 
     def register(self, rule_cls: type[Rule]) -> type[Rule]:
         """Class decorator: instantiate and index a rule."""
         rule = rule_cls()
         if not rule.code or not rule.node_types:
             raise ValueError(f"rule {rule_cls.__name__} needs a code and node_types")
-        if rule.code in self._rules:
+        if rule.code in self._rules or rule.code in self._project_rules:
             raise ValueError(f"duplicate rule code {rule.code}")
         self._rules[rule.code] = rule
         for node_type in rule.node_types:
             self._dispatch.setdefault(node_type, []).append(rule)
         return rule_cls
 
+    def register_project(self, rule_cls: type[ProjectRule]) -> type[ProjectRule]:
+        """Class decorator: instantiate and index a cross-module rule."""
+        rule = rule_cls()
+        if not rule.code:
+            raise ValueError(f"rule {rule_cls.__name__} needs a code")
+        if rule.code in self._rules or rule.code in self._project_rules:
+            raise ValueError(f"duplicate rule code {rule.code}")
+        self._project_rules[rule.code] = rule
+        return rule_cls
+
     def rules(self) -> list[Rule]:
         return [self._rules[code] for code in sorted(self._rules)]
 
-    def get(self, code: str) -> Rule:
-        return self._rules[code]
+    def project_rules(self) -> list[ProjectRule]:
+        return [self._project_rules[code] for code in sorted(self._project_rules)]
+
+    def get(self, code: str) -> Rule | ProjectRule:
+        if code in self._rules:
+            return self._rules[code]
+        return self._project_rules[code]
 
     def rules_for(self, node_type: type[ast.AST]) -> list[Rule]:
         return self._dispatch.get(node_type, [])
@@ -272,13 +315,67 @@ class LintEngine:
 
     # -- trees ------------------------------------------------------------
 
-    def lint_paths(self, paths: Iterable[str | Path]) -> list[Finding]:
-        """Lint every ``.py`` file under the given files/directories."""
+    def lint_paths(
+        self, paths: Iterable[str | Path], project: bool = True
+    ) -> list[Finding]:
+        """Lint every ``.py`` file under the given files/directories.
+
+        With ``project=True`` (the default) the cross-module rules also
+        run, over a whole-program graph built from the ``repro`` source
+        files in the set — one extra pass total, shared by all of them.
+        """
         findings: list[Finding] = []
-        for file in collect_files(paths):
+        files = collect_files(paths)
+        for file in files:
             findings.extend(
                 self.lint_source(file.read_text(), file.as_posix())
             )
+        if project:
+            findings.extend(self._lint_project(files))
+            findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return findings
+
+    def _lint_project(self, files: Sequence[Path]) -> list[Finding]:
+        """Run the registered cross-module rules over the file set."""
+        from repro.devtools import graph as graphmod
+
+        if not self._registry.project_rules():
+            return []
+        if not any(graphmod.is_repro_source_path(file) for file in files):
+            return []
+        graph = graphmod.build_graph(files)
+        suppressions: dict[str, SuppressionIndex] = {}
+        source_lines: dict[str, list[str]] = {}
+
+        def load(path: str) -> None:
+            if path in suppressions:
+                return
+            try:
+                text = Path(path).read_text()
+            except OSError:
+                text = ""
+            suppressions[path] = SuppressionIndex(text)
+            source_lines[path] = text.splitlines()
+
+        findings: list[Finding] = []
+        for rule in self._registry.project_rules():
+            for path, line, col, message in rule.check_project(graph):
+                load(path)
+                if suppressions[path].is_suppressed(rule.code, line):
+                    continue
+                lines = source_lines[path]
+                text = lines[line - 1].strip() if 1 <= line <= len(lines) else ""
+                findings.append(
+                    Finding(
+                        rule=rule.code,
+                        path=path,
+                        line=line,
+                        col=col,
+                        message=message,
+                        severity=rule.severity,
+                        line_text=text,
+                    )
+                )
         return findings
 
 

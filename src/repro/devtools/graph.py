@@ -1,0 +1,861 @@
+"""Whole-program analysis: symbol table, import graph, and call graph.
+
+The per-file engine (:mod:`repro.devtools.engine`) sees one module at a
+time, so it cannot follow a callable through two call layers into the
+process pool, or notice a telemetry metric that `clustered.py` emits but
+``docs/TELEMETRY.md`` never documents.  This module builds the
+project-wide view those checks need, in **one AST pass per file**:
+
+- a **symbol table** — for every module under ``src/repro``, the
+  classes/functions it defines, its public surface, and its ``__all__``;
+- an **import graph** — which repro modules import which, resolved
+  through each file's alias table (the same resolution discipline the
+  engine uses, so ``import x as y`` cannot hide an edge);
+- a **call graph** — function-level edges, resolved through aliases and
+  re-exports (``from repro.telemetry import use_telemetry`` follows into
+  ``repro.telemetry.registry``), with conservative handling of methods
+  (``self.m()`` binds to the enclosing class; a bare callable passed as
+  an argument becomes an *indirect* edge) — over-approximation is the
+  right failure mode for safety rules like XPAR001.
+
+Alongside the graph proper, the single pass collects the cross-module
+facts the XTEL/XCFG/XDEAD rules query: metric name literals, process-pool
+submissions, ``argparse`` flag dests, ``StudyConfig``-shaped constructor
+keywords, dataclass fields, and the project-wide set of referenced names
+(spanning ``src``, ``tests``, ``benchmarks``, and ``examples``).
+
+Builds are cached per run, keyed on every involved file's
+``(path, mtime, size)``, so the lint CLI, the four cross-module rules,
+and ``python -m repro.devtools.graph`` share one pass.  The JSON and DOT
+exports are deterministic: sorted keys, relative paths, no timestamps.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = [
+    "ArgparseFlag",
+    "FunctionNode",
+    "MetricCall",
+    "ModuleNode",
+    "PoolSubmit",
+    "ProjectGraph",
+    "build_graph",
+    "main",
+    "module_name_for",
+]
+
+_METRIC_INSTRUMENTS = frozenset({"span", "timer", "counter", "gauge", "observe"})
+_POOL_METHODS = frozenset({"submit", "map"})
+_POOLISH_RECEIVERS = ("pool", "executor")
+_MUTATOR_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "add", "update", "setdefault", "pop",
+        "popitem", "remove", "discard", "clear", "appendleft", "extendleft",
+    }
+)
+_REFERENCE_TREES = ("src", "tests", "benchmarks", "examples")
+_RESOLVE_DEPTH = 10
+
+
+def module_name_for(path: str | Path) -> str:
+    """Dotted module name for a file; ``src/`` layouts anchor the package."""
+    parts = list(Path(path).parts)
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    if not parts:
+        return ""
+    parts[-1] = Path(parts[-1]).stem
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def is_repro_source_path(path: str | Path) -> bool:
+    """True for files that belong to the ``repro`` package proper."""
+    module = module_name_for(path)
+    return module == "repro" or module.startswith("repro.")
+
+
+def project_root_for(files: Sequence[Path]) -> Path:
+    """The directory holding ``src/`` for the given file set (or ``.``)."""
+    for file in files:
+        parts = file.parts
+        if "src" in parts:
+            index = parts.index("src")
+            return Path(*parts[:index]) if index else Path(".")
+    return Path(".")
+
+
+# ---------------------------------------------------------------------------
+# graph nodes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class MetricCall:
+    """One ``counter``/``gauge``/``timer``/``observe``/``span`` name literal.
+
+    F-string names have each interpolated field collapsed to ``*``
+    (``f"scans.era.{source.name}.records"`` becomes
+    ``scans.era.*.records``), matching the ``<placeholder>`` wildcards of
+    the documented catalog.
+    """
+
+    name: str
+    instrument: str
+    path: str
+    lineno: int
+    col: int
+
+
+@dataclass(frozen=True, slots=True)
+class PoolSubmit:
+    """A callable handed to a process pool's ``submit``/``map``."""
+
+    target: str | None  #: raw dotted spelling of the callable (None = lambda)
+    path: str
+    lineno: int
+    kind: str  #: "submit" or "map"
+
+
+@dataclass(frozen=True, slots=True)
+class ArgparseFlag:
+    """One ``add_argument`` call, reduced to its destination name."""
+
+    dest: str
+    path: str
+    lineno: int
+
+
+@dataclass(slots=True)
+class FunctionNode:
+    """One function or method in the project call graph."""
+
+    qualname: str  #: "repro.core.clustered._run_task", "repro.x.Cls.meth"
+    module: str
+    name: str
+    path: str
+    lineno: int
+    is_method: bool
+    #: raw call targets as spelled ("helper", "mod.attr.fn", "self.m").
+    raw_calls: list[str] = field(default_factory=list)
+    #: raw callable-valued arguments (become *indirect* call edges).
+    raw_indirect: list[str] = field(default_factory=list)
+    #: module globals this function rebinds via a ``global`` declaration.
+    global_writes: list[str] = field(default_factory=list)
+    #: module-level mutable bindings this function mutates in place.
+    container_writes: list[str] = field(default_factory=list)
+    #: resolved callee qualnames (filled by ProjectGraph._finalize).
+    calls: tuple[str, ...] = ()
+
+
+@dataclass(slots=True)
+class ModuleNode:
+    """Everything one pass learned about one ``repro`` module."""
+
+    name: str
+    path: str
+    imports: dict[str, str] = field(default_factory=dict)
+    imported_modules: set[str] = field(default_factory=set)
+    #: locally defined top-level classes/functions (and methods via ".").
+    definitions: set[str] = field(default_factory=set)
+    #: public module-level symbols: name -> lineno.
+    public: dict[str, int] = field(default_factory=dict)
+    all_exports: tuple[str, ...] = ()
+    #: class name -> ((field, lineno), ...) from annotated class bodies.
+    dataclass_fields: dict[str, tuple[tuple[str, int], ...]] = field(
+        default_factory=dict
+    )
+    #: module-level names bound to list/dict/set displays (mutable state).
+    mutable_globals: set[str] = field(default_factory=set)
+    metric_calls: list[MetricCall] = field(default_factory=list)
+    pool_submits: list[PoolSubmit] = field(default_factory=list)
+    argparse_flags: list[ArgparseFlag] = field(default_factory=list)
+    #: keyword names used in any call in this module (flag-threading check).
+    call_kwargs: set[str] = field(default_factory=set)
+    #: (kwarg, lineno) pairs of StudyConfig(...)/config.with_(...) calls.
+    config_kwargs: list[tuple[str, int]] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# the per-file pass
+# ---------------------------------------------------------------------------
+
+
+class _ModuleVisitor(ast.NodeVisitor):
+    """One pre-order walk collecting every graph fact for one module."""
+
+    def __init__(self, node: ModuleNode, functions: dict[str, FunctionNode]) -> None:
+        self.mod = node
+        self.functions = functions
+        self._class_stack: list[str] = []
+        self._func_stack: list[FunctionNode] = []
+        self._global_decls: list[set[str]] = []
+
+    # -- imports ----------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.mod.imports[alias.asname or alias.name.split(".")[0]] = (
+                alias.name if alias.asname else alias.name.split(".")[0]
+            )
+            if alias.name.split(".")[0] == "repro":
+                self.mod.imported_modules.add(alias.name)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        prefix = self._absolute_from(node)
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            target = f"{prefix}.{alias.name}" if prefix else alias.name
+            self.mod.imports[alias.asname or alias.name] = target
+        if prefix and prefix.split(".")[0] == "repro":
+            self.mod.imported_modules.add(prefix)
+
+    def _absolute_from(self, node: ast.ImportFrom) -> str:
+        if node.level == 0:
+            return node.module or ""
+        # Resolve "from .x import y" against this module's dotted name.
+        base = self.mod.name.split(".")
+        if not self.mod.path.endswith("__init__.py"):
+            base = base[:-1]
+        hops = node.level - 1
+        base = base[: len(base) - hops] if hops else base
+        return ".".join(base + ([node.module] if node.module else []))
+
+    # -- definitions ------------------------------------------------------
+
+    def _qualprefix(self) -> str:
+        parts = [self.mod.name, *self._class_stack]
+        if self._func_stack:
+            parts.append(self._func_stack[-1].name)
+        return ".".join(parts)
+
+    def _handle_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        is_method = bool(self._class_stack) and not self._func_stack
+        if not self._class_stack and not self._func_stack:
+            self.mod.definitions.add(node.name)
+            if not node.name.startswith("_") and not _registration_decorated(node):
+                self.mod.public.setdefault(node.name, node.lineno)
+        elif is_method:
+            self.mod.definitions.add(f"{self._class_stack[-1]}.{node.name}")
+        func = FunctionNode(
+            qualname=f"{self._qualprefix()}.{node.name}",
+            module=self.mod.name,
+            name=node.name,
+            path=self.mod.path,
+            lineno=node.lineno,
+            is_method=is_method,
+        )
+        self.functions.setdefault(func.qualname, func)
+        if self._func_stack:
+            # A nested function is conservatively callable from its parent.
+            self._func_stack[-1].raw_indirect.append(func.qualname)
+        for decorator in node.decorator_list:
+            self._record_call_target(decorator, indirect=True)
+        self._func_stack.append(func)
+        self._global_decls.append(set())
+        try:
+            for child in node.body:
+                self.visit(child)
+        finally:
+            self._func_stack.pop()
+            self._global_decls.pop()
+
+    visit_FunctionDef = _handle_function
+    visit_AsyncFunctionDef = _handle_function
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if not self._class_stack and not self._func_stack:
+            self.mod.definitions.add(node.name)
+            if not node.name.startswith("_") and not _registration_decorated(node):
+                self.mod.public.setdefault(node.name, node.lineno)
+        fields: list[tuple[str, int]] = []
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                fields.append((stmt.target.id, stmt.lineno))
+        if fields:
+            self.mod.dataclass_fields[node.name] = tuple(fields)
+        self._class_stack.append(node.name)
+        try:
+            self.generic_visit(node)
+        finally:
+            self._class_stack.pop()
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if not self._class_stack and not self._func_stack:
+            for target in node.targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if target.id == "__all__":
+                    self.mod.all_exports = tuple(
+                        element.value
+                        for element in ast.walk(node.value)
+                        if isinstance(element, ast.Constant)
+                        and isinstance(element.value, str)
+                    )
+                elif _is_mutable_display(node.value):
+                    self.mod.mutable_globals.add(target.id)
+        self._record_stores(node.targets)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record_stores([node.target])
+        self.generic_visit(node)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        if self._global_decls:
+            self._global_decls[-1].update(node.names)
+
+    def _record_stores(self, targets: Iterable[ast.expr]) -> None:
+        if not self._func_stack:
+            return
+        func = self._func_stack[-1]
+        declared = self._global_decls[-1] if self._global_decls else set()
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id in declared:
+                if target.id not in func.global_writes:
+                    func.global_writes.append(target.id)
+            elif isinstance(target, (ast.Subscript, ast.Attribute)) and isinstance(
+                target.value, ast.Name
+            ):
+                name = target.value.id
+                if name not in func.container_writes:
+                    func.container_writes.append(name)
+
+    # -- calls ------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        raw = _dotted(node.func)
+        self._record_call_target(node.func)
+        if isinstance(node.func, ast.Attribute):
+            terminal = node.func.attr
+        elif isinstance(node.func, ast.Name):
+            terminal = node.func.id
+        else:
+            terminal = None
+
+        if self._func_stack and isinstance(node.func, ast.Attribute):
+            receiver = node.func.value
+            if (
+                isinstance(receiver, ast.Name)
+                and node.func.attr in _MUTATOR_METHODS
+            ):
+                func = self._func_stack[-1]
+                if receiver.id not in func.container_writes:
+                    func.container_writes.append(receiver.id)
+
+        if terminal in _METRIC_INSTRUMENTS and node.args:
+            metric = _metric_literal(node.args[0])
+            if metric is not None:
+                self.mod.metric_calls.append(
+                    MetricCall(
+                        name=metric,
+                        instrument=terminal,
+                        path=self.mod.path,
+                        lineno=node.args[0].lineno,
+                        col=node.args[0].col_offset,
+                    )
+                )
+
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _POOL_METHODS
+            and _looks_like_pool(node.func)
+            and node.args
+        ):
+            self.mod.pool_submits.append(
+                PoolSubmit(
+                    target=_dotted(node.args[0]),
+                    path=self.mod.path,
+                    lineno=node.lineno,
+                    kind=node.func.attr,
+                )
+            )
+
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "add_argument":
+            flag = _argparse_dest(node)
+            if flag is not None:
+                self.mod.argparse_flags.append(
+                    ArgparseFlag(dest=flag, path=self.mod.path, lineno=node.lineno)
+                )
+
+        for keyword in node.keywords:
+            if keyword.arg is not None:
+                self.mod.call_kwargs.add(keyword.arg)
+        if _is_config_call(node.func, raw):
+            for keyword in node.keywords:
+                if keyword.arg is not None:
+                    self.mod.config_kwargs.append((keyword.arg, node.lineno))
+
+        # Callables passed as arguments become indirect call edges.
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            if isinstance(arg, (ast.Name, ast.Attribute)):
+                self._record_call_target(arg, indirect=True)
+        self.generic_visit(node)
+
+    def _record_call_target(self, expr: ast.expr, indirect: bool = False) -> None:
+        if not self._func_stack:
+            return
+        raw = _dotted(expr)
+        if raw is None:
+            return
+        func = self._func_stack[-1]
+        (func.raw_indirect if indirect else func.raw_calls).append(raw)
+
+
+def _registration_decorated(
+    node: ast.FunctionDef | ast.AsyncFunctionDef | ast.ClassDef,
+) -> bool:
+    """True for ``@registry.register``-style (attribute) decorators.
+
+    Registration decorators consume the definition — nothing ever spells
+    its name again, so dead-symbol analysis must not flag it.  Plain-name
+    transformers (``@dataclass``, ``@contextmanager``) leave the symbol
+    callable and are not exempt.
+    """
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Attribute):
+            return True
+    return False
+
+
+def _dotted(expr: ast.expr) -> str | None:
+    """``a.b.c`` spelling for Name/Attribute chains, else None."""
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _is_mutable_display(expr: ast.expr) -> bool:
+    if isinstance(expr, (ast.List, ast.Dict, ast.Set)):
+        return True
+    return (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Name)
+        and expr.func.id in {"list", "dict", "set", "defaultdict", "deque", "Counter"}
+    )
+
+
+def _metric_literal(expr: ast.expr) -> str | None:
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return expr.value
+    if isinstance(expr, ast.JoinedStr):
+        parts: list[str] = []
+        for value in expr.values:
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                parts.append(value.value)
+            else:
+                parts.append("*")
+        return "".join(parts)
+    return None
+
+
+def _looks_like_pool(func: ast.Attribute) -> bool:
+    if func.attr == "submit":
+        return True
+    receiver = func.value
+    if isinstance(receiver, ast.Name):
+        lowered = receiver.id.lower()
+    elif isinstance(receiver, ast.Attribute):
+        lowered = receiver.attr.lower()
+    else:
+        return False
+    return any(hint in lowered for hint in _POOLISH_RECEIVERS)
+
+
+def _argparse_dest(node: ast.Call) -> str | None:
+    for keyword in node.keywords:
+        if (
+            keyword.arg == "dest"
+            and isinstance(keyword.value, ast.Constant)
+            and isinstance(keyword.value.value, str)
+        ):
+            return keyword.value.value
+    flags = [
+        arg.value
+        for arg in node.args
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str)
+    ]
+    if not flags:
+        return None
+    for flag in flags:
+        if flag.startswith("--"):
+            return flag.lstrip("-").replace("-", "_")
+    return flags[0].lstrip("-").replace("-", "_")
+
+
+def _is_config_call(func: ast.expr, raw: str | None) -> bool:
+    if isinstance(func, ast.Attribute) and func.attr == "with_":
+        return True
+    return raw is not None and "StudyConfig" in raw.split(".")
+
+
+# ---------------------------------------------------------------------------
+# reference collection (for XDEAD001)
+# ---------------------------------------------------------------------------
+
+
+class _ReferenceVisitor(ast.NodeVisitor):
+    """Collect every name a file *uses* — not defines, imports, or exports.
+
+    Import aliases and ``__all__`` strings are deliberately excluded: a
+    symbol that is only re-exported but never actually used is still dead
+    surface.
+    """
+
+    def __init__(self) -> None:
+        self.names: set[str] = set()
+
+    def visit_Import(self, node: ast.Import) -> None:
+        pass
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        pass
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if any(
+            isinstance(target, ast.Name) and target.id == "__all__"
+            for target in node.targets
+        ):
+            return
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.names.add(node.id)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        self.names.add(node.attr)
+        self.generic_visit(node)
+
+    def visit_Constant(self, node: ast.Constant) -> None:
+        # getattr(obj, "symbol") and friends: identifier-shaped strings
+        # count as references, erring on the side of "not dead".
+        if isinstance(node.value, str) and node.value.isidentifier():
+            self.names.add(node.value)
+
+
+# ---------------------------------------------------------------------------
+# the graph
+# ---------------------------------------------------------------------------
+
+
+class ProjectGraph:
+    """The whole-program view: modules, functions, edges, references."""
+
+    def __init__(
+        self,
+        root: Path,
+        modules: dict[str, ModuleNode],
+        functions: dict[str, FunctionNode],
+        referenced_names: frozenset[str],
+        reference_paths: tuple[str, ...],
+    ) -> None:
+        self.root = root
+        self.modules = modules
+        self.functions = functions
+        self.referenced_names = referenced_names
+        self.reference_paths = reference_paths
+        self._finalize()
+
+    # -- resolution -------------------------------------------------------
+
+    def resolve(self, module: str, raw: str, _depth: int = 0) -> str | None:
+        """Resolve a raw dotted spelling in ``module`` to a function qualname.
+
+        Follows the module's alias table, then re-export chains through
+        package ``__init__`` modules (bounded depth, cycle-safe by the
+        bound).  Returns None for anything that is not a known project
+        function — unresolved receivers never create edges.
+        """
+        if _depth > _RESOLVE_DEPTH:
+            return None
+        mod = self.modules.get(module)
+        if mod is None:
+            return None
+        head, _, rest = raw.partition(".")
+        if head == "self":
+            return None  # handled by the caller, which knows the class
+        if raw in self.functions:
+            return raw
+        local = f"{module}.{raw}"
+        if local in self.functions:
+            return local
+        if head in mod.imports:
+            target = mod.imports[head] + (f".{rest}" if rest else "")
+            return self._resolve_absolute(target, _depth + 1)
+        return None
+
+    def _resolve_absolute(self, dotted: str, _depth: int) -> str | None:
+        if _depth > _RESOLVE_DEPTH:
+            return None
+        if dotted in self.functions:
+            return dotted
+        # Longest known-module prefix, then chase that module's aliases.
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:cut])
+            if prefix in self.modules:
+                remainder = ".".join(parts[cut:])
+                resolved = self.resolve(prefix, remainder, _depth + 1)
+                if resolved is not None:
+                    return resolved
+                candidate = f"{prefix}.{remainder}"
+                return candidate if candidate in self.functions else None
+        return None
+
+    def _resolve_in_function(self, func: FunctionNode, raw: str) -> str | None:
+        if raw.startswith("self.") and func.is_method:
+            # Conservative method binding: self.m() targets the enclosing
+            # class's method when it exists.
+            cls_qual = func.qualname.rsplit(".", 1)[0]
+            candidate = f"{cls_qual}.{raw[len('self.'):]}"
+            if candidate in self.functions:
+                return candidate
+            return None
+        if raw in self.functions:  # pre-resolved (nested-function edges)
+            return raw
+        return self.resolve(func.module, raw)
+
+    def _finalize(self) -> None:
+        for func in self.functions.values():
+            resolved: list[str] = []
+            for raw in func.raw_calls + func.raw_indirect:
+                target = self._resolve_in_function(func, raw)
+                if target is not None and target != func.qualname:
+                    resolved.append(target)
+            func.calls = tuple(sorted(set(resolved)))
+
+    # -- queries ----------------------------------------------------------
+
+    def reachable_from(self, roots: Iterable[str]) -> set[str]:
+        """Call-graph closure (roots included) over resolved edges."""
+        seen: set[str] = set()
+        stack = [root for root in roots if root in self.functions]
+        while stack:
+            qualname = stack.pop()
+            if qualname in seen:
+                continue
+            seen.add(qualname)
+            stack.extend(self.functions[qualname].calls)
+        return seen
+
+    def pool_entry_points(self) -> dict[str, PoolSubmit]:
+        """Resolved qualname -> the submission site that ships it."""
+        entries: dict[str, PoolSubmit] = {}
+        for module in self.modules.values():
+            for submit in module.pool_submits:
+                if submit.target is None:
+                    continue
+                resolved = self.resolve(module.name, submit.target)
+                if resolved is not None:
+                    entries.setdefault(resolved, submit)
+        return entries
+
+    def import_edges(self) -> dict[str, tuple[str, ...]]:
+        return {
+            name: tuple(sorted(m for m in module.imported_modules if m in self.modules))
+            for name, module in sorted(self.modules.items())
+        }
+
+    def metric_calls(self) -> list[MetricCall]:
+        out: list[MetricCall] = []
+        for _, module in sorted(self.modules.items()):
+            out.extend(module.metric_calls)
+        return out
+
+    # -- export -----------------------------------------------------------
+
+    def to_payload(self) -> dict[str, object]:
+        """Deterministic JSON-ready dump of the whole graph."""
+        return {
+            "schema_version": 1,
+            "root": ".",
+            "modules": {
+                name: {
+                    "path": module.path,
+                    "imports": sorted(
+                        m for m in module.imported_modules if m in self.modules
+                    ),
+                    "public": sorted(module.public),
+                    "exports": sorted(module.all_exports),
+                    "definitions": sorted(module.definitions),
+                }
+                for name, module in sorted(self.modules.items())
+            },
+            "call_graph": {
+                qualname: sorted(func.calls)
+                for qualname, func in sorted(self.functions.items())
+                if func.calls
+            },
+            "pool_entry_points": sorted(self.pool_entry_points()),
+            "metrics": sorted(
+                {call.name for call in self.metric_calls()}
+            ),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_payload(), indent=2, sort_keys=True)
+
+    def to_dot(self, kind: str = "imports") -> str:
+        """GraphViz DOT text for the import graph or the call graph."""
+        lines = [f"digraph repro_{kind} {{", "  rankdir=LR;", "  node [shape=box];"]
+        if kind == "imports":
+            for name, targets in self.import_edges().items():
+                lines.append(f'  "{name}";')
+                for target in targets:
+                    lines.append(f'  "{name}" -> "{target}";')
+        else:
+            for qualname, func in sorted(self.functions.items()):
+                for callee in sorted(func.calls):
+                    lines.append(f'  "{qualname}" -> "{callee}";')
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# building + caching
+# ---------------------------------------------------------------------------
+
+_CACHE: dict[tuple[tuple[str, int, int], ...], ProjectGraph] = {}
+
+
+def _signature(files: Iterable[Path]) -> tuple[tuple[str, int, int], ...]:
+    out = []
+    for file in sorted(files):
+        try:
+            stat = file.stat()
+            out.append((file.as_posix(), stat.st_mtime_ns, stat.st_size))
+        except OSError:
+            out.append((file.as_posix(), -1, -1))
+    return tuple(out)
+
+
+def _reference_files(root: Path) -> list[Path]:
+    files: list[Path] = []
+    for tree in _REFERENCE_TREES:
+        base = root / tree
+        if base.is_dir():
+            files.extend(
+                candidate
+                for candidate in base.rglob("*.py")
+                if "__pycache__" not in candidate.parts
+            )
+    return sorted(files)
+
+
+def build_graph(files: Sequence[str | Path], root: Path | None = None) -> ProjectGraph:
+    """Build (or fetch from the per-run cache) the project graph.
+
+    ``files`` are the repro source files to model; the reference universe
+    for dead-symbol analysis is always the full ``src``/``tests``/
+    ``benchmarks``/``examples`` trees under ``root`` (derived from the
+    file paths when not given).
+    """
+    source_files = sorted(
+        {Path(f) for f in files if is_repro_source_path(f)}
+    )
+    if root is None:
+        root = project_root_for(source_files)
+    reference_files = _reference_files(root) or source_files
+    key = (_signature(source_files), _signature(reference_files))
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    modules: dict[str, ModuleNode] = {}
+    functions: dict[str, FunctionNode] = {}
+    for file in source_files:
+        path = file.as_posix()
+        try:
+            tree = ast.parse(file.read_text(), filename=path)
+        except (OSError, SyntaxError):
+            continue  # the per-file engine reports parse failures
+        node = ModuleNode(name=module_name_for(path), path=path)
+        _ModuleVisitor(node, functions).visit(tree)
+        modules[node.name] = node
+
+    referenced: set[str] = set()
+    reference_paths: list[str] = []
+    for file in reference_files:
+        try:
+            tree = ast.parse(file.read_text(), filename=file.as_posix())
+        except (OSError, SyntaxError):
+            continue
+        visitor = _ReferenceVisitor()
+        visitor.visit(tree)
+        referenced.update(visitor.names)
+        reference_paths.append(file.as_posix())
+
+    graph = ProjectGraph(
+        root=root,
+        modules=modules,
+        functions=functions,
+        referenced_names=frozenset(referenced),
+        reference_paths=tuple(reference_paths),
+    )
+    _CACHE.clear()  # keep at most the latest build
+    _CACHE[key] = graph
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# CLI: python -m repro.devtools.graph
+# ---------------------------------------------------------------------------
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    import argparse as _argparse
+
+    parser = _argparse.ArgumentParser(
+        prog="python -m repro.devtools.graph",
+        description="Export the repro whole-program import/call graph.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to model (default: src)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the full graph as JSON (default)"
+    )
+    parser.add_argument(
+        "--dot",
+        choices=("imports", "calls"),
+        default=None,
+        metavar="KIND",
+        help="emit GraphViz DOT for the import or call graph instead",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH", help="write to PATH instead of stdout"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.devtools.engine import collect_files
+
+    graph = build_graph(collect_files(args.paths))
+    text = graph.to_dot(args.dot) if args.dot else graph.to_json() + "\n"
+    if args.out:
+        Path(args.out).write_text(text)
+    else:
+        print(text, end="")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -4,13 +4,17 @@ Usage::
 
     python -m repro.devtools.lint [paths ...]
         [--format text|json] [--baseline FILE] [--write-baseline]
-        [--list-rules]
+        [--update-baseline] [--no-project] [--list-rules]
 
 Exit codes: 0 = clean (every finding suppressed or baselined), 1 = new
 findings, 2 = bad invocation.  ``--write-baseline`` snapshots the current
 findings into the baseline file (with TODO justifications for a human to
 fill in) and exits 0 — the workflow for adopting a new rule over existing
-code.
+code.  ``--update-baseline`` regenerates the file in place while
+*preserving* existing justifications (migrating them across line-text
+drift), and refuses — exit 2 — when an entry would lose one.
+``--no-project`` skips the cross-module rules (XPAR/XTEL/XCFG/XDEAD),
+which need the whole-program graph of :mod:`repro.devtools.graph`.
 """
 
 from __future__ import annotations
@@ -25,7 +29,7 @@ from repro.devtools.engine import LintEngine, registry
 
 __all__ = ["main"]
 
-DEFAULT_PATHS = ("src", "tests")
+DEFAULT_PATHS = ("src", "tests", "benchmarks", "examples")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -62,6 +66,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="snapshot current findings into the baseline file and exit 0",
     )
     parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="regenerate the baseline in place, preserving existing "
+        "justifications; errors if an entry would lose one",
+    )
+    parser.add_argument(
+        "--no-project",
+        action="store_true",
+        help="skip the cross-module (whole-program graph) rules",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalog and exit",
@@ -70,7 +85,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _list_rules() -> None:
-    engine_rules = registry.rules()
+    engine_rules = [*registry.rules(), *registry.project_rules()]
+    engine_rules.sort(key=lambda rule: rule.code)
     width = max(len(rule.code) for rule in engine_rules)
     for rule in engine_rules:
         print(f"{rule.code:<{width}}  [{rule.severity.value:<7}]  {rule.summary}")
@@ -84,7 +100,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         _list_rules()
         return 0
 
-    findings = engine.lint_paths(args.paths)
+    findings = engine.lint_paths(args.paths, project=not args.no_project)
 
     if args.write_baseline:
         Baseline.from_findings(findings).write(args.baseline)
@@ -99,6 +115,25 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    if args.update_baseline:
+        refreshed, unresolved = baseline.refreshed(findings)
+        if unresolved:
+            print(
+                "error: refusing to update the baseline — these entries "
+                "would lose their justification (write them by hand, or use "
+                "--write-baseline and fill in the TODOs):",
+                file=sys.stderr,
+            )
+            for rule, path, line_text in unresolved:
+                print(f"  {rule} {path}: {line_text!r}", file=sys.stderr)
+            return 2
+        refreshed.write(args.baseline)
+        print(
+            f"updated {args.baseline}: {len(refreshed)} allowance(s), "
+            "justifications preserved"
+        )
+        return 0
 
     new = baseline.filter_new(findings)
     stale = baseline.stale_entries(findings)

@@ -37,6 +37,14 @@ from repro.numt.arith import (
     is_perfect_power,
     modinv,
 )
+from repro.numt.backend import (
+    BigIntBackend,
+    available_backends,
+    get_backend,
+    resolve_backend,
+    set_backend,
+    use_backend,
+)
 from repro.numt.primality import (
     is_probable_prime,
     next_prime,
@@ -46,14 +54,6 @@ from repro.numt.sieve import (
     first_n_primes,
     primes_below,
     smallest_factor_below,
-)
-from repro.numt.backend import (
-    BigIntBackend,
-    available_backends,
-    get_backend,
-    resolve_backend,
-    set_backend,
-    use_backend,
 )
 from repro.numt.smooth import smooth_part, trial_factor
 from repro.numt.trees import (

@@ -24,7 +24,7 @@ from repro.devices.models import (
 )
 from repro.devices.population import IpAllocator, ModelPopulation
 from repro.entropy.keygen import WeakKeyFactory
-from repro.timeline import Month, STUDY_END, STUDY_START
+from repro.timeline import STUDY_END, STUDY_START, Month
 
 __all__ = [
     "BACKGROUND_MODEL",

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.devices.population import DivisorLimits
 from repro.numt.sieve import first_n_primes
-from repro.timeline import Month, STUDY_END, STUDY_START
+from repro.timeline import STUDY_END, STUDY_START, Month
 
 __all__ = ["StudyConfig"]
 

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 
 from repro.crypto.certs import Certificate
 from repro.crypto.rsa import RsaPrivateKey
-from repro.tls.suites import CipherSuite, DHE_GENERATOR, DHE_PRIME
+from repro.tls.suites import DHE_GENERATOR, DHE_PRIME, CipherSuite
 
 __all__ = [
     "HandshakeFailure",

@@ -3,7 +3,7 @@
 import random
 from datetime import date
 
-from repro.analysis.timeseries import VendorSeries, SeriesPoint, build_series
+from repro.analysis.timeseries import SeriesPoint, VendorSeries, build_series
 from repro.crypto.certs import DistinguishedName, self_signed_certificate
 from repro.crypto.rsa import generate_rsa_keypair
 from repro.scans.records import CertificateStore, ScanSnapshot

@@ -172,9 +172,8 @@ class TestTaskGraph:
         # every task (k**2 builds); streaming builds each exactly once.
         telemetry = Telemetry()
         engine = ClusteredBatchGcd(k=4, scheduler="streaming")
-        with use_telemetry(telemetry):
-            with telemetry.span("batch_gcd"):
-                engine.run(corpus)
+        with use_telemetry(telemetry), telemetry.span("batch_gcd"):
+            engine.run(corpus)
         report = telemetry.report()
         products = report.find_span("batch_gcd.products")
         builds = [
@@ -198,9 +197,8 @@ class TestTaskGraph:
     def test_fanout_rebuilds_trees_per_task(self, corpus):
         telemetry = Telemetry()
         engine = ClusteredBatchGcd(k=3, scheduler="fanout")
-        with use_telemetry(telemetry):
-            with telemetry.span("batch_gcd"):
-                engine.run(corpus)
+        with use_telemetry(telemetry), telemetry.span("batch_gcd"):
+            engine.run(corpus)
         report = telemetry.report()
         assert report.find_span("batch_gcd.subset_tree") is None
         task = report.find_span("batch_gcd.task")
@@ -216,9 +214,8 @@ class TestTaskGraph:
         # dozen bytes per task) while the broadcast holds the corpus.
         telemetry = Telemetry()
         engine = ClusteredBatchGcd(k=4, processes=2, scheduler="streaming")
-        with use_telemetry(telemetry):
-            with telemetry.span("batch_gcd"):
-                engine.run(corpus)
+        with use_telemetry(telemetry), telemetry.span("batch_gcd"):
+            engine.run(corpus)
         stats = engine.last_stats
         report = telemetry.report()
         assert stats.ipc_broadcast_bytes > 0

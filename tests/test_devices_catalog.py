@@ -1,15 +1,18 @@
 """Invariant tests over the calibrated device catalog."""
 
-from repro.devices.catalog import DEVICE_CATALOG, models_for_vendor
+from repro.devices.catalog import DEVICE_CATALOG, catalog_models, models_for_vendor
 from repro.devices.models import KeygenKind
 from repro.devices.vendors import VENDORS
-from repro.timeline import HEARTBLEED, Month, STUDY_END, STUDY_START
+from repro.timeline import HEARTBLEED, STUDY_END, STUDY_START, Month
 
 
 class TestCatalogIntegrity:
     def test_model_ids_unique(self):
         ids = [m.model_id for m in DEVICE_CATALOG]
         assert len(ids) == len(set(ids))
+
+    def test_catalog_models_accessor_returns_full_catalog(self):
+        assert catalog_models() == DEVICE_CATALOG
 
     def test_every_vendor_registered(self):
         for model in DEVICE_CATALOG:

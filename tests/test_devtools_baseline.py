@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.devtools import Baseline, Finding, Severity
+from repro.devtools.engine import LintEngine
 from repro.devtools.suppress import SuppressionIndex
 
 
@@ -97,6 +98,61 @@ class TestBaselinePersistence:
             Baseline.load(path)
 
 
+class TestBaselineRefreshed:
+    def test_exact_match_preserves_justification(self):
+        baseline = Baseline.from_findings([make_finding()], justification="because")
+        refreshed, unresolved = baseline.refreshed([make_finding()])
+        assert unresolved == []
+        assert refreshed.to_payload()["entries"][0]["justification"] == "because"
+
+    def test_drifted_line_text_migrates_unique_justification(self):
+        baseline = Baseline.from_findings(
+            [make_finding(text="old text")], justification="because"
+        )
+        refreshed, unresolved = baseline.refreshed([make_finding(text="new text")])
+        assert unresolved == []
+        entry = refreshed.to_payload()["entries"][0]
+        assert entry["line_text"] == "new text"
+        assert entry["justification"] == "because"
+
+    def test_brand_new_finding_is_unresolved(self):
+        baseline = Baseline.from_findings([make_finding()], justification="because")
+        fresh = make_finding(rule="NUM001", text="y = g()")
+        refreshed, unresolved = baseline.refreshed([make_finding(), fresh])
+        assert unresolved == [fresh.key()]
+        # the exact match still carries its justification over
+        entries = {
+            entry["rule"]: entry["justification"]
+            for entry in refreshed.to_payload()["entries"]
+        }
+        assert entries["DET001"] == "because"
+
+    def test_ambiguous_drift_is_unresolved(self):
+        baseline = Baseline.from_findings(
+            [make_finding(text="old one"), make_finding(text="old two")],
+            justification="because",
+        )
+        drifted = make_finding(text="new text")
+        _, unresolved = baseline.refreshed([drifted])
+        assert unresolved == [drifted.key()]
+
+    def test_fixed_findings_are_dropped(self):
+        baseline = Baseline.from_findings(
+            [make_finding(), make_finding(rule="NUM001")], justification="because"
+        )
+        refreshed, unresolved = baseline.refreshed([make_finding()])
+        assert unresolved == []
+        assert len(refreshed) == 1
+
+    def test_count_shrink_updates_allowance(self):
+        baseline = Baseline.from_findings(
+            [make_finding()] * 3, justification="because"
+        )
+        refreshed, unresolved = baseline.refreshed([make_finding()])
+        assert unresolved == []
+        assert refreshed.to_payload()["entries"][0]["count"] == 1
+
+
 class TestSuppressionIndex:
     def test_trailing_comment(self):
         index = SuppressionIndex("x = 1\ny = f()  # reprolint: disable=DET001\n")
@@ -122,3 +178,43 @@ class TestSuppressionIndex:
         buried = "x = 1\n" * 20 + "# reprolint: skip-file\n"
         assert SuppressionIndex(near_top).skip_file
         assert not SuppressionIndex(buried).skip_file
+
+    def test_unknown_rule_name_is_inert_for_real_rules(self):
+        index = SuppressionIndex("y = f()  # reprolint: disable=NOPE999\n")
+        assert index.is_suppressed("NOPE999", 1)
+        assert not index.is_suppressed("DET001", 1)
+
+
+class TestSuppressionThroughEngine:
+    """Suppressions as the lint engine and the baseline actually apply them."""
+
+    VIOLATING = "value = random.random() + time.time()"
+
+    def lint(self, line):
+        source = f"import random\nimport time\n\n\ndef f():\n    {line}\n"
+        return LintEngine().lint_source(source, "src/repro/m.py")
+
+    def test_one_line_raises_two_rules_unsuppressed(self):
+        assert {f.rule for f in self.lint(self.VIOLATING)} == {"DET001", "DET002"}
+
+    def test_multi_rule_disable_silences_both(self):
+        line = f"{self.VIOLATING}  # reprolint: disable=DET001,DET002"
+        assert self.lint(line) == []
+
+    def test_partial_disable_leaves_the_other_rule(self):
+        line = f"{self.VIOLATING}  # reprolint: disable=DET001"
+        assert {f.rule for f in self.lint(line)} == {"DET002"}
+
+    def test_unknown_rule_suppresses_nothing(self):
+        line = f"{self.VIOLATING}  # reprolint: disable=NOPE999"
+        assert {f.rule for f in self.lint(line)} == {"DET001", "DET002"}
+
+    def test_baseline_misses_suppressed_then_edited_line(self):
+        """A baselined line whose text drifts resurfaces as a new finding."""
+        original = self.lint(self.VIOLATING)
+        baseline = Baseline.from_findings(original, justification="legacy")
+        edited = self.lint("value = random.random() + time.time() + 1")
+        assert baseline.filter_new(edited) == edited
+        # and --update-baseline would migrate rather than silently rewrite
+        _, unresolved = baseline.refreshed(edited)
+        assert unresolved == []

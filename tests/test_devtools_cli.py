@@ -85,6 +85,58 @@ class TestBaselineWorkflow:
         assert "stale" in capsys.readouterr().out
 
 
+def seed_baseline(tree, justification="ambient RNG predates reprolint"):
+    """A baseline grandfathering VIOLATION, with a human justification."""
+    write(tree, "src/repro/bad.py", VIOLATION)
+    main(["src", "--write-baseline"])
+    payload = json.loads((tree / "reprolint-baseline.json").read_text())
+    for entry in payload["entries"]:
+        entry["justification"] = justification
+    write(tree, "reprolint-baseline.json", json.dumps(payload))
+    return payload
+
+
+class TestUpdateBaseline:
+    def test_prunes_fixed_entry_and_keeps_justifications(self, tree, capsys):
+        write(tree, "src/repro/worse.py", "import time\nstamp = time.time()\n")
+        seed_baseline(tree)  # grandfathers both files, with justifications
+        write(tree, "src/repro/worse.py", CLEAN)  # fix one of them
+        assert main(["src", "--update-baseline"]) == 0
+        assert "justifications preserved" in capsys.readouterr().out
+        payload = json.loads((tree / "reprolint-baseline.json").read_text())
+        assert len(payload["entries"]) == 1
+        assert payload["entries"][0]["justification"] == (
+            "ambient RNG predates reprolint"
+        )
+
+    def test_migrates_justification_across_line_drift(self, tree, capsys):
+        seed_baseline(tree)
+        write(
+            tree,
+            "src/repro/bad.py",
+            "import random\n\nrng = random.Random()  # tweaked\n",
+        )
+        assert main(["src"]) == 1  # line text drifted: finding resurfaces
+        capsys.readouterr()
+        assert main(["src", "--update-baseline"]) == 0
+        payload = json.loads((tree / "reprolint-baseline.json").read_text())
+        (entry,) = payload["entries"]
+        assert entry["line_text"] == "rng = random.Random()  # tweaked"
+        assert entry["justification"] == "ambient RNG predates reprolint"
+        assert main(["src"]) == 0  # green again, rationale intact
+
+    def test_refuses_when_entry_would_lose_justification(self, tree, capsys):
+        seed_baseline(tree)
+        before = (tree / "reprolint-baseline.json").read_text()
+        write(tree, "src/repro/worse.py", "import time\nstamp = time.time()\n")
+        assert main(["src", "--update-baseline"]) == 2
+        err = capsys.readouterr().err
+        assert "would lose their justification" in err
+        assert "DET002" in err
+        # refused: the committed baseline is untouched
+        assert (tree / "reprolint-baseline.json").read_text() == before
+
+
 class TestOutputFormats:
     def test_json_format(self, tree, capsys):
         write(tree, "src/repro/bad.py", VIOLATION)
@@ -101,10 +153,25 @@ class TestOutputFormats:
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for code in ("DET001", "DET002", "DET003", "TEL001", "TEL002",
-                     "PAR001", "PAR002", "NUM001"):
+                     "PAR001", "PAR002", "NUM001",
+                     "XPAR001", "XTEL001", "XCFG001", "XDEAD001"):
             assert code in out
 
-    def test_default_paths_lint_src_and_tests(self, tree):
+    def test_default_paths_cover_all_four_trees(self, tree):
         write(tree, "src/repro/clean.py", CLEAN)
         write(tree, "tests/test_ok.py", CLEAN)
+        write(tree, "benchmarks/bench_ok.py", CLEAN)
+        write(tree, "examples/example_ok.py", CLEAN)
         assert main([]) == 0
+        write(tree, "benchmarks/bench_bad.py", VIOLATION)
+        assert main([]) == 1
+
+    def test_no_project_skips_cross_module_rules(self, tree, capsys):
+        write(
+            tree,
+            "src/repro/extra.py",
+            "def unused_helper():\n    return 1\n",
+        )
+        assert main(["src"]) == 1
+        assert "XDEAD001" in capsys.readouterr().out
+        assert main(["src", "--no-project"]) == 0

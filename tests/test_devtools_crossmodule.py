@@ -1,0 +1,416 @@
+"""Planted-violation and clean fixtures for the cross-module X rules.
+
+Each rule gets at least one scratch tree where the violation fires and a
+matching clean tree where it does not, exercised through the real
+``LintEngine`` so suppression and finding plumbing are covered too.
+"""
+
+import textwrap
+
+from repro.devtools.engine import LintEngine
+
+
+def write(root, relative, content):
+    path = root / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(content))
+    return path
+
+
+def lint(tmp_path, monkeypatch, *paths):
+    monkeypatch.chdir(tmp_path)
+    return LintEngine().lint_paths(list(paths) or ["src"])
+
+
+def only(findings, rule):
+    return [finding for finding in findings if finding.rule == rule]
+
+
+class TestProcessBoundaryMutation:
+    def test_fires_on_container_mutation_reachable_from_pool_map(
+        self, tmp_path, monkeypatch
+    ):
+        write(
+            tmp_path,
+            "src/repro/work.py",
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            _CACHE = {}
+
+            def _helper(n):
+                _CACHE[n] = n * n
+                return _CACHE[n]
+
+            def task(n):
+                return _helper(n)
+
+            def run(values):
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(task, values))
+            """,
+        )
+        findings = only(lint(tmp_path, monkeypatch), "XPAR001")
+        assert len(findings) == 1
+        assert findings[0].path == "src/repro/work.py"
+        assert "'repro.work._helper'" in findings[0].message
+        assert "'_CACHE'" in findings[0].message
+        assert "repro.work.task" in findings[0].message
+
+    def test_fires_on_transitive_global_rebind(self, tmp_path, monkeypatch):
+        write(
+            tmp_path,
+            "src/repro/work.py",
+            """
+            _MODE = "fast"
+
+            def _set_mode(mode):
+                global _MODE
+                _MODE = mode
+
+            def task(n):
+                _set_mode("slow")
+                return n
+
+            def run(pool, values):
+                return [pool.submit(task, value) for value in values]
+            """,
+        )
+        findings = only(lint(tmp_path, monkeypatch), "XPAR001")
+        assert len(findings) == 1
+        assert "'repro.work._set_mode'" in findings[0].message
+        assert "'_MODE'" in findings[0].message
+
+    def test_clean_when_state_stays_worker_local(self, tmp_path, monkeypatch):
+        write(
+            tmp_path,
+            "src/repro/work.py",
+            """
+            def task(n):
+                cache = {}
+                cache[n] = n * n
+                return cache[n]
+
+            def run(pool, values):
+                return [pool.submit(task, value) for value in values]
+            """,
+        )
+        assert only(lint(tmp_path, monkeypatch), "XPAR001") == []
+
+    def test_pool_initializer_pattern_is_blessed(self, tmp_path, monkeypatch):
+        write(
+            tmp_path,
+            "src/repro/work.py",
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            _BACKEND = None
+
+            def _pool_init(backend):
+                global _BACKEND
+                _BACKEND = backend
+
+            def task(n):
+                return (_BACKEND, n)
+
+            def run(values):
+                with ProcessPoolExecutor(initializer=_pool_init) as pool:
+                    return list(pool.map(task, values))
+            """,
+        )
+        assert only(lint(tmp_path, monkeypatch), "XPAR001") == []
+
+    def test_inline_suppression_covers_project_findings(
+        self, tmp_path, monkeypatch
+    ):
+        write(
+            tmp_path,
+            "src/repro/work.py",
+            """
+            _MODE = "fast"
+
+            def _set_mode(mode):  # reprolint: disable=XPAR001
+                global _MODE
+                _MODE = mode
+
+            def task(n):
+                _set_mode("slow")
+                return n
+
+            def run(pool, values):
+                return [pool.submit(task, value) for value in values]
+            """,
+        )
+        assert only(lint(tmp_path, monkeypatch), "XPAR001") == []
+
+
+TELEMETRY_DOC = """\
+# Telemetry
+
+<!-- metric-catalog:begin -->
+| Name | Kind | Emitted by |
+| --- | --- | --- |
+| `stage.count` | counter | met.py |
+| `scans.era.<source-name>.records` | counter | met.py |
+<!-- metric-catalog:end -->
+"""
+
+
+class TestTelemetryContractDrift:
+    def test_fires_both_directions(self, tmp_path, monkeypatch):
+        write(tmp_path, "docs/TELEMETRY.md", TELEMETRY_DOC)
+        write(
+            tmp_path,
+            "src/repro/met.py",
+            """
+            def record(telemetry, name):
+                telemetry.counter("stage.count", 1)
+                telemetry.counter("rogue.metric", 1)
+            """,
+        )
+        findings = only(lint(tmp_path, monkeypatch), "XTEL001")
+        assert len(findings) == 2
+        undocumented = [f for f in findings if "rogue.metric" in f.message]
+        assert len(undocumented) == 1
+        assert undocumented[0].path == "src/repro/met.py"
+        unemitted = [f for f in findings if "emitted nowhere" in f.message]
+        assert len(unemitted) == 1
+        assert unemitted[0].path.endswith("docs/TELEMETRY.md")
+        assert "scans.era.<source-name>.records" in unemitted[0].message
+
+    def test_clean_with_wildcard_fstring_match(self, tmp_path, monkeypatch):
+        write(tmp_path, "docs/TELEMETRY.md", TELEMETRY_DOC)
+        write(
+            tmp_path,
+            "src/repro/met.py",
+            """
+            def record(telemetry, name):
+                telemetry.counter("stage.count", 1)
+                telemetry.counter(f"scans.era.{name}.records", 1)
+            """,
+        )
+        assert only(lint(tmp_path, monkeypatch), "XTEL001") == []
+
+    def test_silent_without_contract_doc(self, tmp_path, monkeypatch):
+        write(
+            tmp_path,
+            "src/repro/met.py",
+            """
+            def record(telemetry):
+                telemetry.counter("rogue.metric", 1)
+            """,
+        )
+        assert only(lint(tmp_path, monkeypatch), "XTEL001") == []
+
+
+STUDYCONFIG = """
+class StudyConfig:
+    seed: int = 2016
+    batchgcd_k: int = 16
+"""
+
+
+class TestStudyConfigCliDrift:
+    def test_fires_on_stale_config_kwarg(self, tmp_path, monkeypatch):
+        write(tmp_path, "src/repro/studyconfig.py", STUDYCONFIG)
+        write(
+            tmp_path,
+            "src/repro/cli.py",
+            """
+            import argparse
+
+            def main():
+                parser = argparse.ArgumentParser()
+                parser.add_argument("--seed", type=int)
+                parser.add_argument("--batchgcd-k", type=int)
+                args = parser.parse_args()
+                config = build()
+                config = config.with_(seed=args.seed)
+                config = config.with_(batchgcd_k=args.batchgcd_k)
+                return config.with_(world_scale=3)
+            """,
+        )
+        findings = only(lint(tmp_path, monkeypatch), "XCFG001")
+        assert len(findings) == 1
+        assert findings[0].path == "src/repro/cli.py"
+        assert "'world_scale' is not a StudyConfig field" in findings[0].message
+
+    def test_fires_on_parsed_but_unapplied_flag(self, tmp_path, monkeypatch):
+        write(tmp_path, "src/repro/studyconfig.py", STUDYCONFIG)
+        write(
+            tmp_path,
+            "src/repro/cli.py",
+            """
+            import argparse
+
+            def main():
+                parser = argparse.ArgumentParser()
+                parser.add_argument("--seed", type=int)
+                parser.add_argument("--batchgcd-k", type=int)
+                args = parser.parse_args()
+                config = build()
+                return config.with_(batchgcd_k=args.batchgcd_k)
+            """,
+        )
+        findings = only(lint(tmp_path, monkeypatch), "XCFG001")
+        assert len(findings) == 1
+        assert "'--seed'" in findings[0].message
+        assert "silently dropped" in findings[0].message
+
+    def test_fires_on_unexposed_batchgcd_knob(self, tmp_path, monkeypatch):
+        write(tmp_path, "src/repro/studyconfig.py", STUDYCONFIG)
+        write(
+            tmp_path,
+            "src/repro/cli.py",
+            """
+            import argparse
+
+            def main():
+                parser = argparse.ArgumentParser()
+                parser.add_argument("--seed", type=int)
+                args = parser.parse_args()
+                config = build()
+                return config.with_(seed=args.seed)
+            """,
+        )
+        findings = only(lint(tmp_path, monkeypatch), "XCFG001")
+        assert len(findings) == 1
+        assert findings[0].path == "src/repro/studyconfig.py"
+        assert "StudyConfig.batchgcd_k" in findings[0].message
+
+    def test_clean_when_fields_and_flags_agree(self, tmp_path, monkeypatch):
+        write(tmp_path, "src/repro/studyconfig.py", STUDYCONFIG)
+        write(
+            tmp_path,
+            "src/repro/cli.py",
+            """
+            import argparse
+
+            def main():
+                parser = argparse.ArgumentParser()
+                parser.add_argument("--seed", type=int)
+                parser.add_argument("--batchgcd-k", type=int)
+                args = parser.parse_args()
+                config = build()
+                config = config.with_(seed=args.seed)
+                return config.with_(batchgcd_k=args.batchgcd_k)
+            """,
+        )
+        assert only(lint(tmp_path, monkeypatch), "XCFG001") == []
+
+    def test_alias_spelling_counts_as_exposure(self, tmp_path, monkeypatch):
+        write(
+            tmp_path,
+            "src/repro/studyconfig.py",
+            """
+            class StudyConfig:
+                batchgcd_backend: str = "python"
+            """,
+        )
+        write(
+            tmp_path,
+            "src/repro/cli.py",
+            """
+            import argparse
+
+            def main():
+                parser = argparse.ArgumentParser()
+                parser.add_argument("--numt-backend", dest="numt_backend")
+                args = parser.parse_args()
+                config = build()
+                return config.with_(batchgcd_backend=args.numt_backend)
+            """,
+        )
+        assert only(lint(tmp_path, monkeypatch), "XCFG001") == []
+
+
+class TestDeadPublicSymbol:
+    def test_fires_on_unreferenced_public_symbol(self, tmp_path, monkeypatch):
+        write(
+            tmp_path,
+            "src/repro/extra.py",
+            """
+            def unused_helper():
+                return 1
+            """,
+        )
+        findings = only(lint(tmp_path, monkeypatch), "XDEAD001")
+        assert len(findings) == 1
+        assert "'repro.extra.unused_helper'" in findings[0].message
+
+    def test_import_and_all_do_not_count_as_references(
+        self, tmp_path, monkeypatch
+    ):
+        write(
+            tmp_path,
+            "src/repro/extra.py",
+            """
+            def exported_helper():
+                return 1
+            """,
+        )
+        write(
+            tmp_path,
+            "src/repro/__init__.py",
+            """
+            from repro.extra import exported_helper
+
+            __all__ = ["exported_helper"]
+            """,
+        )
+        findings = only(lint(tmp_path, monkeypatch), "XDEAD001")
+        assert len(findings) == 1
+        assert "exported_helper" in findings[0].message
+
+    def test_clean_when_referenced_from_tests(self, tmp_path, monkeypatch):
+        write(
+            tmp_path,
+            "src/repro/extra.py",
+            """
+            def used_helper():
+                return 1
+            """,
+        )
+        write(
+            tmp_path,
+            "tests/test_extra.py",
+            """
+            from repro.extra import used_helper
+
+            def test_used_helper():
+                assert used_helper() == 1
+            """,
+        )
+        assert only(lint(tmp_path, monkeypatch), "XDEAD001") == []
+
+    def test_private_main_and_registered_symbols_exempt(
+        self, tmp_path, monkeypatch
+    ):
+        write(
+            tmp_path,
+            "src/repro/extra.py",
+            """
+            from repro.plugins import registry
+
+            def main():
+                return 0
+
+            def _internal():
+                return 1
+
+            @registry.register
+            class Plugin:
+                pass
+            """,
+        )
+        write(tmp_path, "src/repro/plugins.py", "registry = None\n")
+        assert only(lint(tmp_path, monkeypatch), "XDEAD001") == []
+
+
+class TestRealRepoSurface:
+    def test_real_tree_has_no_new_cross_module_findings(self):
+        findings = LintEngine().lint_paths(
+            ["src", "tests", "benchmarks", "examples"]
+        )
+        cross = [f for f in findings if f.rule.startswith("X")]
+        assert cross == []

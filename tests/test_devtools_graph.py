@@ -1,0 +1,375 @@
+"""Unit tests for the whole-program graph (`repro.devtools.graph`)."""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.devtools import graph as graphmod
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def write(root, relative, content):
+    path = root / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(content))
+    return path
+
+
+def build(root, *relatives):
+    return graphmod.build_graph([root / rel for rel in relatives], root=root)
+
+
+class TestSymbolTable:
+    def test_modules_definitions_and_public_surface(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/alpha.py",
+            """
+            __all__ = ["visible"]
+
+            def visible():
+                return 1
+
+            def _hidden():
+                return 2
+
+            class Widget:
+                def method(self):
+                    return 3
+            """,
+        )
+        graph = build(tmp_path, "src/repro/alpha.py")
+        module = graph.modules["repro.alpha"]
+        assert module.all_exports == ("visible",)
+        assert {"visible", "_hidden", "Widget", "Widget.method"} <= module.definitions
+        assert set(module.public) == {"visible", "Widget"}
+
+    def test_registration_decorated_symbols_not_public(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/alpha.py",
+            """
+            from repro.beta import registry
+            from dataclasses import dataclass
+
+            @registry.register
+            class Registered:
+                pass
+
+            @dataclass
+            class Plain:
+                x: int = 0
+            """,
+        )
+        graph = build(tmp_path, "src/repro/alpha.py")
+        module = graph.modules["repro.alpha"]
+        assert "Registered" not in module.public
+        assert "Plain" in module.public
+
+    def test_dataclass_fields_collected_with_linenos(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/conf.py",
+            """
+            class Config:
+                seed: int = 0
+                scale: int = 1000
+            """,
+        )
+        graph = build(tmp_path, "src/repro/conf.py")
+        fields = dict(graph.modules["repro.conf"].dataclass_fields["Config"])
+        assert fields == {"seed": 3, "scale": 4}
+
+
+class TestImportGraph:
+    def test_repro_imports_resolved_including_relative(self, tmp_path):
+        write(tmp_path, "src/repro/pkg/__init__.py", "")
+        write(tmp_path, "src/repro/pkg/a.py", "from repro.pkg import b\n")
+        write(tmp_path, "src/repro/pkg/b.py", "from . import c\nimport os\n")
+        write(tmp_path, "src/repro/pkg/c.py", "")
+        graph = build(
+            tmp_path,
+            "src/repro/pkg/__init__.py",
+            "src/repro/pkg/a.py",
+            "src/repro/pkg/b.py",
+            "src/repro/pkg/c.py",
+        )
+        edges = graph.import_edges()
+        assert edges["repro.pkg.a"] == ("repro.pkg",)
+        assert edges["repro.pkg.b"] == ("repro.pkg",)
+
+
+class TestCallGraph:
+    def test_local_and_cross_module_calls_resolve(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/util.py",
+            """
+            def helper():
+                return 1
+            """,
+        )
+        write(
+            tmp_path,
+            "src/repro/mainmod.py",
+            """
+            from repro.util import helper
+
+            def local():
+                return 0
+
+            def driver():
+                local()
+                return helper()
+            """,
+        )
+        graph = build(tmp_path, "src/repro/util.py", "src/repro/mainmod.py")
+        driver = graph.functions["repro.mainmod.driver"]
+        assert set(driver.calls) == {
+            "repro.mainmod.local",
+            "repro.util.helper",
+        }
+
+    def test_reexport_chain_resolves_through_package_init(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/tel/__init__.py",
+            "from repro.tel.registry import use\n",
+        )
+        write(
+            tmp_path,
+            "src/repro/tel/registry.py",
+            """
+            def use():
+                return 1
+            """,
+        )
+        write(
+            tmp_path,
+            "src/repro/job.py",
+            """
+            from repro.tel import use
+
+            def work():
+                return use()
+            """,
+        )
+        graph = build(
+            tmp_path,
+            "src/repro/tel/__init__.py",
+            "src/repro/tel/registry.py",
+            "src/repro/job.py",
+        )
+        assert graph.functions["repro.job.work"].calls == (
+            "repro.tel.registry.use",
+        )
+
+    def test_self_method_binds_to_enclosing_class(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/obj.py",
+            """
+            class Engine:
+                def run(self):
+                    return self.step()
+
+                def step(self):
+                    return 1
+            """,
+        )
+        graph = build(tmp_path, "src/repro/obj.py")
+        assert graph.functions["repro.obj.Engine.run"].calls == (
+            "repro.obj.Engine.step",
+        )
+
+    def test_callable_argument_becomes_indirect_edge(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/cb.py",
+            """
+            def callback(x):
+                return x
+
+            def driver(values):
+                return sorted(values, key=callback)
+            """,
+        )
+        graph = build(tmp_path, "src/repro/cb.py")
+        assert "repro.cb.callback" in graph.functions["repro.cb.driver"].calls
+
+    def test_nested_function_reachable_from_parent(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/nest.py",
+            """
+            def outer():
+                def inner():
+                    return 1
+                return inner
+            """,
+        )
+        graph = build(tmp_path, "src/repro/nest.py")
+        assert "repro.nest.outer.inner" in graph.functions["repro.nest.outer"].calls
+
+    def test_reachability_closure(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/chain.py",
+            """
+            def a():
+                return b()
+
+            def b():
+                return c()
+
+            def c():
+                return 1
+
+            def unrelated():
+                return 2
+            """,
+        )
+        graph = build(tmp_path, "src/repro/chain.py")
+        reachable = graph.reachable_from(["repro.chain.a"])
+        assert reachable == {"repro.chain.a", "repro.chain.b", "repro.chain.c"}
+
+
+class TestFactCollection:
+    def test_pool_entry_points(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/work.py",
+            """
+            def task(n):
+                return n
+
+            def run(pool, xs):
+                return [pool.submit(task, x) for x in xs]
+            """,
+        )
+        graph = build(tmp_path, "src/repro/work.py")
+        entries = graph.pool_entry_points()
+        assert set(entries) == {"repro.work.task"}
+        assert entries["repro.work.task"].kind == "submit"
+
+    def test_metric_literals_and_fstring_wildcards(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/met.py",
+            """
+            def record(telemetry, name):
+                telemetry.counter("stage.count", 1)
+                telemetry.gauge(f"stage.era.{name}.depth", 2)
+            """,
+        )
+        graph = build(tmp_path, "src/repro/met.py")
+        names = {call.name for call in graph.metric_calls()}
+        assert names == {"stage.count", "stage.era.*.depth"}
+
+    def test_global_and_container_writes(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/state.py",
+            """
+            _MODE = "fast"
+            _CACHE = {}
+
+            def set_mode(mode):
+                global _MODE
+                _MODE = mode
+
+            def remember(key, value):
+                _CACHE[key] = value
+            """,
+        )
+        graph = build(tmp_path, "src/repro/state.py")
+        assert graph.functions["repro.state.set_mode"].global_writes == ["_MODE"]
+        assert "_CACHE" in graph.functions["repro.state.remember"].container_writes
+        assert graph.modules["repro.state"].mutable_globals == {"_CACHE"}
+
+    def test_argparse_and_config_kwargs(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/cli.py",
+            """
+            import argparse
+
+            def main():
+                parser = argparse.ArgumentParser()
+                parser.add_argument("--batchgcd-k", type=int)
+                parser.add_argument("input", dest="source")
+                args = parser.parse_args()
+                config = load()
+                return config.with_(batchgcd_k=args.batchgcd_k)
+            """,
+        )
+        graph = build(tmp_path, "src/repro/cli.py")
+        module = graph.modules["repro.cli"]
+        assert [flag.dest for flag in module.argparse_flags] == [
+            "batchgcd_k",
+            "source",
+        ]
+        assert [kwarg for kwarg, _ in module.config_kwargs] == ["batchgcd_k"]
+        assert "batchgcd_k" in module.call_kwargs
+
+
+class TestCachingAndDeterminism:
+    def test_same_tree_hits_cache(self, tmp_path):
+        write(tmp_path, "src/repro/a.py", "def f():\n    return 1\n")
+        first = build(tmp_path, "src/repro/a.py")
+        second = build(tmp_path, "src/repro/a.py")
+        assert first is second
+
+    def test_edit_invalidates_cache(self, tmp_path):
+        target = write(tmp_path, "src/repro/a.py", "def f():\n    return 1\n")
+        first = build(tmp_path, "src/repro/a.py")
+        target.write_text("def f():\n    return 2\n\n\ndef g():\n    return 3\n")
+        second = build(tmp_path, "src/repro/a.py")
+        assert first is not second
+        assert "repro.a.g" in second.functions
+
+    def test_json_payload_is_deterministic(self, tmp_path):
+        write(tmp_path, "src/repro/b.py", "def f():\n    return 1\n")
+        graph = build(tmp_path, "src/repro/b.py")
+        assert graph.to_json() == graph.to_json()
+        payload = json.loads(graph.to_json())
+        assert payload["schema_version"] == 1
+        assert "repro.b" in payload["modules"]
+
+    def test_dot_export_shapes(self, tmp_path):
+        write(tmp_path, "src/repro/c.py", "import repro.d\n")
+        write(tmp_path, "src/repro/d.py", "def f():\n    return 1\n")
+        graph = build(tmp_path, "src/repro/c.py", "src/repro/d.py")
+        dot = graph.to_dot("imports")
+        assert dot.startswith("digraph repro_imports {")
+        assert '"repro.c" -> "repro.d";' in dot
+        assert graph.to_dot("calls").startswith("digraph repro_calls {")
+
+
+class TestGraphCli:
+    def run_graph(self, *args, cwd=REPO_ROOT):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.devtools.graph", *args],
+            capture_output=True,
+            text=True,
+            cwd=cwd,
+            env={"PYTHONPATH": str(REPO_ROOT / "src")},
+        )
+
+    def test_json_export_is_byte_identical_across_runs(self):
+        first = self.run_graph("--json")
+        second = self.run_graph("--json")
+        assert first.returncode == 0, first.stderr
+        assert first.stdout == second.stdout
+        payload = json.loads(first.stdout)
+        assert "repro.core.clustered" in payload["modules"]
+        assert payload["pool_entry_points"]  # the batch-GCD workers
+
+    def test_dot_export(self, tmp_path):
+        out = tmp_path / "imports.dot"
+        result = self.run_graph("--dot", "imports", "--out", str(out))
+        assert result.returncode == 0, result.stderr
+        assert out.read_text().startswith("digraph repro_imports {")

@@ -1,10 +1,11 @@
 """Meta-test: reprolint over this repository must be clean.
 
-This is the same gate CI runs (``python -m repro.devtools.lint src
-tests``): zero findings that are not suppressed inline or grandfathered in
-the committed ``reprolint-baseline.json``.  A second check seeds a
-violation into a copy of a real module and asserts the linter catches it,
-so the gate cannot silently go blind.
+This is the same gate CI runs (``python -m repro.devtools.lint src tests
+benchmarks examples``): zero findings — per-file rules and the
+cross-module X rules alike — that are not suppressed inline or
+grandfathered in the committed ``reprolint-baseline.json``.  A second
+check seeds a violation into a copy of a real module and asserts the
+linter catches it, so the gate cannot silently go blind.
 """
 
 import json
@@ -13,6 +14,8 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+LINT_PATHS = ("src", "tests", "benchmarks", "examples")
 
 
 def run_lint(*args, cwd=REPO_ROOT):
@@ -26,15 +29,22 @@ def run_lint(*args, cwd=REPO_ROOT):
 
 
 class TestRepositoryIsClean:
-    def test_src_and_tests_have_no_new_findings(self):
-        result = run_lint("src", "tests", "--format", "json")
+    def test_whole_tree_has_no_new_findings(self):
+        result = run_lint(*LINT_PATHS, "--format", "json")
         assert result.returncode == 0, result.stdout + result.stderr
         payload = json.loads(result.stdout)
         assert payload["findings"] == []
 
+    def test_default_paths_match_the_ci_gate(self):
+        """Bare ``python -m repro.devtools.lint`` lints the same four trees."""
+        result = run_lint("--format", "json")
+        assert result.returncode == 0, result.stdout + result.stderr
+        explicit = run_lint(*LINT_PATHS, "--format", "json")
+        assert json.loads(result.stdout) == json.loads(explicit.stdout)
+
     def test_baseline_is_fully_used(self):
         """Every grandfathered allowance still matches a real finding."""
-        result = run_lint("src", "tests", "--format", "json")
+        result = run_lint(*LINT_PATHS, "--format", "json")
         payload = json.loads(result.stdout)
         assert payload["stale_baseline_entries"] == []
 
@@ -56,3 +66,23 @@ class TestGateStillBites:
         result = run_lint("src", cwd=tmp_path)
         assert result.returncode == 1, result.stdout + result.stderr
         assert "DET001" in result.stdout
+
+    def test_seeded_cross_module_violation_fails(self, tmp_path):
+        """Plant a pool-reachable global mutation, expect XPAR001 at exit 1."""
+        victim = tmp_path / "src" / "repro" / "planted.py"
+        victim.parent.mkdir(parents=True)
+        victim.write_text(
+            "_STATE = {}\n"
+            "\n"
+            "\n"
+            "def task(n):\n"
+            "    _STATE[n] = n\n"
+            "    return n\n"
+            "\n"
+            "\n"
+            "def run(pool, values):\n"
+            "    return [pool.submit(task, value) for value in values]\n"
+        )
+        result = run_lint("src", cwd=tmp_path)
+        assert result.returncode == 1, result.stdout + result.stderr
+        assert "XPAR001" in result.stdout

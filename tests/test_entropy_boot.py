@@ -2,6 +2,8 @@
 
 import random
 
+import pytest
+
 from repro.entropy.boot import DeviceBootSimulator
 from repro.entropy.pool import InsufficientEntropyError
 from repro.entropy.sources import (
@@ -9,8 +11,6 @@ from repro.entropy.sources import (
     HardwareRngSource,
     NetworkInterruptSource,
 )
-
-import pytest
 
 
 class TestFlawedBoot:

@@ -61,9 +61,8 @@ class TestActivation:
 
     def test_use_backend_restores_after_error(self):
         before = get_backend()
-        with pytest.raises(RuntimeError):
-            with use_backend("python"):
-                raise RuntimeError("boom")
+        with pytest.raises(RuntimeError), use_backend("python"):
+            raise RuntimeError("boom")
         assert get_backend() is before
 
     def test_set_backend_none_resets_to_python(self):

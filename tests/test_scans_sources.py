@@ -1,7 +1,7 @@
 """Tests for scan-source eras and the representative-scan schedule."""
 
 from repro.scans.sources import SCAN_SOURCES, scan_months, source_for_month
-from repro.timeline import Month, STUDY_END, STUDY_START
+from repro.timeline import STUDY_END, STUDY_START, Month
 
 
 class TestSourceSchedule:

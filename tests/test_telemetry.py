@@ -5,9 +5,9 @@ import json
 import pytest
 
 from repro.telemetry import (
+    SCHEMA_VERSION,
     FakeClock,
     RunReport,
-    SCHEMA_VERSION,
     SpanNode,
     Telemetry,
     TimerStats,
@@ -112,9 +112,8 @@ class TestSpans:
         assert [c.name for c in root.children] == ["root.a", "root.b"]
 
     def test_annotate_targets_innermost(self, telemetry):
-        with telemetry.span("a"):
-            with telemetry.span("a.b"):
-                telemetry.annotate(bits=96)
+        with telemetry.span("a"), telemetry.span("a.b"):
+            telemetry.annotate(bits=96)
         [a] = telemetry.report().spans
         assert a.attrs == {}
         assert a.children[0].attrs == {"bits": 96}
@@ -142,9 +141,8 @@ class TestDisabledMode:
         telemetry.counter("hits")
         telemetry.gauge("depth", 1)
         telemetry.observe("task", 1.0)
-        with telemetry.span("stage"):
-            with telemetry.timer("step"):
-                pass
+        with telemetry.span("stage"), telemetry.timer("step"):
+            pass
         report = telemetry.report()
         assert report.enabled is False
         assert report.counters == {}
@@ -177,9 +175,8 @@ class TestActiveRegistry:
         with use_telemetry(telemetry):
             counter("hits", 2)
             gauge("depth", 7)
-            with span("stage"):
-                with timer("step"):
-                    clock.advance(1.0)
+            with span("stage"), timer("step"):
+                clock.advance(1.0)
         report = telemetry.report()
         assert report.counters == {"hits": 2}
         assert report.gauges == {"depth": 7}
@@ -197,9 +194,8 @@ class TestActiveRegistry:
 
     def test_exception_inside_use_telemetry_still_restores(self, telemetry):
         before = get_telemetry()
-        with pytest.raises(RuntimeError):
-            with use_telemetry(telemetry):
-                raise RuntimeError("boom")
+        with pytest.raises(RuntimeError), use_telemetry(telemetry):
+            raise RuntimeError("boom")
         assert get_telemetry() is before
 
 

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.timeline import HEARTBLEED, Month, STUDY_END, STUDY_START
+from repro.timeline import HEARTBLEED, STUDY_END, STUDY_START, Month
 
 
 class TestMonthBasics:
