@@ -100,6 +100,26 @@ def main(argv: list[str] | None = None) -> int:
         "(default: 2x processes)",
     )
     parser.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="chunk re-submissions before degrading to in-process "
+        "execution (default: 2)",
+    )
+    parser.add_argument(
+        "--chunk-timeout", type=float, default=None, metavar="SECONDS",
+        help="abandon and retry an in-flight chunk after this long "
+        "(default: no timeout; pooled runs only)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="persist completed subset passes here so a killed run "
+        "resumes (default: no checkpointing)",
+    )
+    parser.add_argument(
+        "--fault-plan", metavar="SPEC",
+        help="inject deterministic faults: a spec string or plan file "
+        "(see docs/FAULTS.md; default: $REPRO_FAULTS, else off)",
+    )
+    parser.add_argument(
         "--telemetry-json", metavar="PATH",
         help="write a telemetry RunReport (per-task spans) as JSON",
     )
@@ -129,6 +149,10 @@ def main(argv: list[str] | None = None) -> int:
         scheduler=args.scheduler,
         backend=args.backend,
         max_inflight=args.max_inflight,
+        max_retries=args.max_retries,
+        chunk_timeout=args.chunk_timeout,
+        checkpoint_dir=args.checkpoint_dir,
+        fault_plan=args.fault_plan,
     )
     with use_telemetry(telemetry), telemetry.span("batch_gcd", moduli=len(moduli), k=args.k):
         result = engine.run(moduli)
@@ -147,6 +171,19 @@ def main(argv: list[str] | None = None) -> int:
         f"cpu {stats.cpu_seconds:.2f}s)",
         file=sys.stderr,
     )
+    if stats.checkpoint_loaded or stats.checkpoint_written:
+        print(
+            f"checkpoint: {stats.checkpoint_loaded} passes restored, "
+            f"{stats.checkpoint_written} written",
+            file=sys.stderr,
+        )
+    if stats.retries or stats.pool_rebuilds or stats.inprocess_fallbacks:
+        print(
+            f"recovery: {stats.retries} retries, {stats.pool_rebuilds} pool "
+            f"rebuilds, {stats.chunk_timeouts} timeouts, "
+            f"{stats.inprocess_fallbacks} in-process fallbacks",
+            file=sys.stderr,
+        )
     if telemetry.enabled:
         report = telemetry.report()
         if args.telemetry_json:

@@ -111,6 +111,27 @@ def main(argv: list[str] | None = None) -> int:
         "(default: 2x processes)",
     )
     parser.add_argument(
+        "--batchgcd-max-retries", type=int, default=None, metavar="N",
+        help="batch-GCD chunk re-submissions before degrading to "
+        "in-process execution (default: 2)",
+    )
+    parser.add_argument(
+        "--batchgcd-chunk-timeout", type=float, default=None,
+        metavar="SECONDS",
+        help="abandon and retry an in-flight batch-GCD chunk after this "
+        "long (default: no timeout; pooled runs only)",
+    )
+    parser.add_argument(
+        "--batchgcd-checkpoint-dir", metavar="DIR",
+        help="persist completed batch-GCD subset passes here so a killed "
+        "run resumes (default: no checkpointing)",
+    )
+    parser.add_argument(
+        "--batchgcd-fault-plan", metavar="SPEC",
+        help="inject deterministic batch-GCD faults: a spec string or "
+        "plan file (see docs/FAULTS.md; default: $REPRO_FAULTS, else off)",
+    )
+    parser.add_argument(
         "--numt-backend", choices=sorted(available_backends()), default=None,
         metavar="NAME",
         help="big-int backend for the batch GCD "
@@ -132,6 +153,18 @@ def main(argv: list[str] | None = None) -> int:
         config = config.with_(batchgcd_processes=args.batchgcd_processes)
     if args.batchgcd_inflight is not None:
         config = config.with_(batchgcd_inflight=args.batchgcd_inflight)
+    if args.batchgcd_max_retries is not None:
+        config = config.with_(batchgcd_max_retries=args.batchgcd_max_retries)
+    if args.batchgcd_chunk_timeout is not None:
+        config = config.with_(
+            batchgcd_chunk_timeout=args.batchgcd_chunk_timeout
+        )
+    if args.batchgcd_checkpoint_dir is not None:
+        config = config.with_(
+            batchgcd_checkpoint_dir=args.batchgcd_checkpoint_dir
+        )
+    if args.batchgcd_fault_plan is not None:
+        config = config.with_(batchgcd_fault_plan=args.batchgcd_fault_plan)
     telemetry = (
         Telemetry() if (args.telemetry_json or args.timings) else None
     )

@@ -39,10 +39,30 @@ Schedulers.  The ``k**2`` task graph can be driven two ways:
   (``submit`` + ``wait``) so completed results merge back immediately
   instead of queueing behind slow head-of-line tasks.  Workers return
   sparse ``(position, divisor)`` hits.
-- ``"fanout"``: the original ordered ``pool.map`` driver, kept as the
-  before/after baseline: every task payload carries its whole subset and
-  product (``k**2`` big-int serialisations) and every task rebuilds its
-  subset's product tree from scratch.
+- ``"fanout"``: the original ordered driver, kept as the before/after
+  baseline: every task payload carries its whole subset and product
+  (``k**2`` big-int serialisations) and every task rebuilds its subset's
+  product tree from scratch.
+
+Fault tolerance.  At cluster scale, worker loss and partial results are
+the normal case; both schedulers therefore run their chunks through the
+recovery seam of :mod:`repro.faults`:
+
+- every chunk gets a per-chunk timeout plus bounded retry with
+  exponential backoff (:class:`~repro.faults.recovery.RecoveryPolicy`),
+  re-submitting to a fresh worker;
+- a dead worker (``BrokenProcessPool``) rebuilds the pool — including the
+  streaming broadcast — and re-queues everything in flight; when retries
+  or rebuilds exhaust, chunks degrade gracefully to fault-free in-process
+  execution, so a run completes (more slowly) even under a hostile plan;
+- with ``checkpoint_dir`` set, every completed (subset, product) pass is
+  persisted through :class:`~repro.faults.checkpoint.CheckpointStore`, and
+  a restarted run resumes from the surviving passes with a byte-identical
+  final :class:`~repro.core.results.BatchGcdResult`;
+- an optional seeded :class:`~repro.faults.plan.FaultPlan` (CLI
+  ``--fault-plan`` / ``$REPRO_FAULTS``; ``None`` — a single pointer check
+  — by default) injects deterministic crash / timeout / corrupt / slow
+  faults for chaos testing.
 
 Telemetry: when a registry is active (see :mod:`repro.telemetry`), the run
 records a ``batch_gcd.products`` span for the build phase (with one
@@ -55,17 +75,30 @@ the pool.  Pooled streaming runs additionally record the
 ``batch_gcd.ipc_broadcast_bytes`` / ``batch_gcd.ipc_task_bytes`` counters
 (pickled payload sizes) and a ``batch_gcd.queue_latency`` timer
 (submit-to-merge per chunk); the ``batch_gcd.queue_depth`` gauge drains to
-zero as tasks complete under either scheduler.
+zero as tasks complete under either scheduler.  Recovery actions surface
+as the ``batch_gcd.retries`` / ``batch_gcd.pool_rebuilds`` /
+``batch_gcd.chunk_timeout`` counters and the
+``batch_gcd.checkpoint_load`` / ``batch_gcd.checkpoint_write`` spans.
 """
 
 from __future__ import annotations
 
 import pickle
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Sequence
 
 from repro.core.results import BatchGcdResult
+from repro.faults.checkpoint import CheckpointStore, corpus_digest
+from repro.faults.inject import corrupt_chunk_results, trigger_fault
+from repro.faults.plan import FaultPlan, resolve_fault_plan
+from repro.faults.recovery import (
+    ChunkResultError,
+    RecoveryPolicy,
+    RecoveryStats,
+    ResilientExecutor,
+)
 from repro.numt.backend import BigIntBackend, resolve_backend
 from repro.numt.trees import (
     prepare_reciprocals,
@@ -114,6 +147,17 @@ class ClusterRunStats:
             instrumented pooled streaming runs, else 0.
         ipc_task_bytes: pickled size of all task payloads.  Only measured
             on instrumented pooled streaming runs, else 0.
+        retries: chunk re-submissions after a failure or timeout.
+        pool_rebuilds: process pools rebuilt after a dead worker.
+        chunk_timeouts: in-flight chunks abandoned for exceeding the
+            per-chunk timeout.
+        crashed_chunks: chunk attempts that raised (or died) in a worker.
+        corrupt_chunks: chunk results rejected by completeness checks.
+        inprocess_fallbacks: chunks degraded to fault-free in-process
+            execution after retries/rebuilds exhausted.
+        checkpoint_loaded: completed passes restored from the checkpoint
+            at the start of the run.
+        checkpoint_written: passes persisted to the checkpoint this run.
     """
 
     k: int
@@ -126,6 +170,23 @@ class ClusterRunStats:
     tree_build_seconds: float = 0.0
     ipc_broadcast_bytes: int = 0
     ipc_task_bytes: int = 0
+    retries: int = 0
+    pool_rebuilds: int = 0
+    chunk_timeouts: int = 0
+    crashed_chunks: int = 0
+    corrupt_chunks: int = 0
+    inprocess_fallbacks: int = 0
+    checkpoint_loaded: int = 0
+    checkpoint_written: int = 0
+
+    def apply_recovery(self, recovery: RecoveryStats) -> None:
+        """Copy a run's recovery accounting into the public stats."""
+        self.retries = recovery.retries
+        self.pool_rebuilds = recovery.pool_rebuilds
+        self.chunk_timeouts = recovery.chunk_timeouts
+        self.crashed_chunks = recovery.crashed_chunks
+        self.corrupt_chunks = recovery.corrupt_chunks
+        self.inprocess_fallbacks = recovery.inprocess_fallbacks
 
 
 # --------------------------------------------------------------------------
@@ -144,6 +205,7 @@ def _pool_init(
     products: list[int],
     backend_name: str,
     instrument: bool,
+    fault_plan: FaultPlan | None,
 ) -> None:
     """Process-pool initializer: receive the one-shot broadcast."""
     global _WORKER_STATE
@@ -153,6 +215,7 @@ def _pool_init(
         "products": products,
         "backend": resolve_backend(backend_name),
         "instrument": instrument,
+        "fault_plan": fault_plan,
     }
 
 
@@ -231,16 +294,52 @@ def _execute_chunk(
     return results, telemetry.report().to_dict()
 
 
+def _faulted_chunk(
+    state: dict[str, Any],
+    plan: FaultPlan | None,
+    chunk_id: int,
+    attempt: int,
+    pairs: Sequence[tuple[int, int]],
+    *,
+    pooled: bool,
+) -> tuple[list[tuple[int, int, list[tuple[int, int]], float]], dict[str, Any] | None]:
+    """Execute one chunk attempt through the fault seam."""
+    rule = trigger_fault(plan, chunk_id, attempt, pooled=pooled)
+    results, report = _execute_chunk(state, pairs)
+    if rule is not None and rule.kind == "corrupt":
+        results = corrupt_chunk_results(results)
+    return results, report
+
+
 def _run_chunk(
-    pairs: Sequence[tuple[int, int]]
+    chunk_id: int, attempt: int, pairs: Sequence[tuple[int, int]]
 ) -> tuple[list[tuple[int, int, list[tuple[int, int]], float]], dict[str, Any] | None]:
     """Process-pool entry point (top level so it pickles): index pairs only."""
     assert _WORKER_STATE is not None, "worker used before _pool_init broadcast"
-    return _execute_chunk(_WORKER_STATE, pairs)
+    return _faulted_chunk(
+        _WORKER_STATE,
+        _WORKER_STATE["fault_plan"],
+        chunk_id,
+        attempt,
+        pairs,
+        pooled=True,
+    )
+
+
+def _verify_chunk(chunk_id: int, pairs: Sequence[tuple[int, int]], result: Any) -> None:
+    """Completeness check: one record per submitted (subset, product) pair."""
+    results, _report = result
+    got = {(i, j) for i, j, _found, _seconds in results}
+    expected = set(pairs)
+    if got != expected:
+        raise ChunkResultError(
+            f"chunk {chunk_id} returned passes {sorted(got)} "
+            f"for submitted {sorted(expected)}"
+        )
 
 
 # --------------------------------------------------------------------------
-# Fanout scheduler: the original self-contained-payload pool.map driver.
+# Fanout scheduler: the original self-contained-payload driver.
 # --------------------------------------------------------------------------
 
 
@@ -271,7 +370,7 @@ def _subset_pass(
 def _run_task(
     args: tuple[int, int, list[int], int, bool, bool, str]
 ) -> tuple[int, int, list[int], float, dict[str, Any] | None]:
-    """Fanout process-pool entry point (top level so it pickles).
+    """One self-contained fanout task (also the fault-free fallback body).
 
     When instrumentation is requested the task records into a private
     per-process registry and returns its serialised report, which the
@@ -299,6 +398,33 @@ def _run_task(
     return subset_index, product_index, divisors, seconds, report
 
 
+def _run_fanout_task(
+    chunk_id: int,
+    attempt: int,
+    payload: tuple[tuple, FaultPlan | None],
+) -> tuple[int, int, list[int], float, dict[str, Any] | None]:
+    """Fanout process-pool entry point: one task through the fault seam."""
+    args, plan = payload
+    rule = trigger_fault(plan, chunk_id, attempt, pooled=True)
+    i, j, divisors, seconds, report = _run_task(args)
+    if rule is not None and rule.kind == "corrupt":
+        divisors = corrupt_chunk_results(divisors)
+    return i, j, divisors, seconds, report
+
+
+def _verify_fanout_task(chunk_id: int, payload: tuple, result: Any) -> None:
+    """Completeness check: the right pass, one divisor per subset modulus."""
+    args, _plan = payload
+    subset_index, product_index, subset = args[0], args[1], args[2]
+    i, j, divisors, _seconds, _report = result
+    if (i, j) != (subset_index, product_index) or len(divisors) != len(subset):
+        raise ChunkResultError(
+            f"task {chunk_id} returned pass ({i}, {j}) with "
+            f"{len(divisors)} divisors for pass "
+            f"({subset_index}, {product_index}) over {len(subset)} moduli"
+        )
+
+
 class ClusteredBatchGcd:
     """The k-subset cluster-parallel batch-GCD engine.
 
@@ -309,13 +435,24 @@ class ClusteredBatchGcd:
             task decomposition); values >= 1 use a process pool.
         scheduler: task-graph driver — ``"streaming"`` (cached trees,
             one-shot broadcast, bounded-window submission; the default) or
-            ``"fanout"`` (the original ``pool.map`` of self-contained
-            payloads).
+            ``"fanout"`` (the original driver of self-contained payloads).
         backend: big-int backend name (``"python"``, ``"gmpy2"``), an
             already-resolved :class:`~repro.numt.backend.BigIntBackend`,
             or ``None`` for ``$REPRO_NUMT_BACKEND`` / the active default.
         max_inflight: bound on simultaneously submitted task chunks under
             the streaming scheduler (``None`` = twice the worker count).
+        max_retries: chunk re-submissions before degrading to in-process
+            execution (see :class:`~repro.faults.recovery.RecoveryPolicy`).
+        chunk_timeout: seconds before an in-flight chunk is abandoned and
+            retried (``None`` disables; pooled runs only).
+        checkpoint_dir: directory for subset-pass checkpoints (``None``
+            disables checkpointing).
+        fault_plan: a :class:`~repro.faults.plan.FaultPlan`, spec string,
+            or plan-file path to inject deterministic faults; ``None``
+            defers to ``$REPRO_FAULTS`` (and stays off without it).
+        recovery: a fully-specified
+            :class:`~repro.faults.recovery.RecoveryPolicy` overriding
+            ``max_retries``/``chunk_timeout`` (backoff tuning for tests).
     """
 
     def __init__(
@@ -325,6 +462,11 @@ class ClusteredBatchGcd:
         scheduler: str = "streaming",
         backend: str | BigIntBackend | None = None,
         max_inflight: int | None = None,
+        max_retries: int = 2,
+        chunk_timeout: float | None = None,
+        checkpoint_dir: str | Path | None = None,
+        fault_plan: FaultPlan | str | None = None,
+        recovery: RecoveryPolicy | None = None,
     ) -> None:
         if k < 1:
             raise ValueError("k must be >= 1")
@@ -341,6 +483,11 @@ class ClusteredBatchGcd:
         self.scheduler = scheduler
         self.backend = backend
         self.max_inflight = max_inflight
+        self.checkpoint_dir = checkpoint_dir
+        self.fault_plan = fault_plan
+        self.recovery = recovery or RecoveryPolicy(
+            max_retries=max_retries, chunk_timeout=chunk_timeout
+        )
         self.last_stats: ClusterRunStats | None = None
 
     def run(self, moduli: Sequence[int]) -> BatchGcdResult:
@@ -358,11 +505,25 @@ class ClusteredBatchGcd:
             )
             return BatchGcdResult(corpus, [1] * len(corpus))
         backend = resolve_backend(self.backend)
+        plan = resolve_fault_plan(self.fault_plan)
         k = min(self.k, len(corpus))
         subsets = [corpus[s::k] for s in range(k)]
         if self.scheduler == "fanout":
-            return self._run_fanout(corpus, subsets, k, backend)
-        return self._run_streaming(corpus, subsets, k, backend)
+            return self._run_fanout(corpus, subsets, k, backend, plan)
+        return self._run_streaming(corpus, subsets, k, backend, plan)
+
+    def _checkpoint_store(
+        self, corpus: list[int], k: int, backend: BigIntBackend
+    ) -> CheckpointStore | None:
+        if self.checkpoint_dir is None:
+            return None
+        return CheckpointStore(
+            self.checkpoint_dir,
+            digest=corpus_digest(corpus),
+            k=k,
+            scheduler=self.scheduler,
+            backend=backend.name,
+        )
 
     # -- streaming -------------------------------------------------------
 
@@ -372,6 +533,7 @@ class ClusteredBatchGcd:
         subsets: list[list[int]],
         k: int,
         backend: BigIntBackend,
+        plan: FaultPlan | None,
     ) -> BatchGcdResult:
         telemetry = get_telemetry()
         clock = telemetry.clock
@@ -424,26 +586,48 @@ class ClusteredBatchGcd:
                     key=lambda j: (-bits[j], j),
                 )
             )
-        chunk_size = max(1, k // 4)
-        chunks = [
-            tasks[c : c + chunk_size] for c in range(0, len(tasks), chunk_size)
-        ]
-        telemetry.gauge("batch_gcd.queue_depth", len(tasks))
 
         partials: dict[tuple[int, int], list[tuple[int, int]]] = {}
+        store = self._checkpoint_store(corpus, k, backend)
+        if store is not None:
+            partials.update(store.load())
+        remaining_tasks = [t for t in tasks if t not in partials]
+        chunk_size = max(1, k // 4)
+        chunks = [
+            remaining_tasks[c : c + chunk_size]
+            for c in range(0, len(remaining_tasks), chunk_size)
+        ]
+        telemetry.gauge("batch_gcd.queue_depth", len(remaining_tasks))
+
         cpu_seconds = prologue_seconds
-        remaining = len(tasks)
+        remaining = len(remaining_tasks)
         broadcast_bytes = 0
         task_bytes = 0
+        checkpoint_written = 0
+
+        state = {
+            "trees": trees,
+            "reciprocals": reciprocals,
+            "products": products,
+            "backend": backend,
+            "instrument": instrument,
+            "fault_plan": plan,
+        }
 
         def consume(
-            results: list[tuple[int, int, list[tuple[int, int]], float]],
-            report: dict[str, Any] | None,
+            chunk_id: int,
+            outcome: tuple[
+                list[tuple[int, int, list[tuple[int, int]], float]],
+                dict[str, Any] | None,
+            ],
             queued_seconds: float,
         ) -> None:
-            nonlocal cpu_seconds, remaining
+            nonlocal cpu_seconds, remaining, checkpoint_written
+            results, report = outcome
+            completed_passes: dict[tuple[int, int], list[tuple[int, int]]] = {}
             for i, j, found, seconds in results:
                 partials[(i, j)] = found
+                completed_passes[(i, j)] = found
                 cpu_seconds += seconds
             remaining -= len(results)
             # Drain progress is reported whether or not the chunk carried
@@ -452,57 +636,61 @@ class ClusteredBatchGcd:
             telemetry.observe("batch_gcd.queue_latency", queued_seconds)
             if report is not None:
                 telemetry.merge_report(RunReport.from_dict(report))
+            if store is not None:
+                store.record(completed_passes)
+                checkpoint_written += len(completed_passes)
 
-        if self.processes is None:
-            state = {
-                "trees": trees,
-                "reciprocals": reciprocals,
-                "products": products,
-                "backend": backend,
-                "instrument": instrument,
-            }
-            for chunk in chunks:
-                chunk_start = clock.wall()
-                results, report = _execute_chunk(state, chunk)
-                consume(results, report, clock.wall() - chunk_start)
-        else:
-            broadcast = (trees, reciprocals, products, backend.name, instrument)
+        def local_chunk(chunk_id: int, attempt: int, pairs):
+            return _faulted_chunk(
+                state, plan, chunk_id, attempt, pairs, pooled=False
+            )
+
+        def fallback_chunk(chunk_id: int, pairs):
+            return _execute_chunk(state, pairs)
+
+        pool_factory = None
+        on_submit = None
+        if self.processes is not None:
+            broadcast = (
+                trees, reciprocals, products, backend.name, instrument, plan,
+            )
             if instrument:
                 broadcast_bytes = len(pickle.dumps(broadcast))
                 telemetry.counter(
                     "batch_gcd.ipc_broadcast_bytes", broadcast_bytes
                 )
-            with ProcessPoolExecutor(
-                max_workers=self.processes,
-                initializer=_pool_init,
-                initargs=broadcast,
-            ) as pool:
-                window = self.max_inflight or 2 * self.processes
-                pending: dict[Any, float] = {}
-                chunk_iter = iter(chunks)
 
-                def submit_next() -> bool:
+            def pool_factory() -> ProcessPoolExecutor:
+                return ProcessPoolExecutor(
+                    max_workers=self.processes,
+                    initializer=_pool_init,
+                    initargs=broadcast,
+                )
+
+            if instrument:
+
+                def on_submit(chunk_id: int, pairs) -> None:
                     nonlocal task_bytes
-                    chunk = next(chunk_iter, None)
-                    if chunk is None:
-                        return False
-                    if instrument:
-                        payload = len(pickle.dumps(chunk))
-                        task_bytes += payload
-                        telemetry.counter("batch_gcd.ipc_task_bytes", payload)
-                    pending[pool.submit(_run_chunk, chunk)] = clock.wall()
-                    return True
+                    payload = len(pickle.dumps(pairs))
+                    task_bytes += payload
+                    telemetry.counter("batch_gcd.ipc_task_bytes", payload)
 
-                for _ in range(window):
-                    if not submit_next():
-                        break
-                while pending:
-                    done, _ = wait(pending, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        submitted = pending.pop(future)
-                        results, report = future.result()
-                        consume(results, report, clock.wall() - submitted)
-                        submit_next()
+        recovery = ResilientExecutor(
+            payloads=list(enumerate(chunks)),
+            policy=self.recovery,
+            fallback=fallback_chunk,
+            pool_factory=pool_factory,
+            pool_task=_run_chunk,
+            local_task=local_chunk,
+            verify=_verify_chunk,
+            window=(
+                (self.max_inflight or 2 * self.processes)
+                if self.processes is not None
+                else 1
+            ),
+            on_submit=on_submit,
+        )
+        recovery_stats = recovery.run(consume)
 
         divisors = self._aggregate_sparse(corpus, k, partials)
         self.last_stats = ClusterRunStats(
@@ -516,7 +704,10 @@ class ClusteredBatchGcd:
             tree_build_seconds=tree_build_seconds,
             ipc_broadcast_bytes=broadcast_bytes,
             ipc_task_bytes=task_bytes,
+            checkpoint_loaded=len(tasks) - len(remaining_tasks),
+            checkpoint_written=checkpoint_written,
         )
+        self.last_stats.apply_recovery(recovery_stats)
         telemetry.counter("batch_gcd.tasks", len(tasks))
         return BatchGcdResult(corpus, divisors)
 
@@ -528,6 +719,7 @@ class ClusteredBatchGcd:
         subsets: list[list[int]],
         k: int,
         backend: BigIntBackend,
+        plan: FaultPlan | None,
     ) -> BatchGcdResult:
         telemetry = get_telemetry()
         clock = telemetry.clock
@@ -542,47 +734,90 @@ class ClusteredBatchGcd:
             "batch_gcd.max_product_bits",
             max(int(p.bit_length()) for p in products),
         )
+        all_passes = [(i, j) for i in range(k) for j in range(k)]
+        partials: dict[tuple[int, int], list[int]] = {}
+        store = self._checkpoint_store(corpus, k, backend)
+        if store is not None:
+            for (i, j), sparse in store.load().items():
+                dense = [1] * len(subsets[i])
+                for pos, divisor in sparse:
+                    dense[pos] = divisor
+                partials[(i, j)] = dense
+        passes = [p for p in all_passes if p not in partials]
         tasks = [
             (i, j, subsets[i], products[j], i == j, instrument, backend.name)
-            for i in range(k)
-            for j in range(k)
+            for i, j in passes
         ]
         telemetry.gauge("batch_gcd.queue_depth", len(tasks))
-        partials: dict[tuple[int, int], list[int]] = {}
         cpu_seconds = product_build_seconds
         completed = 0
+        checkpoint_written = 0
 
         def consume(
-            i: int, j: int, divisors: list[int], seconds: float,
-            worker_report: dict[str, Any] | None,
-        ) -> float:
-            nonlocal completed
+            chunk_id: int,
+            outcome: tuple[int, int, list[int], float, dict[str, Any] | None],
+            queued_seconds: float,
+        ) -> None:
+            nonlocal cpu_seconds, completed, checkpoint_written
+            i, j, divisors, seconds, worker_report = outcome
             partials[(i, j)] = divisors
+            cpu_seconds += seconds
             completed += 1
             # Drain progress does not depend on a worker report being
             # attached (uninstrumented pool runs still gauge).
             telemetry.gauge("batch_gcd.queue_depth", len(tasks) - completed)
             if worker_report is not None:
                 telemetry.merge_report(RunReport.from_dict(worker_report))
-            return seconds
+            if store is not None:
+                sparse = [
+                    (pos, d) for pos, d in enumerate(divisors) if d > 1
+                ]
+                store.record({(i, j): sparse})
+                checkpoint_written += 1
 
-        if self.processes is None:
-            for task in tasks:
-                cpu_seconds += consume(*_run_task(task))
-        else:
-            with ProcessPoolExecutor(max_workers=self.processes) as pool:
-                for outcome in pool.map(_run_task, tasks):
-                    cpu_seconds += consume(*outcome)
+        def local_task(chunk_id: int, attempt: int, payload):
+            args, _plan = payload
+            rule = trigger_fault(plan, chunk_id, attempt, pooled=False)
+            i, j, divisors, seconds, report = _run_task(args)
+            if rule is not None and rule.kind == "corrupt":
+                divisors = corrupt_chunk_results(divisors)
+            return i, j, divisors, seconds, report
+
+        def fallback_task(chunk_id: int, payload):
+            args, _plan = payload
+            return _run_task(args)
+
+        pool_factory = None
+        if self.processes is not None:
+
+            def pool_factory() -> ProcessPoolExecutor:
+                return ProcessPoolExecutor(max_workers=self.processes)
+
+        recovery = ResilientExecutor(
+            payloads=[(cid, (args, plan)) for cid, args in enumerate(tasks)],
+            policy=self.recovery,
+            fallback=fallback_task,
+            pool_factory=pool_factory,
+            pool_task=_run_fanout_task,
+            local_task=local_task,
+            verify=_verify_fanout_task,
+            window=2 * self.processes if self.processes is not None else 1,
+        )
+        recovery_stats = recovery.run(consume)
+
         divisors = self._aggregate(corpus, k, partials)
         self.last_stats = ClusterRunStats(
             k=k,
-            tasks=len(tasks),
+            tasks=len(all_passes),
             wall_seconds=clock.wall() - started,
             cpu_seconds=cpu_seconds,
             product_build_seconds=product_build_seconds,
             scheduler="fanout",
+            checkpoint_loaded=len(all_passes) - len(passes),
+            checkpoint_written=checkpoint_written,
         )
-        telemetry.counter("batch_gcd.tasks", len(tasks))
+        self.last_stats.apply_recovery(recovery_stats)
+        telemetry.counter("batch_gcd.tasks", len(all_passes))
         return BatchGcdResult(corpus, divisors)
 
     # -- aggregation -----------------------------------------------------

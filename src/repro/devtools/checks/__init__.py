@@ -15,6 +15,7 @@ def load_all() -> None:
     from repro.devtools.checks import (  # noqa: F401  (import-for-effect)
         crossmodule,
         determinism,
+        faults,
         numerics,
         parallel,
         telemetry,

@@ -55,6 +55,10 @@ _FLAG_ALIASES: dict[str, frozenset[str]] = {
     "batchgcd_scheduler": frozenset({"scheduler"}),
     "batchgcd_backend": frozenset({"backend", "numt_backend"}),
     "batchgcd_inflight": frozenset({"max_inflight"}),
+    "batchgcd_max_retries": frozenset({"max_retries"}),
+    "batchgcd_chunk_timeout": frozenset({"chunk_timeout"}),
+    "batchgcd_checkpoint_dir": frozenset({"checkpoint_dir"}),
+    "batchgcd_fault_plan": frozenset({"fault_plan"}),
 }
 #: Symbols referenced from outside the Python tree (pyproject scripts).
 _DEAD_EXEMPT = frozenset({"main"})

@@ -1,0 +1,89 @@
+"""FLT — fault-tolerance rules for pool-driving code.
+
+The recovery layer (:mod:`repro.faults.recovery`) exists because a
+process-pool worker can die or hang at any moment.  Driver code that
+blocks on a future with no timeout re-introduces exactly the hang the
+layer removes: a worker lost mid-task leaves the parent waiting forever,
+and no retry/rebuild policy ever gets a chance to run.
+
+- **FLT001** — an unbounded wait on a pool future: ``fut.result()`` /
+  ``fut.exception()`` with no ``timeout``, or ``concurrent.futures.wait``
+  /``as_completed`` without a ``timeout=`` keyword.  Bounded waits
+  (``result(timeout=0)`` after ``wait()`` reports the future done, or a
+  ``wait(..., timeout=...)`` poll loop) express the same control flow and
+  stay recoverable.
+
+The rule scopes itself to library code (``src/repro``): tests may block
+on futures they fully control.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.engine import ModuleContext, Rule, registry
+from repro.devtools.findings import Severity
+
+#: Future methods that block until the worker responds.
+_BLOCKING_METHODS = frozenset({"result", "exception"})
+#: Receiver-name fragments that mark a variable as a future.
+_FUTURE_RECEIVERS = ("fut", "future")
+#: Module-level waiters that accept (and should get) a timeout.
+_WAITER_FUNCS = frozenset(
+    {"concurrent.futures.wait", "concurrent.futures.as_completed"}
+)
+
+
+def _future_receiver(func: ast.expr) -> str | None:
+    """The receiver name of ``<future>.result/.exception``, if it is one."""
+    if not isinstance(func, ast.Attribute) or func.attr not in _BLOCKING_METHODS:
+        return None
+    receiver = func.value
+    if isinstance(receiver, ast.Name):
+        name = receiver.id
+    elif isinstance(receiver, ast.Attribute):
+        name = receiver.attr
+    else:
+        return None
+    lowered = name.lower()
+    if any(hint in lowered for hint in _FUTURE_RECEIVERS):
+        return name
+    return None
+
+
+def _has_timeout(node: ast.Call) -> bool:
+    if any(kw.arg == "timeout" for kw in node.keywords):
+        return True
+    # ``result``/``exception`` take timeout as the sole positional too.
+    return bool(node.args) and isinstance(node.func, ast.Attribute)
+
+
+@registry.register
+class UnboundedFutureWait(Rule):
+    code = "FLT001"
+    summary = "unbounded wait on a process-pool future"
+    severity = Severity.ERROR
+    node_types = (ast.Call,)
+
+    def check(self, node: ast.Call, ctx: ModuleContext) -> Iterator[tuple[ast.AST, str]]:
+        if not ctx.is_repro_source:
+            return
+        receiver = _future_receiver(node.func)
+        if receiver is not None and not _has_timeout(node):
+            yield (
+                node,
+                f"'{receiver}.{node.func.attr}()' blocks forever if the worker "
+                "died; pass timeout= (e.g. result(timeout=0) once wait() "
+                "reports the future done) so recovery can intervene",
+            )
+            return
+        resolved = ctx.resolve(node.func)
+        if resolved in _WAITER_FUNCS and not any(
+            kw.arg == "timeout" for kw in node.keywords
+        ):
+            yield (
+                node,
+                f"{resolved}() without timeout= never wakes if every in-flight "
+                "worker hangs; bound the wait so timeout/retry policies can run",
+            )

@@ -53,6 +53,10 @@ __all__ = [
 _METRIC_INSTRUMENTS = frozenset({"span", "timer", "counter", "gauge", "observe"})
 _POOL_METHODS = frozenset({"submit", "map"})
 _POOLISH_RECEIVERS = ("pool", "executor")
+#: Keywords that hand a worker-side callable to an indirect submission
+#: seam: ``ResilientExecutor(pool_task=...)`` submits its argument to a
+#: ProcessPoolExecutor on the caller's behalf (repro.faults.recovery).
+_POOL_TASK_KWARGS = frozenset({"pool_task"})
 _MUTATOR_METHODS = frozenset(
     {
         "append", "extend", "insert", "add", "update", "setdefault", "pop",
@@ -378,6 +382,19 @@ class _ModuleVisitor(ast.NodeVisitor):
                     kind=node.func.attr,
                 )
             )
+
+        for keyword in node.keywords:
+            if keyword.arg in _POOL_TASK_KWARGS:
+                target = _dotted(keyword.value)
+                if target is not None:
+                    self.mod.pool_submits.append(
+                        PoolSubmit(
+                            target=target,
+                            path=self.mod.path,
+                            lineno=node.lineno,
+                            kind="submit",
+                        )
+                    )
 
         if isinstance(node.func, ast.Attribute) and node.func.attr == "add_argument":
             flag = _argparse_dest(node)

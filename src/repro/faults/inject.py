@@ -1,0 +1,84 @@
+"""Worker-side fault triggering: the injection half of the fault seam.
+
+:func:`trigger_fault` is called at the top of every task-chunk execution
+(pool worker or in-process) with the chunk's id and attempt number.  With
+no plan installed it is a single ``is None`` check — the production
+fast path.  With a plan, it consults
+:meth:`~repro.faults.plan.FaultPlan.rule_for` and acts:
+
+- ``crash`` on a **pool worker** hard-kills the process (``os._exit``),
+  so the parent observes a genuine ``BrokenProcessPool`` — the same
+  failure a cluster sees when a node is OOM-killed mid-task.  In-process
+  it raises :class:`InjectedCrash` instead (killing the driver would end
+  the run it is supposed to test).
+- ``timeout`` and ``slow`` stall for ``rule.seconds`` before the chunk
+  computes.  The two kinds differ only in intent: a ``timeout`` stall is
+  sized to exceed the recovery policy's per-chunk timeout, a ``slow``
+  stall to stay under it.
+- ``corrupt`` does nothing here; the *caller* truncates its otherwise
+  correct result via :func:`corrupt_chunk_results` so the parent's
+  completeness verification has something real to catch.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Sequence, TypeVar
+
+from repro.faults.plan import FaultPlan, FaultRule
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "InjectedCrash",
+    "corrupt_chunk_results",
+    "trigger_fault",
+]
+
+#: Exit status used by a ``crash`` fault on a pool worker (distinctive in
+#: worker post-mortems; any nonzero status breaks the pool identically).
+CRASH_EXIT_CODE = 76
+
+T = TypeVar("T")
+
+
+class InjectedCrash(RuntimeError):
+    """A planned in-process worker crash (the non-pool ``crash`` form)."""
+
+
+def trigger_fault(
+    plan: FaultPlan | None,
+    chunk_id: int,
+    attempt: int,
+    *,
+    pooled: bool,
+) -> FaultRule | None:
+    """Apply the planned fault for this (chunk, attempt), if any.
+
+    Returns the active rule so the caller can apply result-side effects
+    (``corrupt``).  Raises / stalls / exits for the other kinds.
+    """
+    if plan is None:
+        return None
+    rule = plan.rule_for(chunk_id, attempt)
+    if rule is None:
+        return None
+    if rule.kind == "crash":
+        if pooled:
+            os._exit(CRASH_EXIT_CODE)
+        raise InjectedCrash(
+            f"injected crash: chunk {chunk_id} attempt {attempt}"
+        )
+    if rule.kind in ("timeout", "slow"):
+        time.sleep(rule.seconds)
+    return rule
+
+
+def corrupt_chunk_results(results: Sequence[T]) -> list[T]:
+    """Truncate a chunk's per-task records (the ``corrupt`` fault payload).
+
+    Dropping the final record leaves a well-formed but *incomplete* result
+    — exactly the shape of a lost shard or a truncated IPC payload — which
+    the parent's completeness check must reject and retry.
+    """
+    return list(results[:-1])

@@ -1,0 +1,258 @@
+"""Deterministic fault plans: seeded per-chunk failure schedules.
+
+A :class:`FaultPlan` decides, as a pure function of ``(seed, chunk_id,
+attempt)``, whether a task chunk experiences a fault on a given execution
+attempt — so a chaos run is exactly reproducible regardless of worker
+count, scheduling order, or which process happens to execute the chunk.
+
+Each :class:`FaultRule` selects a subset of chunks (an explicit ``chunks``
+list, or a seeded ``rate`` draw per chunk) and faults their first
+``times`` attempts with one of four kinds:
+
+- ``crash`` — the worker dies (``os._exit`` on a pool worker, a raised
+  :class:`~repro.faults.inject.InjectedCrash` in-process);
+- ``timeout`` — the worker stalls for ``seconds`` before computing, long
+  enough to trip a configured per-chunk timeout;
+- ``corrupt`` — the chunk computes but returns a truncated result set,
+  which the parent's completeness check rejects;
+- ``slow`` — a sub-timeout stall: a straggler, not a failure.
+
+Rules are consumed in order: with ``crash(times=2)`` followed by
+``slow(times=1)``, a selected chunk crashes on attempts 0 and 1 and runs
+slow on attempt 2.  The plan is inert unless explicitly installed — the
+production path never consults one (see :func:`resolve_fault_plan`).
+
+Plans parse from JSON (``{"seed": 7, "rules": [{"kind": "crash", ...}]}``)
+or from a compact spec string (``"seed=7;crash:rate=1.0,times=2"``); see
+``docs/FAULTS.md`` for the full grammar.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "ENV_FAULTS",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultRule",
+    "load_fault_plan",
+    "resolve_fault_plan",
+]
+
+#: Environment variable holding a fault spec (string or JSON) for a run.
+ENV_FAULTS = "REPRO_FAULTS"
+
+#: Recognised fault kinds (see the module docstring).
+FAULT_KINDS = ("crash", "timeout", "corrupt", "slow")
+
+
+@dataclass(frozen=True, slots=True)
+class FaultRule:
+    """One fault schedule: which chunks, how many attempts, what kind.
+
+    Attributes:
+        kind: one of :data:`FAULT_KINDS`.
+        rate: fraction of chunks selected by the seeded draw (ignored when
+            ``chunks`` is given).
+        times: number of consecutive faulted attempts per selected chunk.
+        seconds: stall duration for ``timeout``/``slow`` faults.
+        chunks: explicit chunk ids to fault (overrides ``rate``).
+    """
+
+    kind: str
+    rate: float = 1.0
+    times: int = 1
+    seconds: float = 0.25
+    chunks: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r} (choose from {FAULT_KINDS})"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        if self.times < 1:
+            raise ValueError("times must be >= 1")
+        if self.seconds < 0:
+            raise ValueError("seconds must be >= 0")
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """A seeded, order-sensitive set of fault rules.
+
+    The plan is immutable and built from JSON-scalar fields only, so it
+    pickles across the process-pool boundary unchanged — workers and the
+    parent always agree on the schedule.
+    """
+
+    seed: int = 0
+    rules: tuple[FaultRule, ...] = field(default_factory=tuple)
+
+    def rule_for(self, chunk_id: int, attempt: int) -> FaultRule | None:
+        """The fault (if any) chunk ``chunk_id`` suffers on ``attempt``.
+
+        Deterministic: depends only on the plan and the two arguments.
+        """
+        consumed = 0
+        for rule in self.rules:
+            if not self._selects(rule, chunk_id):
+                continue
+            if attempt < consumed + rule.times:
+                return rule
+            consumed += rule.times
+        return None
+
+    def schedule(self, chunk_ids: range | list[int]) -> dict[int, list[str]]:
+        """Per-chunk fault kinds in attempt order (empty lists omitted).
+
+        This is what chaos tests use to compute the *expected* retry and
+        rebuild counters for an injected plan.
+        """
+        out: dict[int, list[str]] = {}
+        for chunk_id in chunk_ids:
+            kinds: list[str] = []
+            attempt = 0
+            while (rule := self.rule_for(chunk_id, attempt)) is not None:
+                kinds.append(rule.kind)
+                if rule.kind in ("slow",):
+                    break  # a slow attempt completes; later attempts never run
+                attempt += 1
+            if kinds:
+                out[chunk_id] = kinds
+        return out
+
+    def _selects(self, rule: FaultRule, chunk_id: int) -> bool:
+        if rule.chunks is not None:
+            return chunk_id in rule.chunks
+        if rule.rate >= 1.0:
+            return True
+        draw = random.Random(
+            f"repro-faults|{self.seed}|{rule.kind}|{chunk_id}"
+        ).random()
+        return draw < rule.rate
+
+    # -- serialisation ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "rules": [
+                {
+                    "kind": r.kind,
+                    "rate": r.rate,
+                    "times": r.times,
+                    "seconds": r.seconds,
+                    **({"chunks": list(r.chunks)} if r.chunks is not None else {}),
+                }
+                for r in self.rules
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        if not isinstance(payload, dict):
+            raise ValueError("fault plan JSON must be an object")
+        rules = []
+        for entry in payload.get("rules", []):
+            chunks = entry.get("chunks")
+            rules.append(
+                FaultRule(
+                    kind=entry["kind"],
+                    rate=float(entry.get("rate", 1.0)),
+                    times=int(entry.get("times", 1)),
+                    seconds=float(entry.get("seconds", 0.25)),
+                    chunks=tuple(chunks) if chunks is not None else None,
+                )
+            )
+        return cls(seed=int(payload.get("seed", 0)), rules=tuple(rules))
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse a plan from JSON or from the compact spec grammar.
+
+        Spec grammar (segments joined by ``;``)::
+
+            seed=7;crash:rate=1.0,times=2;slow:seconds=0.01,chunks=0|3
+
+        The optional leading ``seed=N`` names the selection seed; every
+        other segment is ``kind[:key=value,...]``.
+        """
+        text = text.strip()
+        if not text:
+            raise ValueError("empty fault plan spec")
+        if text.startswith("{"):
+            return cls.from_dict(json.loads(text))
+        seed = 0
+        rules: list[FaultRule] = []
+        for segment in text.split(";"):
+            segment = segment.strip()
+            if not segment:
+                continue
+            if segment.startswith("seed="):
+                seed = int(segment[len("seed=") :])
+                continue
+            kind, _, tail = segment.partition(":")
+            kwargs: dict = {}
+            for pair in filter(None, (p.strip() for p in tail.split(","))):
+                key, sep, value = pair.partition("=")
+                if not sep:
+                    raise ValueError(f"bad fault option {pair!r} in {segment!r}")
+                if key == "chunks":
+                    kwargs["chunks"] = tuple(
+                        int(c) for c in value.split("|") if c
+                    )
+                elif key == "rate":
+                    kwargs["rate"] = float(value)
+                elif key == "times":
+                    kwargs["times"] = int(value)
+                elif key == "seconds":
+                    kwargs["seconds"] = float(value)
+                else:
+                    raise ValueError(f"unknown fault option {key!r}")
+            rules.append(FaultRule(kind=kind.strip(), **kwargs))
+        if not rules:
+            raise ValueError(f"fault plan spec names no rules: {text!r}")
+        return cls(seed=seed, rules=tuple(rules))
+
+
+def load_fault_plan(source: "str | Path | FaultPlan | None") -> FaultPlan | None:
+    """Coerce a CLI/config value into a plan.
+
+    Accepts an already-built plan, a path to a JSON plan file, or an
+    inline spec/JSON string.  ``None`` stays ``None``.
+    """
+    if source is None or isinstance(source, FaultPlan):
+        return source
+    text = str(source)
+    candidate = Path(text)
+    try:
+        is_file = candidate.is_file()
+    except OSError:  # e.g. a spec string too long for a pathname
+        is_file = False
+    if is_file:
+        return FaultPlan.parse(candidate.read_text())
+    return FaultPlan.parse(text)
+
+
+def resolve_fault_plan(
+    explicit: "str | Path | FaultPlan | None" = None,
+) -> FaultPlan | None:
+    """The plan for a run: an explicit one, else ``$REPRO_FAULTS``, else None.
+
+    This is the production seam: with no explicit plan and no environment
+    override the result is ``None`` and every injection site is a single
+    ``is None`` check — the zero-overhead default.
+    """
+    if explicit is not None:
+        return load_fault_plan(explicit)
+    env = os.environ.get(ENV_FAULTS)
+    if env:
+        return load_fault_plan(env)
+    return None

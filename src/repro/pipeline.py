@@ -339,6 +339,10 @@ def _run_study_instrumented(config: StudyConfig, tel: Telemetry) -> StudyResult:
             scheduler=config.batchgcd_scheduler,
             backend=config.batchgcd_backend,
             max_inflight=config.batchgcd_inflight,
+            max_retries=config.batchgcd_max_retries,
+            chunk_timeout=config.batchgcd_chunk_timeout,
+            checkpoint_dir=config.batchgcd_checkpoint_dir,
+            fault_plan=config.batchgcd_fault_plan,
         )
         batch_result = engine.run(moduli)
     timings["batch_gcd"] = time.perf_counter() - started

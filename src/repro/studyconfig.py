@@ -55,6 +55,16 @@ class StudyConfig:
             None = ``$REPRO_NUMT_BACKEND`` or the active default).
         batchgcd_inflight: bound on in-flight task chunks under the
             streaming scheduler (None = twice the worker count).
+        batchgcd_max_retries: task-chunk re-submissions before a chunk
+            degrades to fault-free in-process execution (see
+            :mod:`repro.faults.recovery`).
+        batchgcd_chunk_timeout: seconds before an in-flight chunk is
+            abandoned and retried (None disables; pooled runs only).
+        batchgcd_checkpoint_dir: directory for subset-pass checkpoints so
+            a killed run resumes (None disables checkpointing).
+        batchgcd_fault_plan: deterministic fault-injection plan — a spec
+            string or plan-file path (see :mod:`repro.faults.plan`; None
+            defers to ``$REPRO_FAULTS`` and stays off without it).
     """
 
     seed: int = 2016
@@ -74,6 +84,10 @@ class StudyConfig:
     batchgcd_scheduler: str = "streaming"
     batchgcd_backend: str | None = None
     batchgcd_inflight: int | None = None
+    batchgcd_max_retries: int = 2
+    batchgcd_chunk_timeout: float | None = None
+    batchgcd_checkpoint_dir: str | None = None
+    batchgcd_fault_plan: str | None = None
 
     def openssl_table(self) -> tuple[int, ...] | None:
         """The odd-prime table for OpenSSL-style generation (None = default)."""

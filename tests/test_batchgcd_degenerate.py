@@ -148,3 +148,96 @@ class TestMixedPathologies:
                 assert _flags(engine.run(moduli)) == classic, (
                     f"{scheduler} k={k} processes={processes}"
                 )
+
+
+def _random_pathological_corpus(rng):
+    """A seeded corpus generator planting every pathology at random.
+
+    Roughly half the moduli are clean semiprimes of fresh primes; the
+    rest draw from a small shared-prime pool (shared factors and prime
+    squares), duplicate an earlier modulus, or multiply many tiny primes
+    (the IBM nine-prime shape).
+    """
+    pool = [generate_prime(28, rng) for _ in range(6)]
+    moduli = []
+    for _ in range(rng.randrange(6, 14)):
+        shape = rng.random()
+        if shape < 0.45 or not moduli:
+            moduli.append(
+                generate_prime(32, rng) * generate_prime(32, rng)
+            )
+        elif shape < 0.65:
+            moduli.append(rng.choice(pool) * rng.choice(pool))
+        elif shape < 0.75:
+            moduli.append(rng.choice(moduli))
+        elif shape < 0.9:
+            moduli.append(rng.choice(pool) * generate_prime(32, rng))
+        else:
+            moduli.append(math.prod(rng.sample(pool, 5)))
+    return moduli
+
+
+class TestPropertyDifferential:
+    """Seeded property tests: random pathological corpora, all engines.
+
+    Deliberately *not* Hypothesis: the corpus is a pure function of the
+    seed, so a failure reproduces from the parametrize id alone and the
+    suite stays dependency-free and deterministic run to run.
+    """
+
+    SEEDS = [101, 202, 303, 404, 505, 606]
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_engines_agree_on_random_pathologies(self, seed):
+        moduli = _random_pathological_corpus(random.Random(seed))
+        assert_identical_flags(moduli)
+
+    @pytest.mark.parametrize("seed", SEEDS[:3])
+    def test_faulty_runs_match_fault_free(self, seed):
+        from repro.faults import FaultPlan, FaultRule, RecoveryPolicy
+
+        moduli = _random_pathological_corpus(random.Random(seed))
+        classic_flags = _flags(batch_gcd(moduli))
+        plan = FaultPlan(
+            seed=seed,
+            rules=(
+                FaultRule(kind="crash", rate=0.5, times=1),
+                FaultRule(kind="corrupt", rate=0.5, times=1),
+            ),
+        )
+        fast = RecoveryPolicy(
+            max_retries=2, backoff_base=0.001, backoff_cap=0.002
+        )
+        for scheduler in ("streaming", "fanout"):
+            # divisors must be *identical* to the fault-free run of the
+            # same engine; against classic only the flags are guaranteed
+            # (multiplicity may differ on non-squarefree corpora)
+            clean = ClusteredBatchGcd(k=3, scheduler=scheduler).run(moduli)
+            engine = ClusteredBatchGcd(
+                k=3, scheduler=scheduler, fault_plan=plan, recovery=fast
+            )
+            result = engine.run(moduli)
+            assert result.divisors == clean.divisors, (
+                f"{scheduler} diverged under faults (seed {seed})"
+            )
+            assert _flags(result) == classic_flags
+
+    @pytest.mark.parametrize("seed", SEEDS[:3])
+    def test_resumed_runs_match_fault_free(self, seed, tmp_path):
+        moduli = _random_pathological_corpus(random.Random(seed))
+        classic_flags = _flags(batch_gcd(moduli))
+        for scheduler in ("streaming", "fanout"):
+            ckpt = tmp_path / scheduler
+            first = ClusteredBatchGcd(
+                k=3, scheduler=scheduler, checkpoint_dir=ckpt
+            )
+            interim = first.run(moduli)
+            resumed = ClusteredBatchGcd(
+                k=3, scheduler=scheduler, checkpoint_dir=ckpt
+            )
+            result = resumed.run(moduli)
+            assert resumed.last_stats.checkpoint_loaded == 9
+            assert result.divisors == interim.divisors, (
+                f"{scheduler} resume diverged (seed {seed})"
+            )
+            assert _flags(result) == classic_flags

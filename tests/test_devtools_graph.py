@@ -255,6 +255,26 @@ class TestFactCollection:
         assert set(entries) == {"repro.work.task"}
         assert entries["repro.work.task"].kind == "submit"
 
+    def test_pool_task_kwarg_counts_as_entry_point(self, tmp_path):
+        # the recovery seam submits its pool_task= argument on the
+        # caller's behalf (ResilientExecutor), so the indirection must
+        # still register the worker-side callable
+        write(
+            tmp_path,
+            "src/repro/work.py",
+            """
+            def chunk_task(chunk_id, attempt, payload):
+                return payload
+
+            def run(executor_cls, payloads):
+                return executor_cls(payloads=payloads, pool_task=chunk_task)
+            """,
+        )
+        graph = build(tmp_path, "src/repro/work.py")
+        entries = graph.pool_entry_points()
+        assert set(entries) == {"repro.work.chunk_task"}
+        assert entries["repro.work.chunk_task"].kind == "submit"
+
     def test_metric_literals_and_fstring_wildcards(self, tmp_path):
         write(
             tmp_path,

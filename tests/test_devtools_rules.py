@@ -432,3 +432,106 @@ class TestEngineBehaviour:
                 return random.random(), time.time()
             """,
         ) == ["DET001", "DET002"]
+
+
+class TestFlt001UnboundedFutureWait:
+    def test_positive_bare_result(self, engine):
+        findings = lint(
+            engine,
+            """
+            def drain(futures):
+                return [future.result() for future in futures]
+            """,
+        )
+        assert [f.rule for f in findings] == ["FLT001"]
+        assert "timeout" in findings[0].message
+
+    def test_positive_bare_exception(self, engine):
+        assert codes(
+            engine,
+            """
+            def inspect(fut):
+                return fut.exception()
+            """,
+        ) == ["FLT001"]
+
+    def test_positive_wait_without_timeout(self, engine):
+        assert codes(
+            engine,
+            """
+            from concurrent.futures import wait
+
+            def drain(pending):
+                done, _ = wait(pending)
+                return done
+            """,
+        ) == ["FLT001"]
+
+    def test_positive_as_completed_without_timeout(self, engine):
+        assert codes(
+            engine,
+            """
+            import concurrent.futures
+
+            def drain(pending):
+                return list(concurrent.futures.as_completed(pending))
+            """,
+        ) == ["FLT001"]
+
+    def test_negative_result_with_timeout(self, engine):
+        assert codes(
+            engine,
+            """
+            def drain(futures):
+                return [future.result(timeout=0) for future in futures]
+            """,
+        ) == []
+
+    def test_negative_positional_timeout(self, engine):
+        assert codes(
+            engine,
+            """
+            def drain(fut):
+                return fut.result(5.0)
+            """,
+        ) == []
+
+    def test_negative_wait_with_timeout(self, engine):
+        assert codes(
+            engine,
+            """
+            from concurrent.futures import wait
+
+            def drain(pending):
+                done, _ = wait(pending, timeout=1.0)
+                return done
+            """,
+        ) == []
+
+    def test_negative_non_future_receiver(self, engine):
+        assert codes(
+            engine,
+            """
+            def run(query):
+                return query.result()
+            """,
+        ) == []
+
+    def test_negative_outside_repro_source(self, engine):
+        assert codes(
+            engine,
+            """
+            def drain(futures):
+                return [future.result() for future in futures]
+            """,
+            path=TEST_PATH,
+        ) == []
+
+    def test_suppressed(self, engine):
+        assert codes(
+            engine,
+            """
+            def drain(fut):
+                return fut.result()  # reprolint: disable=FLT001
+            """,
+        ) == []
