@@ -28,6 +28,13 @@ only exist *between* files:
   ``benchmarks``, or ``examples`` — import aliases and ``__all__``
   strings do not count as references, so merely re-exported surface is
   still dead.
+- **XSVC001** — service contract drift.  Every HTTP endpoint registered
+  in ``src/repro`` (``@route("GET", "/v1/jobs")``-style) must appear in
+  the endpoint catalog of ``docs/SERVICE.md`` and every catalogued
+  endpoint must still be registered — the XTEL001 discipline applied to
+  the wire API.  Additionally, every emitted ``service.*`` metric must
+  be mentioned in ``docs/SERVICE.md`` (the service's own observability
+  reference), not only in the global telemetry catalog.
 """
 
 from __future__ import annotations
@@ -44,6 +51,12 @@ _CATALOG_BEGIN = "<!-- metric-catalog:begin -->"
 _CATALOG_END = "<!-- metric-catalog:end -->"
 _CATALOG_ROW = re.compile(r"^\|\s*`([^`]+)`")
 _PLACEHOLDER = re.compile(r"<[^<>]+>")
+
+_SERVICE_DOC = "docs/SERVICE.md"
+_ENDPOINT_BEGIN = "<!-- endpoint-catalog:begin -->"
+_ENDPOINT_END = "<!-- endpoint-catalog:end -->"
+_ENDPOINT_ROW = re.compile(r"^\|\s*`([A-Z]+)`\s*\|\s*`([^`]+)`")
+_SERVICE_METRIC_PREFIX = "service."
 
 _CONFIG_MODULE = "repro.studyconfig"
 _CONFIG_CLASS = "StudyConfig"
@@ -260,6 +273,107 @@ class StudyConfigCliDrift(ProjectRule):
             return True
         accepted = {field} | _FLAG_ALIASES.get(field, frozenset())
         return any(flag.dest in accepted for flag in cli.argparse_flags)
+
+
+def _parse_endpoint_catalog(text: str) -> list[tuple[str, str, int]] | None:
+    """``(method, pattern, lineno)`` rows of the endpoint catalog, or None."""
+    lines = text.splitlines()
+    begin = end = None
+    for index, line in enumerate(lines):
+        if _ENDPOINT_BEGIN in line:
+            begin = index
+        elif _ENDPOINT_END in line:
+            end = index
+    if begin is None or end is None or end <= begin:
+        return None
+    entries: list[tuple[str, str, int]] = []
+    for index in range(begin + 1, end):
+        match = _ENDPOINT_ROW.match(lines[index].strip())
+        if match:
+            entries.append((match.group(1), match.group(2), index + 1))
+    return entries
+
+
+@registry.register_project
+class ServiceContractDrift(ProjectRule):
+    code = "XSVC001"
+    summary = "HTTP endpoint or service metric drifted from docs/SERVICE.md"
+    severity = Severity.ERROR
+
+    def check_project(
+        self, graph: ProjectGraph
+    ) -> Iterator[tuple[str, int, int, str]]:
+        routes = graph.route_calls()
+        doc_path = graph.root / _SERVICE_DOC
+        try:
+            doc_text = doc_path.read_text()
+        except OSError:
+            if not routes:
+                return  # no service layer, no contract
+            first = routes[0]
+            yield (
+                first.path,
+                first.lineno,
+                0,
+                f"{len(routes)} HTTP endpoint(s) are registered but "
+                f"{_SERVICE_DOC} does not exist — document the wire API "
+                "(endpoint catalog table) before serving it",
+            )
+            return
+        catalog = _parse_endpoint_catalog(doc_text)
+        doc_rel = doc_path.as_posix()
+        if catalog is None:
+            if routes:
+                first = routes[0]
+                yield (
+                    first.path,
+                    first.lineno,
+                    0,
+                    f"{_SERVICE_DOC} carries no machine-readable endpoint "
+                    f"catalog (between {_ENDPOINT_BEGIN!r} and "
+                    f"{_ENDPOINT_END!r}) — add one so the API surface is "
+                    "lint-checked",
+                )
+            return
+
+        documented = {(method, pattern) for method, pattern, _ in catalog}
+        registered = {(call.method, call.pattern) for call in routes}
+        for call in routes:
+            if (call.method, call.pattern) not in documented:
+                yield (
+                    call.path,
+                    call.lineno,
+                    0,
+                    f"endpoint '{call.method} {call.pattern}' is registered "
+                    f"but missing from the endpoint catalog in {_SERVICE_DOC}",
+                )
+        for method, pattern, lineno in catalog:
+            if (method, pattern) not in registered:
+                yield (
+                    doc_rel,
+                    lineno,
+                    0,
+                    f"documented endpoint '{method} {pattern}' is registered "
+                    "nowhere in src/repro — prune the catalog row or restore "
+                    "the route",
+                )
+
+        # Service metrics must be visible in the service's own doc too.
+        seen: set[str] = set()
+        for call in graph.metric_calls():
+            if not call.name.startswith(_SERVICE_METRIC_PREFIX):
+                continue
+            if call.name in seen:
+                continue
+            seen.add(call.name)
+            if f"`{call.name}`" not in doc_text:
+                yield (
+                    call.path,
+                    call.lineno,
+                    call.col,
+                    f"service metric {call.name!r} is not mentioned in "
+                    f"{_SERVICE_DOC} — add it to the service metrics table",
+                )
 
 
 @registry.register_project

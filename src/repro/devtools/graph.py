@@ -45,6 +45,7 @@ __all__ = [
     "ModuleNode",
     "PoolSubmit",
     "ProjectGraph",
+    "RouteCall",
     "build_graph",
     "main",
     "module_name_for",
@@ -52,6 +53,12 @@ __all__ = [
 
 _METRIC_INSTRUMENTS = frozenset({"span", "timer", "counter", "gauge", "observe"})
 _POOL_METHODS = frozenset({"submit", "map"})
+#: Callables (plain or decorator) whose first two string-literal args
+#: register an HTTP endpoint: route("GET", "/v1/jobs").
+_ROUTE_REGISTRARS = frozenset({"route", "add_route"})
+_HTTP_METHODS = frozenset(
+    {"GET", "HEAD", "POST", "PUT", "PATCH", "DELETE", "OPTIONS"}
+)
 _POOLISH_RECEIVERS = ("pool", "executor")
 #: Keywords that hand a worker-side callable to an indirect submission
 #: seam: ``ResilientExecutor(pool_task=...)`` submits its argument to a
@@ -137,6 +144,22 @@ class ArgparseFlag:
     lineno: int
 
 
+@dataclass(frozen=True, slots=True)
+class RouteCall:
+    """One HTTP endpoint registration (``@route("GET", "/v1/jobs")``).
+
+    Collected from ``route``/``add_route`` calls — as decorators or plain
+    calls — whose first two arguments are string literals.  These are the
+    service's wire contract; XSVC001 cross-checks them against the
+    endpoint catalog in ``docs/SERVICE.md``.
+    """
+
+    method: str
+    pattern: str
+    path: str
+    lineno: int
+
+
 @dataclass(slots=True)
 class FunctionNode:
     """One function or method in the project call graph."""
@@ -181,6 +204,7 @@ class ModuleNode:
     metric_calls: list[MetricCall] = field(default_factory=list)
     pool_submits: list[PoolSubmit] = field(default_factory=list)
     argparse_flags: list[ArgparseFlag] = field(default_factory=list)
+    route_calls: list[RouteCall] = field(default_factory=list)
     #: keyword names used in any call in this module (flag-threading check).
     call_kwargs: set[str] = field(default_factory=set)
     #: (kwarg, lineno) pairs of StudyConfig(...)/config.with_(...) calls.
@@ -263,6 +287,8 @@ class _ModuleVisitor(ast.NodeVisitor):
             self._func_stack[-1].raw_indirect.append(func.qualname)
         for decorator in node.decorator_list:
             self._record_call_target(decorator, indirect=True)
+            if isinstance(decorator, ast.Call):
+                self._maybe_route(decorator)
         self._func_stack.append(func)
         self._global_decls.append(set())
         try:
@@ -396,6 +422,9 @@ class _ModuleVisitor(ast.NodeVisitor):
                         )
                     )
 
+        if terminal in _ROUTE_REGISTRARS:
+            self._maybe_route(node)
+
         if isinstance(node.func, ast.Attribute) and node.func.attr == "add_argument":
             flag = _argparse_dest(node)
             if flag is not None:
@@ -416,6 +445,34 @@ class _ModuleVisitor(ast.NodeVisitor):
             if isinstance(arg, (ast.Name, ast.Attribute)):
                 self._record_call_target(arg, indirect=True)
         self.generic_visit(node)
+
+    def _maybe_route(self, node: ast.Call) -> None:
+        """Record ``route("METHOD", "/pattern")``-shaped registrations."""
+        func = node.func
+        terminal = (
+            func.attr if isinstance(func, ast.Attribute)
+            else func.id if isinstance(func, ast.Name)
+            else None
+        )
+        if terminal not in _ROUTE_REGISTRARS or len(node.args) < 2:
+            return
+        first, second = node.args[0], node.args[1]
+        if not (
+            isinstance(first, ast.Constant) and isinstance(first.value, str)
+            and isinstance(second, ast.Constant) and isinstance(second.value, str)
+        ):
+            return
+        method = first.value.upper()
+        if method not in _HTTP_METHODS or not second.value.startswith("/"):
+            return
+        entry = RouteCall(
+            method=method,
+            pattern=second.value,
+            path=self.mod.path,
+            lineno=node.lineno,
+        )
+        if entry not in self.mod.route_calls:
+            self.mod.route_calls.append(entry)
 
     def _record_call_target(self, expr: ast.expr, indirect: bool = False) -> None:
         if not self._func_stack:
@@ -695,6 +752,13 @@ class ProjectGraph:
             out.extend(module.metric_calls)
         return out
 
+    def route_calls(self) -> list[RouteCall]:
+        """Every HTTP endpoint registration, module order then line order."""
+        out: list[RouteCall] = []
+        for _, module in sorted(self.modules.items()):
+            out.extend(sorted(module.route_calls, key=lambda r: r.lineno))
+        return out
+
     # -- export -----------------------------------------------------------
 
     def to_payload(self) -> dict[str, object]:
@@ -722,6 +786,9 @@ class ProjectGraph:
             "pool_entry_points": sorted(self.pool_entry_points()),
             "metrics": sorted(
                 {call.name for call in self.metric_calls()}
+            ),
+            "routes": sorted(
+                {f"{call.method} {call.pattern}" for call in self.route_calls()}
             ),
         }
 

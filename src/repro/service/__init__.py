@@ -1,0 +1,64 @@
+"""The key-checking service: async submission API + persistent job queue.
+
+The paper's core finding — vulnerable keys persist in deployed devices
+for *years* — implies the real-world need is **continuous** checking of
+newly observed keys, not one-shot batch runs (Corrigan-Gibbs et al.
+propose exactly this submission-time vetting as an online CA protocol).
+This package is that serving layer, the architectural pivot from batch
+CLI to traffic:
+
+- :mod:`repro.service.server` — hand-rolled async HTTP/1.1 API on
+  ``asyncio.start_server`` (submit moduli/certificates, poll status,
+  fetch results, pause/resume/cancel, health, metrics);
+- :mod:`repro.service.queue` — the durable FIFO job queue: every state
+  transition is journalled to ``<state_dir>/journal.jsonl`` before it
+  happens in memory, so SIGKILL-and-restart resumes the exact queue
+  (crash-mid-claim recovery, bounded retry, idempotent re-submission);
+- :mod:`repro.service.worker` — the claim/run/notify thread driving
+  jobs through :class:`~repro.core.clustered.ClusteredBatchGcd` on the
+  fault-tolerant substrate of :mod:`repro.faults`, with per-job
+  telemetry :class:`~repro.telemetry.RunReport`\\ s and webhook
+  completion callbacks (bounded retry, redelivery after restart);
+- :mod:`repro.service.models` — job records, wire schemas, validation;
+- :mod:`repro.service.auth` — optional static API-key gate.
+
+Run it: ``python -m repro.service --state-dir /var/lib/repro`` (see
+``docs/SERVICE.md`` for the full API reference and ops notes).
+"""
+
+from repro.service.app import ServiceApp
+from repro.service.auth import ApiKeyAuth, keys_from_env
+from repro.service.models import (
+    JobRecord,
+    JobResult,
+    JobStatus,
+    ServiceConfig,
+    SubmissionError,
+    parse_submission,
+    submission_digest,
+)
+from repro.service.queue import InvalidTransition, JobQueue
+from repro.service.server import Request, Response, ServiceServer, route
+from repro.service.worker import KeyCheckRunner, ServiceWorker, WebhookNotifier
+
+__all__ = [
+    "ApiKeyAuth",
+    "InvalidTransition",
+    "JobQueue",
+    "JobRecord",
+    "JobResult",
+    "JobStatus",
+    "KeyCheckRunner",
+    "Request",
+    "Response",
+    "ServiceApp",
+    "ServiceConfig",
+    "ServiceServer",
+    "ServiceWorker",
+    "SubmissionError",
+    "WebhookNotifier",
+    "keys_from_env",
+    "parse_submission",
+    "route",
+    "submission_digest",
+]

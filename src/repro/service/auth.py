@@ -1,0 +1,61 @@
+"""API-key authentication for the key-checking service.
+
+Deliberately minimal: a static key set checked with constant-time
+comparison.  No keys configured means an **open** service (the local
+development default); any configured key gates every ``/v1/*`` endpoint
+behind the ``X-Api-Key`` request header, while the unauthenticated
+``GET /healthz`` liveness probe stays open for load balancers.
+
+Keys come from ``--api-key`` CLI flags (repeatable) or the
+``REPRO_SERVICE_API_KEYS`` environment variable (comma-separated); see
+:func:`keys_from_env`.
+"""
+
+from __future__ import annotations
+
+import hmac
+import os
+from typing import Sequence
+
+__all__ = ["ApiKeyAuth", "keys_from_env"]
+
+ENV_VAR = "REPRO_SERVICE_API_KEYS"
+HEADER = "x-api-key"
+
+
+def keys_from_env(environ: dict[str, str] | None = None) -> tuple[str, ...]:
+    """Parse ``REPRO_SERVICE_API_KEYS`` (comma-separated, blanks dropped)."""
+    raw = (environ if environ is not None else os.environ).get(ENV_VAR, "")
+    return tuple(key.strip() for key in raw.split(",") if key.strip())
+
+
+class ApiKeyAuth:
+    """Static API-key check with constant-time comparison.
+
+    Args:
+        keys: accepted key values; empty disables authentication.
+    """
+
+    def __init__(self, keys: Sequence[str] = ()) -> None:
+        self._keys = tuple(key for key in keys if key)
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self._keys)
+
+    def allows(self, presented: str | None) -> bool:
+        """True when the request may proceed.
+
+        Every configured key is compared (no early exit on the match) so
+        the check's timing does not leak which key prefix matched.
+        """
+        if not self._keys:
+            return True
+        if presented is None:
+            return False
+        candidate = presented.encode("utf-8")
+        allowed = False
+        for key in self._keys:
+            if hmac.compare_digest(candidate, key.encode("utf-8")):
+                allowed = True
+        return allowed

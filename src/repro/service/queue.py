@@ -1,0 +1,488 @@
+"""Persistent job queue: an append-only journal plus in-memory indexes.
+
+Durability model.  Every state transition of every job is one JSON line
+appended to ``<state_dir>/journal.jsonl`` *before* the in-memory state
+changes.  Restart replays the journal in order and reconstructs the
+exact queue — so a SIGKILL at any instant loses at most the work of the
+in-flight engine run (which the engine's own
+:class:`~repro.faults.checkpoint.CheckpointStore` checkpoints
+separately).  A torn final line (kill mid-append) is detected and
+ignored.
+
+Crash-mid-claim recovery.  A ``claimed`` event with no later terminal
+event means the process died while running the job.  Replay counts that
+claim as a consumed attempt and re-queues the job; a job whose claims
+already reached ``max_attempts`` is declared failed instead of
+crash-looping forever.
+
+Idempotent submission.  Jobs are content-addressed by
+:func:`~repro.service.models.submission_digest`; re-submitting an
+identical payload returns the existing live job instead of appending a
+duplicate.  A *cancelled* or *failed* duplicate re-enqueues (clients may
+legitimately retry).
+
+Ordering.  ``claim`` hands out runnable jobs strictly by submission
+sequence (FIFO).  Per-job ``pause`` removes a job from the runnable set
+without losing its place: on ``resume`` it re-enters at its original
+sequence, ahead of anything submitted after it.  ``pause_all`` /
+``resume_all`` gate the whole queue without touching per-job state.
+
+Telemetry: replay records a ``service.journal.replay`` span annotated
+with events and jobs restored; mutations keep the
+``service.queue.depth`` gauge current.  All public methods are
+thread-safe (the HTTP loop and the worker thread share one instance);
+:meth:`wait_for_work` lets the worker block on the internal condition
+instead of polling.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.service.models import (
+    WEBHOOK_DELIVERED,
+    WEBHOOK_GAVE_UP,
+    WEBHOOK_NONE,
+    WEBHOOK_PENDING,
+    JobRecord,
+    JobResult,
+    JobStatus,
+    SubmissionError,
+    job_id_for,
+    submission_digest,
+)
+from repro.telemetry import Telemetry
+
+__all__ = ["InvalidTransition", "JobQueue"]
+
+_JOURNAL = "journal.jsonl"
+_SCHEMA_VERSION = 1
+
+
+class InvalidTransition(RuntimeError):
+    """A lifecycle operation does not apply to the job's current state."""
+
+    def __init__(self, job_id: str, operation: str, status: JobStatus) -> None:
+        super().__init__(
+            f"cannot {operation} job {job_id} in state {status.value!r}"
+        )
+        self.job_id = job_id
+        self.operation = operation
+        self.status = status
+
+
+class JobQueue:
+    """The durable queue (see module doc for semantics).
+
+    Args:
+        state_dir: directory holding ``journal.jsonl`` (created eagerly).
+        max_attempts: run attempts (claims) per job before terminal failure.
+        telemetry: metrics sink; defaults to a disabled registry so the
+            queue costs nothing when unobserved.
+    """
+
+    def __init__(
+        self,
+        state_dir: str | Path,
+        *,
+        max_attempts: int = 3,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.state_dir = Path(state_dir)
+        self.max_attempts = max_attempts
+        self._telemetry = telemetry or Telemetry(enabled=False)
+        self._lock = threading.Condition()
+        self._jobs: dict[str, JobRecord] = {}
+        self._by_digest: dict[str, str] = {}
+        self._next_seq = 0
+        self._queue_paused = False
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self._journal_path = self.state_dir / _JOURNAL
+        self._replay()
+        self._journal_file = self._journal_path.open("a", encoding="utf-8")
+        self._terminate_torn_tail()
+
+    def _terminate_torn_tail(self) -> None:
+        """Newline-terminate a torn final line so new appends stay parseable.
+
+        A kill mid-append can leave the journal without a trailing
+        newline; appending straight after it would fuse the next event
+        onto the torn fragment and lose *that* event too.  Replay
+        already skips the unparseable fragment either way.
+        """
+        try:
+            with self._journal_path.open("rb") as fh:
+                fh.seek(0, 2)
+                if fh.tell() == 0:
+                    return
+                fh.seek(-1, 2)
+                torn = fh.read(1) != b"\n"
+        except OSError:
+            return
+        if torn:
+            self._journal_file.write("\n")
+            self._journal_file.flush()
+
+    # -- journal ---------------------------------------------------------
+
+    def _append(self, event: str, **payload: Any) -> None:
+        """Write one event line; callers hold the lock."""
+        record = {"v": _SCHEMA_VERSION, "event": event, **payload}
+        self._journal_file.write(json.dumps(record, sort_keys=True) + "\n")
+        self._journal_file.flush()
+
+    def _read_journal(self) -> Iterator[dict[str, Any]]:
+        try:
+            text = self._journal_path.read_text(encoding="utf-8")
+        except OSError:
+            return
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn tail from a kill mid-append
+            if isinstance(record, dict) and "event" in record:
+                yield record
+
+    def _replay(self) -> None:
+        events = 0
+        claimed_open: dict[str, int] = {}  # job_id -> open claim count
+        with self._telemetry.span("service.journal.replay"):
+            for record in self._read_journal():
+                events += 1
+                self._apply(record, claimed_open)
+            # Jobs claimed but never terminated died with the process.
+            for job_id in claimed_open:
+                job = self._jobs.get(job_id)
+                if job is None or job.status is not JobStatus.RUNNING:
+                    continue
+                if job.attempts >= self.max_attempts:
+                    job.status = JobStatus.FAILED
+                    job.error = (
+                        f"crashed {job.attempts} time(s) mid-run; "
+                        "attempts exhausted"
+                    )
+                else:
+                    job.status = JobStatus.QUEUED
+            self._telemetry.annotate(events=events, jobs=len(self._jobs))
+        self._update_depth_gauge()
+
+    def _apply(self, record: dict[str, Any], claimed_open: dict[str, int]) -> None:
+        event = record["event"]
+        job_id = record.get("job")
+        if event == "submitted":
+            moduli = [int(m, 16) for m in record["moduli"]]
+            job = JobRecord(
+                job_id=record["job"],
+                seq=int(record["seq"]),
+                digest=record["digest"],
+                moduli=moduli,
+                webhook_url=record.get("webhook_url"),
+                webhook_state=(
+                    WEBHOOK_NONE if record.get("webhook_url") is None else WEBHOOK_PENDING
+                ),
+            )
+            self._jobs[job.job_id] = job
+            self._by_digest[job.digest] = job.job_id
+            self._next_seq = max(self._next_seq, job.seq + 1)
+            return
+        if event == "queue_paused":
+            self._queue_paused = True
+            return
+        if event == "queue_resumed":
+            self._queue_paused = False
+            return
+        job = self._jobs.get(job_id)
+        if job is None:
+            return  # journal references a job whose submission line tore
+        if event == "claimed":
+            job.status = JobStatus.RUNNING
+            job.attempts = int(record["attempt"])
+            claimed_open[job.job_id] = claimed_open.get(job.job_id, 0) + 1
+        elif event == "completed":
+            job.status = JobStatus.SUCCEEDED
+            job.result = JobResult.from_dict(record["result"])
+            job.report = record.get("report")
+            claimed_open.pop(job.job_id, None)
+        elif event == "failed_attempt":
+            job.status = JobStatus.QUEUED
+            job.error = record.get("error")
+            claimed_open.pop(job.job_id, None)
+        elif event == "failed":
+            job.status = JobStatus.FAILED
+            job.error = record.get("error")
+            claimed_open.pop(job.job_id, None)
+        elif event == "cancelled":
+            job.status = JobStatus.CANCELLED
+            claimed_open.pop(job.job_id, None)
+        elif event == "paused":
+            job.status = JobStatus.PAUSED
+        elif event == "resumed":
+            job.status = JobStatus.QUEUED
+        elif event == "webhook_attempt":
+            job.webhook_attempts = int(record["attempt"])
+        elif event == "webhook_delivered":
+            job.webhook_state = WEBHOOK_DELIVERED
+        elif event == "webhook_gave_up":
+            job.webhook_state = WEBHOOK_GAVE_UP
+
+    # -- submission ------------------------------------------------------
+
+    def submit(
+        self, moduli: list[int], webhook_url: str | None = None
+    ) -> tuple[JobRecord, bool]:
+        """Enqueue a submission; returns ``(job, created)``.
+
+        ``created`` is False when an identical live submission already
+        exists (idempotent replay); terminal-failed or cancelled
+        duplicates re-enqueue as a fresh job.
+        """
+        if not moduli:
+            raise SubmissionError("empty_submission", "no moduli to check")
+        digest = submission_digest(moduli, webhook_url)
+        with self._lock:
+            existing_id = self._by_digest.get(digest)
+            if existing_id is not None:
+                existing = self._jobs[existing_id]
+                if existing.status not in (JobStatus.FAILED, JobStatus.CANCELLED):
+                    return existing, False
+            seq = self._next_seq
+            self._next_seq += 1
+            job_id = job_id_for(seq, digest)
+            self._append(
+                "submitted",
+                job=job_id,
+                seq=seq,
+                digest=digest,
+                moduli=[f"{n:x}" for n in moduli],
+                webhook_url=webhook_url,
+            )
+            job = JobRecord(
+                job_id=job_id,
+                seq=seq,
+                digest=digest,
+                moduli=list(moduli),
+                webhook_url=webhook_url,
+                webhook_state=WEBHOOK_NONE if webhook_url is None else WEBHOOK_PENDING,
+            )
+            self._jobs[job_id] = job
+            self._by_digest[digest] = job_id
+            self._telemetry.counter("service.jobs.submitted")
+            self._update_depth_gauge()
+            self._lock.notify_all()
+            return job, True
+
+    # -- worker side -----------------------------------------------------
+
+    def claim(self) -> JobRecord | None:
+        """Hand out the oldest runnable job, consuming one attempt."""
+        with self._lock:
+            job = self._next_runnable()
+            if job is None:
+                return None
+            self._append("claimed", job=job.job_id, attempt=job.attempts + 1)
+            job.status = JobStatus.RUNNING
+            job.attempts += 1
+            self._update_depth_gauge()
+            return job
+
+    def _next_runnable(self) -> JobRecord | None:
+        if self._queue_paused:
+            return None
+        runnable = [
+            job for job in self._jobs.values() if job.status is JobStatus.QUEUED
+        ]
+        if not runnable:
+            return None
+        return min(runnable, key=lambda job: job.seq)
+
+    def wait_for_work(self, timeout: float) -> bool:
+        """Block until a job may be runnable (or ``timeout`` elapses)."""
+        with self._lock:
+            if self._next_runnable() is not None:
+                return True
+            return self._lock.wait(timeout)
+
+    def complete(
+        self,
+        job_id: str,
+        result: JobResult,
+        report: dict[str, Any] | None = None,
+    ) -> JobRecord:
+        """Record a successful run (worker only; job must be running)."""
+        with self._lock:
+            job = self._require(job_id)
+            if job.status is not JobStatus.RUNNING:
+                raise InvalidTransition(job_id, "complete", job.status)
+            self._append(
+                "completed", job=job_id, result=result.to_dict(), report=report
+            )
+            job.status = JobStatus.SUCCEEDED
+            job.result = result
+            job.report = report
+            job.error = None
+            self._telemetry.counter("service.jobs.completed")
+            self._update_depth_gauge()
+            return job
+
+    def fail(self, job_id: str, error: str) -> tuple[JobRecord, bool]:
+        """Record a failed run; returns ``(job, requeued)``.
+
+        Requeues while attempts remain, otherwise the job fails
+        terminally (and its webhook, if any, reports the failure).
+        """
+        with self._lock:
+            job = self._require(job_id)
+            if job.status is not JobStatus.RUNNING:
+                raise InvalidTransition(job_id, "fail", job.status)
+            if job.attempts < self.max_attempts:
+                self._append("failed_attempt", job=job_id, error=error)
+                job.status = JobStatus.QUEUED
+                job.error = error
+                self._telemetry.counter("service.jobs.retried")
+                self._update_depth_gauge()
+                self._lock.notify_all()
+                return job, True
+            self._append("failed", job=job_id, error=error)
+            job.status = JobStatus.FAILED
+            job.error = error
+            self._telemetry.counter("service.jobs.failed")
+            self._update_depth_gauge()
+            return job, False
+
+    # -- lifecycle controls ---------------------------------------------
+
+    def pause(self, job_id: str) -> JobRecord:
+        """Remove a queued job from the runnable set (keeps its seq)."""
+        with self._lock:
+            job = self._require(job_id)
+            if job.status is not JobStatus.QUEUED:
+                raise InvalidTransition(job_id, "pause", job.status)
+            self._append("paused", job=job_id)
+            job.status = JobStatus.PAUSED
+            self._update_depth_gauge()
+            return job
+
+    def resume(self, job_id: str) -> JobRecord:
+        """Return a paused job to the runnable set at its original seq."""
+        with self._lock:
+            job = self._require(job_id)
+            if job.status is not JobStatus.PAUSED:
+                raise InvalidTransition(job_id, "resume", job.status)
+            self._append("resumed", job=job_id)
+            job.status = JobStatus.QUEUED
+            self._update_depth_gauge()
+            self._lock.notify_all()
+            return job
+
+    def cancel(self, job_id: str) -> JobRecord:
+        """Terminally cancel a job that has not started (or is paused)."""
+        with self._lock:
+            job = self._require(job_id)
+            if job.status not in (JobStatus.QUEUED, JobStatus.PAUSED):
+                raise InvalidTransition(job_id, "cancel", job.status)
+            self._append("cancelled", job=job_id)
+            job.status = JobStatus.CANCELLED
+            self._telemetry.counter("service.jobs.cancelled")
+            self._update_depth_gauge()
+            return job
+
+    def pause_all(self) -> None:
+        """Stop handing out jobs; running jobs finish, nothing new starts."""
+        with self._lock:
+            if not self._queue_paused:
+                self._append("queue_paused")
+                self._queue_paused = True
+
+    def resume_all(self) -> None:
+        with self._lock:
+            if self._queue_paused:
+                self._append("queue_resumed")
+                self._queue_paused = False
+                self._lock.notify_all()
+
+    # -- webhook bookkeeping --------------------------------------------
+
+    def record_webhook_attempt(self, job_id: str, ok: bool) -> JobRecord:
+        """Count one delivery attempt; marks delivered/gave-up terminally."""
+        with self._lock:
+            job = self._require(job_id)
+            attempt = job.webhook_attempts + 1
+            self._append("webhook_attempt", job=job_id, attempt=attempt, ok=ok)
+            job.webhook_attempts = attempt
+            self._telemetry.counter("service.webhook.attempts")
+            if ok:
+                self._append("webhook_delivered", job=job_id)
+                job.webhook_state = WEBHOOK_DELIVERED
+            else:
+                self._telemetry.counter("service.webhook.failures")
+            return job
+
+    def record_webhook_gave_up(self, job_id: str) -> JobRecord:
+        with self._lock:
+            job = self._require(job_id)
+            self._append("webhook_gave_up", job=job_id)
+            job.webhook_state = WEBHOOK_GAVE_UP
+            return job
+
+    def pending_webhooks(self) -> list[JobRecord]:
+        """Terminal jobs whose completion callback is still undelivered."""
+        with self._lock:
+            return [
+                job
+                for job in sorted(self._jobs.values(), key=lambda j: j.seq)
+                if job.webhook_state == WEBHOOK_PENDING and job.status.is_terminal
+            ]
+
+    # -- queries ---------------------------------------------------------
+
+    def get(self, job_id: str) -> JobRecord | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def list_jobs(self) -> list[JobRecord]:
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda job: job.seq)
+
+    def stats(self) -> dict[str, Any]:
+        """Counts by status plus the queue-level pause flag."""
+        with self._lock:
+            by_status = {status.value: 0 for status in JobStatus}
+            for job in self._jobs.values():
+                by_status[job.status.value] += 1
+            return {
+                "jobs": len(self._jobs),
+                "by_status": by_status,
+                "paused": self._queue_paused,
+            }
+
+    @property
+    def paused(self) -> bool:
+        with self._lock:
+            return self._queue_paused
+
+    def close(self) -> None:
+        with self._lock:
+            self._journal_file.close()
+
+    # -- internals -------------------------------------------------------
+
+    def _require(self, job_id: str) -> JobRecord:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise KeyError(job_id)
+        return job
+
+    def _update_depth_gauge(self) -> None:
+        depth = sum(
+            1 for job in self._jobs.values() if job.status is JobStatus.QUEUED
+        )
+        self._telemetry.gauge("service.queue.depth", depth)

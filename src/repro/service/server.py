@@ -1,0 +1,415 @@
+"""The async HTTP front end: hand-rolled HTTP/1.1 on ``asyncio.start_server``.
+
+No framework, no ``http.server`` — one coroutine per connection parses
+requests (request line, headers, ``Content-Length`` body; keep-alive
+supported), dispatches through a declarative route table, and writes
+JSON responses.  Queue operations are lock-guarded in-memory mutations
+plus one journal append, so handlers run them inline on the event loop;
+the *engine* work happens on the :class:`~repro.service.worker.ServiceWorker`
+thread, never on the loop.
+
+Routes are registered with the :func:`route` decorator; the table is the
+single source of truth for dispatch **and** for the documentation
+contract — reprolint's XSVC001 rule cross-checks every registration here
+against the endpoint catalog in ``docs/SERVICE.md`` (both directions),
+the same way XTEL001 polices the metric catalog.
+
+Error model: every non-2xx body is ``{"error": <stable code>,
+"message": <human text>}`` — codes are part of the API (documented in
+docs/SERVICE.md): ``unauthorized`` 401, ``not_found`` 404,
+``method_not_allowed`` 405, ``conflict``/``result_not_ready`` 409,
+``payload_too_large`` 413, and the submission validation codes from
+:mod:`repro.service.models` at 400.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Awaitable, Callable
+from urllib.parse import urlsplit
+
+from repro.service.auth import HEADER, ApiKeyAuth
+from repro.service.models import ServiceConfig, SubmissionError, parse_submission
+from repro.service.queue import InvalidTransition, JobQueue
+from repro.telemetry import Telemetry
+
+__all__ = ["Request", "Response", "ServiceServer", "route"]
+
+_MAX_HEADER_BYTES = 32 * 1024
+_PLACEHOLDER = re.compile(r"<([a-z_]+)>")
+
+
+@dataclass(frozen=True, slots=True)
+class Route:
+    """One registered endpoint: method + pattern + handler method name."""
+
+    method: str
+    pattern: str
+    handler: str
+    regex: re.Pattern[str]
+
+
+_ROUTES: list[Route] = []
+
+
+def route(method: str, pattern: str):
+    """Register a :class:`ServiceServer` method as an endpoint handler.
+
+    ``pattern`` segments like ``<job_id>`` capture path parameters (no
+    slashes) and are handed to the handler as keyword arguments.
+    """
+
+    regex = re.compile(
+        "^" + _PLACEHOLDER.sub(r"(?P<\1>[^/]+)", pattern) + "$"
+    )
+
+    def wrap(fn):
+        _ROUTES.append(Route(method.upper(), pattern, fn.__name__, regex))
+        return fn
+
+    return wrap
+
+
+def registered_routes() -> tuple[Route, ...]:
+    """The route table (dispatch order = registration order)."""
+    return tuple(_ROUTES)
+
+
+@dataclass(slots=True)
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: str
+    headers: dict[str, str]
+    body: bytes
+
+    def json(self) -> Any:
+        """Decode the body as JSON (:class:`SubmissionError` on garbage)."""
+        if not self.body:
+            raise SubmissionError("bad_request", "request body is empty")
+        try:
+            return json.loads(self.body)
+        except ValueError:
+            raise SubmissionError(
+                "bad_request", "request body is not valid JSON"
+            ) from None
+
+
+@dataclass(slots=True)
+class Response:
+    """One JSON response ready for the wire."""
+
+    status: int
+    payload: Any
+
+    _REASONS = {
+        200: "OK", 201: "Created", 202: "Accepted", 400: "Bad Request",
+        401: "Unauthorized", 404: "Not Found", 405: "Method Not Allowed",
+        409: "Conflict", 413: "Payload Too Large",
+        500: "Internal Server Error",
+    }
+
+    def encode(self, keep_alive: bool) -> bytes:
+        body = json.dumps(self.payload, sort_keys=True).encode("utf-8")
+        reason = self._REASONS.get(self.status, "Unknown")
+        head = (
+            f"HTTP/1.1 {self.status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        )
+        return head.encode("ascii") + body
+
+
+def _error(status: int, code: str, message: str) -> Response:
+    return Response(status, {"error": code, "message": message})
+
+
+class _BadRequestLine(Exception):
+    """The connection sent something that is not parseable HTTP/1.1."""
+
+
+class ServiceServer:
+    """The serving layer: queue + auth + telemetry behind asyncio sockets.
+
+    Args:
+        queue: the shared durable job queue.
+        config: bind address, body bounds, API keys.
+        telemetry: service-level metrics sink (requests, errors,
+            latency); per-job engine telemetry is separate (worker).
+    """
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        config: ServiceConfig,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        self._queue = queue
+        self._config = config
+        self._auth = ApiKeyAuth(config.api_keys)
+        self._telemetry = telemetry or Telemetry(enabled=False)
+        self._server: asyncio.AbstractServer | None = None
+        self.bound_port: int | None = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind, publish ``endpoint.json``, and begin accepting."""
+        self._server = await asyncio.start_server(
+            self._serve_connection, self._config.host, self._config.port
+        )
+        sockets = self._server.sockets or []
+        self.bound_port = sockets[0].getsockname()[1] if sockets else None
+        self._write_endpoint_file()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    def _write_endpoint_file(self) -> None:
+        """Atomically publish the bound address for drills and clients."""
+        state_dir = Path(self._config.state_dir)
+        state_dir.mkdir(parents=True, exist_ok=True)
+        target = state_dir / "endpoint.json"
+        tmp = target.with_suffix(".json.tmp")
+        tmp.write_text(
+            json.dumps(
+                {
+                    "host": self._config.host,
+                    "port": self.bound_port,
+                    "pid": os.getpid(),
+                },
+                sort_keys=True,
+            )
+        )
+        tmp.replace(target)
+
+    # -- connection handling --------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _BadRequestLine:
+                    break
+                if request is None:
+                    break  # clean EOF between requests
+                keep_alive = (
+                    request.headers.get("connection", "keep-alive").lower()
+                    != "close"
+                    # An oversized body is never read off the socket, so the
+                    # stream is unparseable past this request: force close.
+                    and "x-repro-body-overflow" not in request.headers
+                )
+                response = await self._dispatch(request)
+                writer.write(response.encode(keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # peer vanished mid-exchange; nothing to salvage
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Request | None:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None  # clean close before the next request
+            raise _BadRequestLine() from None
+        except asyncio.LimitOverrunError:
+            raise _BadRequestLine() from None
+        if len(head) > _MAX_HEADER_BYTES:
+            raise _BadRequestLine()
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise _BadRequestLine()
+        method, target, _ = parts
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise _BadRequestLine() from None
+        if length < 0 or length > self._config.max_body_bytes:
+            # Read nothing further; the dispatch layer answers 413.
+            body = b""
+            headers["x-repro-body-overflow"] = str(length)
+        else:
+            body = await reader.readexactly(length) if length else b""
+        split = urlsplit(target)
+        return Request(
+            method=method.upper(),
+            path=split.path,
+            query=split.query,
+            headers=headers,
+            body=body,
+        )
+
+    # -- dispatch --------------------------------------------------------
+
+    async def _dispatch(self, request: Request) -> Response:
+        telemetry = self._telemetry
+        clock = telemetry.clock
+        started = clock.wall()
+        telemetry.counter("service.http.requests")
+        try:
+            response = await self._route(request)
+        except SubmissionError as exc:
+            response = _error(400, exc.code, exc.message)
+        except InvalidTransition as exc:
+            response = _error(409, "conflict", str(exc))
+        except KeyError:
+            response = _error(404, "not_found", "no such job")
+        except Exception as exc:  # noqa: BLE001 — the loop must not die
+            response = _error(
+                500, "internal_error", f"{type(exc).__name__}: {exc}"
+            )
+        if response.status >= 400:
+            telemetry.counter("service.http.errors")
+        telemetry.observe("service.http.request_seconds", clock.wall() - started)
+        return response
+
+    async def _route(self, request: Request) -> Response:
+        if "x-repro-body-overflow" in request.headers:
+            return _error(
+                413,
+                "payload_too_large",
+                f"body exceeds {self._config.max_body_bytes} bytes",
+            )
+        matched_path = False
+        for entry in registered_routes():
+            match = entry.regex.match(request.path)
+            if match is None:
+                continue
+            matched_path = True
+            if entry.method != request.method:
+                continue
+            if request.path.startswith("/v1/") and not self._auth.allows(
+                request.headers.get(HEADER)
+            ):
+                return _error(
+                    401, "unauthorized", f"missing or invalid {HEADER} header"
+                )
+            handler: Callable[..., Awaitable[Response]] = getattr(
+                self, entry.handler
+            )
+            return await handler(request, **match.groupdict())
+        if matched_path:
+            return _error(
+                405, "method_not_allowed", f"{request.method} not allowed here"
+            )
+        return _error(404, "not_found", f"no route for {request.path}")
+
+    # -- handlers --------------------------------------------------------
+
+    @route("GET", "/healthz")
+    async def health(self, request: Request) -> Response:
+        stats = self._queue.stats()
+        return Response(200, {"ok": True, "queue": stats})
+
+    @route("GET", "/v1/metrics")
+    async def metrics(self, request: Request) -> Response:
+        return Response(200, self._telemetry.report().to_dict())
+
+    @route("POST", "/v1/jobs")
+    async def submit_job(self, request: Request) -> Response:
+        moduli, webhook_url = parse_submission(request.json())
+        job, created = self._queue.submit(moduli, webhook_url)
+        payload = job.to_public_dict()
+        payload["created"] = created
+        return Response(202 if created else 200, payload)
+
+    @route("GET", "/v1/jobs")
+    async def list_jobs(self, request: Request) -> Response:
+        jobs = [job.summary() for job in self._queue.list_jobs()]
+        return Response(200, {"jobs": jobs})
+
+    @route("GET", "/v1/jobs/<job_id>")
+    async def get_job(self, request: Request, job_id: str) -> Response:
+        job = self._queue.get(job_id)
+        if job is None:
+            return _error(404, "not_found", f"no job {job_id}")
+        return Response(200, job.to_public_dict())
+
+    @route("GET", "/v1/jobs/<job_id>/status")
+    async def get_status(self, request: Request, job_id: str) -> Response:
+        job = self._queue.get(job_id)
+        if job is None:
+            return _error(404, "not_found", f"no job {job_id}")
+        payload = job.to_public_dict(include_report=True)
+        payload.pop("result", None)  # status stays light; result has its own endpoint
+        return Response(200, payload)
+
+    @route("GET", "/v1/jobs/<job_id>/result")
+    async def get_result(self, request: Request, job_id: str) -> Response:
+        job = self._queue.get(job_id)
+        if job is None:
+            return _error(404, "not_found", f"no job {job_id}")
+        if job.result is None:
+            return _error(
+                409,
+                "result_not_ready",
+                f"job {job_id} is {job.status.value}; poll "
+                "/v1/jobs/<job_id>/status until succeeded",
+            )
+        return Response(200, {"job_id": job.job_id, **job.result.to_dict()})
+
+    @route("POST", "/v1/jobs/<job_id>/pause")
+    async def pause_job(self, request: Request, job_id: str) -> Response:
+        return Response(200, self._queue.pause(job_id).to_public_dict())
+
+    @route("POST", "/v1/jobs/<job_id>/resume")
+    async def resume_job(self, request: Request, job_id: str) -> Response:
+        return Response(200, self._queue.resume(job_id).to_public_dict())
+
+    @route("POST", "/v1/jobs/<job_id>/cancel")
+    async def cancel_job(self, request: Request, job_id: str) -> Response:
+        return Response(200, self._queue.cancel(job_id).to_public_dict())
+
+    @route("GET", "/v1/queue")
+    async def queue_stats(self, request: Request) -> Response:
+        return Response(200, self._queue.stats())
+
+    @route("POST", "/v1/queue/pause")
+    async def pause_queue(self, request: Request) -> Response:
+        self._queue.pause_all()
+        return Response(200, self._queue.stats())
+
+    @route("POST", "/v1/queue/resume")
+    async def resume_queue(self, request: Request) -> Response:
+        self._queue.resume_all()
+        return Response(200, self._queue.stats())

@@ -1,0 +1,274 @@
+"""The service's background worker: claim, run, notify — forever.
+
+One :class:`ServiceWorker` thread drains the :class:`~repro.service.queue.JobQueue`:
+
+1. **claim** the oldest runnable job (blocking on the queue's condition
+   variable, not polling);
+2. **run** it through the :class:`KeyCheckRunner` — a
+   :class:`~repro.core.clustered.ClusteredBatchGcd` engine run whose
+   worker substrate is the fault-tolerant machinery of
+   :mod:`repro.faults` (bounded chunk retry, pool rebuild, graceful
+   degradation) with a per-job
+   :class:`~repro.faults.checkpoint.CheckpointStore` under
+   ``<state_dir>/checkpoints/<job_id>/``, so a SIGKILL mid-run resumes
+   the *same engine computation* on restart instead of recomputing;
+3. **record** the outcome — the run executes under a private
+   :class:`~repro.telemetry.Telemetry` registry whose
+   :class:`~repro.telemetry.RunReport` is journalled with the job and
+   served at ``GET /v1/jobs/<job_id>/status``;
+4. **notify** the webhook, if the job carries one, with bounded retry
+   and exponential backoff (:class:`WebhookNotifier`); delivery attempts
+   are journalled, so undelivered callbacks survive a restart and are
+   re-driven on startup.
+
+A run that raises consumes one of the job's ``max_attempts`` and the job
+re-queues (the queue's outer retry loop); exhausted attempts fail the
+job terminally, which *also* triggers the webhook — clients learn about
+permanent failures, not just successes.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.core.clustered import ClusteredBatchGcd
+from repro.service.models import JobRecord, JobResult, ServiceConfig
+from repro.service.queue import JobQueue
+from repro.telemetry import Telemetry, use_telemetry
+
+__all__ = ["KeyCheckRunner", "ServiceWorker", "WebhookNotifier"]
+
+
+class KeyCheckRunner:
+    """Run one job's corpus through the clustered batch-GCD engine.
+
+    Args:
+        config: engine knobs (k, processes, scheduler, backend, chunk
+            retry/timeout, fault plan).
+        checkpoint_root: per-job checkpoint directories live under here;
+            None disables engine checkpointing.
+    """
+
+    def __init__(
+        self, config: ServiceConfig, checkpoint_root: str | Path | None = None
+    ) -> None:
+        self._config = config
+        self._checkpoint_root = (
+            Path(checkpoint_root) if checkpoint_root is not None else None
+        )
+
+    def __call__(self, job: JobRecord) -> tuple[JobResult, dict[str, Any]]:
+        """Execute the check; returns ``(result, telemetry report dict)``."""
+        config = self._config
+        checkpoint_dir = (
+            self._checkpoint_root / job.job_id
+            if self._checkpoint_root is not None
+            else None
+        )
+        engine = ClusteredBatchGcd(
+            k=max(1, min(config.engine_k, len(job.moduli))),
+            processes=config.engine_processes,
+            scheduler=config.engine_scheduler,
+            backend=config.engine_backend,
+            max_retries=config.engine_max_retries,
+            chunk_timeout=config.engine_chunk_timeout,
+            checkpoint_dir=checkpoint_dir,
+            fault_plan=config.fault_plan,
+        )
+        job_telemetry = Telemetry()
+        with use_telemetry(job_telemetry):
+            with job_telemetry.span(
+                "service.job", job=job.job_id, moduli=len(job.moduli)
+            ):
+                outcome = engine.run(job.moduli)
+        result = JobResult(
+            divisors=tuple(
+                (index, outcome.divisors[index])
+                for index in outcome.vulnerable_indices
+            ),
+            factored=tuple(
+                sorted(
+                    (fact.modulus, fact.p, fact.q)
+                    for fact in outcome.resolve().values()
+                )
+            ),
+            moduli_checked=len(job.moduli),
+        )
+        return result, job_telemetry.report().to_dict()
+
+
+class WebhookNotifier:
+    """Deliver completion callbacks with bounded retry.
+
+    The payload is the job's public dict (status, result, error) POSTed
+    as JSON.  Any 2xx response counts as delivered; anything else —
+    connection refusal, 5xx, timeout — consumes one attempt and backs
+    off exponentially.  Exhausted attempts mark the job's webhook state
+    ``gave_up`` (visible in the job record; the result itself is still
+    pollable).
+
+    Args:
+        max_attempts: delivery attempts per job.
+        backoff_base: first retry delay, seconds (doubles per attempt).
+        timeout: per-request socket timeout, seconds.
+        transport: ``(url, body_bytes) -> status_code`` override for
+            tests; the default uses :mod:`urllib.request`.
+        sleep: injectable delay function (tests pass a no-op).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_attempts: int = 3,
+        backoff_base: float = 0.05,
+        timeout: float = 5.0,
+        transport: Callable[[str, bytes], int] | None = None,
+        sleep: Callable[[float], None] | None = None,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self.timeout = timeout
+        self._transport = transport or self._http_post
+        self._sleep = sleep if sleep is not None else _default_sleep
+
+    def _http_post(self, url: str, body: bytes) -> int:
+        request = urllib.request.Request(
+            url,
+            data=body,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            return response.status
+
+    def deliver(self, queue: JobQueue, job: JobRecord) -> bool:
+        """Drive delivery for one job to a terminal webhook state."""
+        if job.webhook_url is None:
+            return True
+        body = json.dumps(
+            {"event": "job.finished", **job.to_public_dict()}, sort_keys=True
+        ).encode("utf-8")
+        attempt = job.webhook_attempts
+        while attempt < self.max_attempts:
+            ok = False
+            try:
+                status = self._transport(job.webhook_url, body)
+                ok = 200 <= status < 300
+            except (urllib.error.URLError, OSError, TimeoutError):
+                ok = False
+            attempt += 1
+            queue.record_webhook_attempt(job.job_id, ok)
+            if ok:
+                return True
+            if attempt < self.max_attempts:
+                self._sleep(self.backoff_base * (2 ** (attempt - 1)))
+        queue.record_webhook_gave_up(job.job_id)
+        return False
+
+
+def _default_sleep(seconds: float) -> None:
+    # threading.Event-based sleep is interruptible-friendly and keeps the
+    # module clear of direct time.sleep scattering.
+    threading.Event().wait(seconds)
+
+
+class ServiceWorker(threading.Thread):
+    """The claim/run/notify loop as a daemon thread.
+
+    Args:
+        queue: the shared durable queue.
+        runner: ``job -> (result, report_dict)``; defaults to a
+            :class:`KeyCheckRunner` built from ``config``.
+        notifier: webhook delivery driver (built from ``config`` when
+            omitted).
+        config: service knobs (used only for the defaults above).
+        telemetry: service-level metrics sink.
+        idle_wait: condition-wait timeout between claims, seconds.
+    """
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        *,
+        config: ServiceConfig | None = None,
+        runner: Callable[[JobRecord], tuple[JobResult, dict[str, Any]]] | None = None,
+        notifier: WebhookNotifier | None = None,
+        telemetry: Telemetry | None = None,
+        idle_wait: float = 0.25,
+    ) -> None:
+        super().__init__(name="repro-service-worker", daemon=True)
+        if runner is None:
+            if config is None:
+                raise ValueError("either a runner or a config is required")
+            runner = KeyCheckRunner(
+                config, checkpoint_root=Path(config.state_dir) / "checkpoints"
+            )
+        if notifier is None:
+            notifier = WebhookNotifier(
+                max_attempts=(config.webhook_max_attempts if config else 3),
+                backoff_base=(config.webhook_backoff_base if config else 0.05),
+            )
+        self._queue = queue
+        self._runner = runner
+        self._notifier = notifier
+        self._telemetry = telemetry or Telemetry(enabled=False)
+        self._idle_wait = idle_wait
+        self._stop_event = threading.Event()
+        self.jobs_run = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    def stop(self, join_timeout: float = 10.0) -> None:
+        """Ask the loop to exit and wait for the thread to finish."""
+        self._stop_event.set()
+        if self.is_alive():
+            self.join(timeout=join_timeout)
+
+    def run(self) -> None:
+        self._redeliver_pending_webhooks()
+        while not self._stop_event.is_set():
+            job = self._queue.claim()
+            if job is None:
+                self._queue.wait_for_work(self._idle_wait)
+                continue
+            self._run_one(job)
+
+    # -- the loop body ---------------------------------------------------
+
+    def _run_one(self, job: JobRecord) -> None:
+        clock = self._telemetry.clock
+        started = clock.wall()
+        try:
+            result, report = self._runner(job)
+        except Exception as exc:  # noqa: BLE001 — worker must survive any job
+            _, requeued = self._queue.fail(job.job_id, f"{type(exc).__name__}: {exc}")
+            if not requeued:
+                self._notify(job.job_id)
+            return
+        finally:
+            self.jobs_run += 1
+            self._telemetry.observe(
+                "service.job_seconds", clock.wall() - started
+            )
+        self._queue.complete(job.job_id, result, report)
+        self._notify(job.job_id)
+
+    def _notify(self, job_id: str) -> None:
+        job = self._queue.get(job_id)
+        if job is None or job.webhook_url is None:
+            return
+        self._notifier.deliver(self._queue, job)
+
+    def _redeliver_pending_webhooks(self) -> None:
+        """Startup pass: callbacks recorded as owed but never delivered."""
+        for job in self._queue.pending_webhooks():
+            if self._stop_event.is_set():
+                return
+            self._notifier.deliver(self._queue, job)

@@ -125,6 +125,26 @@ class StudyConfig:
         )
 
     @classmethod
+    def service(cls, seed: int = 2016) -> "StudyConfig":
+        """Engine tuning for the serving layer (:mod:`repro.service`).
+
+        Service jobs are interactive-scale corpora (hundreds to a few
+        thousand moduli per submission), so the subset count stays small
+        — the engine caps ``k`` at the corpus size anyway — and the
+        defaults favour latency over the batch run's throughput posture:
+        in-process execution (no pool startup on small jobs; operators
+        opt into ``--processes`` for large tenants), the streaming
+        scheduler, and modest chunk retry bounds.
+        """
+        return cls(
+            seed=seed,
+            batchgcd_k=4,
+            batchgcd_processes=None,
+            batchgcd_scheduler="streaming",
+            batchgcd_max_retries=2,
+        )
+
+    @classmethod
     def medium(cls, seed: int = 2016) -> "StudyConfig":
         """Example-sized configuration (~1:5000)."""
         return cls(

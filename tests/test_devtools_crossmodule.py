@@ -407,6 +407,104 @@ class TestDeadPublicSymbol:
         assert only(lint(tmp_path, monkeypatch), "XDEAD001") == []
 
 
+SERVER_MODULE = """
+_ROUTES = []
+
+def route(method, pattern):
+    def wrap(fn):
+        _ROUTES.append((method, pattern, fn))
+        return fn
+    return wrap
+
+class Server:
+    @route("GET", "/healthz")
+    async def health(self, request):
+        return None
+
+    @route("POST", "/v1/jobs")
+    async def submit(self, request):
+        self.telemetry.counter("service.http.requests", 1)
+        return None
+"""
+
+SERVICE_DOC = """
+# Service
+
+<!-- endpoint-catalog:begin -->
+| Method | Path | Purpose |
+|---|---|---|
+| `GET` | `/healthz` | liveness |
+| `POST` | `/v1/jobs` | submit |
+<!-- endpoint-catalog:end -->
+
+Metrics: `service.http.requests` counts dispatched requests.
+"""
+
+
+class TestServiceContractDrift:
+    def test_fires_both_directions_on_catalog_drift(self, tmp_path, monkeypatch):
+        write(
+            tmp_path,
+            "docs/SERVICE.md",
+            SERVICE_DOC.replace(
+                "| `POST` | `/v1/jobs` | submit |",
+                "| `POST` | `/v1/jobs/<job_id>/retry` | ghost row |",
+            ),
+        )
+        write(tmp_path, "src/repro/server.py", SERVER_MODULE)
+        findings = only(lint(tmp_path, monkeypatch), "XSVC001")
+        assert len(findings) == 2
+        undocumented = [f for f in findings if "POST /v1/jobs'" in f.message]
+        assert len(undocumented) == 1
+        assert undocumented[0].path == "src/repro/server.py"
+        ghost = [f for f in findings if "registered nowhere" in f.message]
+        assert len(ghost) == 1
+        assert ghost[0].path.endswith("docs/SERVICE.md")
+        assert "/v1/jobs/<job_id>/retry" in ghost[0].message
+
+    def test_fires_when_doc_missing_entirely(self, tmp_path, monkeypatch):
+        write(tmp_path, "src/repro/server.py", SERVER_MODULE)
+        findings = only(lint(tmp_path, monkeypatch), "XSVC001")
+        assert len(findings) == 1
+        assert "does not exist" in findings[0].message
+        assert findings[0].path == "src/repro/server.py"
+
+    def test_fires_when_doc_has_no_catalog_markers(self, tmp_path, monkeypatch):
+        write(tmp_path, "docs/SERVICE.md", "# Service\n\nprose only\n")
+        write(tmp_path, "src/repro/server.py", SERVER_MODULE)
+        findings = only(lint(tmp_path, monkeypatch), "XSVC001")
+        assert len(findings) == 1
+        assert "no machine-readable endpoint catalog" in findings[0].message
+
+    def test_fires_on_unmentioned_service_metric(self, tmp_path, monkeypatch):
+        write(
+            tmp_path,
+            "docs/SERVICE.md",
+            SERVICE_DOC.replace("`service.http.requests`", "nothing here"),
+        )
+        write(tmp_path, "src/repro/server.py", SERVER_MODULE)
+        findings = only(lint(tmp_path, monkeypatch), "XSVC001")
+        assert len(findings) == 1
+        assert "service.http.requests" in findings[0].message
+        assert "service metrics table" in findings[0].message
+
+    def test_clean_when_catalog_matches(self, tmp_path, monkeypatch):
+        write(tmp_path, "docs/SERVICE.md", SERVICE_DOC)
+        write(tmp_path, "src/repro/server.py", SERVER_MODULE)
+        assert only(lint(tmp_path, monkeypatch), "XSVC001") == []
+
+    def test_silent_without_service_layer(self, tmp_path, monkeypatch):
+        write(
+            tmp_path,
+            "src/repro/plain.py",
+            """
+            def run():
+                return 1
+            """,
+        )
+        assert only(lint(tmp_path, monkeypatch), "XSVC001") == []
+
+
 class TestRealRepoSurface:
     def test_real_tree_has_no_new_cross_module_findings(self):
         findings = LintEngine().lint_paths(

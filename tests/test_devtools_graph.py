@@ -336,6 +336,78 @@ class TestFactCollection:
         assert "batchgcd_k" in module.call_kwargs
 
 
+class TestRouteFacts:
+    SERVER = """
+    _ROUTES = []
+
+    def route(method, pattern):
+        def wrap(fn):
+            _ROUTES.append((method, pattern, fn))
+            return fn
+        return wrap
+
+    class Server:
+        @route("GET", "/healthz")
+        async def health(self, request):
+            return None
+
+        @route("POST", "/v1/jobs/<job_id>/pause")
+        async def pause(self, request, job_id):
+            return None
+    """
+
+    def test_decorator_routes_collected(self, tmp_path):
+        write(tmp_path, "src/repro/server.py", self.SERVER)
+        graph = build(tmp_path, "src/repro/server.py")
+        routes = {(call.method, call.pattern) for call in graph.route_calls()}
+        assert routes == {
+            ("GET", "/healthz"),
+            ("POST", "/v1/jobs/<job_id>/pause"),
+        }
+        assert all(
+            call.path.endswith("src/repro/server.py")
+            for call in graph.route_calls()
+        )
+
+    def test_plain_call_registration_collected(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/server.py",
+            """
+            def install(app):
+                app.add_route("GET", "/v1/queue")
+            """,
+        )
+        graph = build(tmp_path, "src/repro/server.py")
+        assert [(c.method, c.pattern) for c in graph.route_calls()] == [
+            ("GET", "/v1/queue")
+        ]
+
+    def test_non_routes_ignored(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/server.py",
+            """
+            def setup(app, method):
+                app.add_route("FETCH", "/nope")     # unknown HTTP method
+                app.add_route("GET", "relative")    # pattern must start with /
+                app.add_route(method, "/dynamic")   # non-literal method
+                route = object()
+            """,
+        )
+        graph = build(tmp_path, "src/repro/server.py")
+        assert graph.route_calls() == []
+
+    def test_routes_in_json_payload(self, tmp_path):
+        write(tmp_path, "src/repro/server.py", self.SERVER)
+        graph = build(tmp_path, "src/repro/server.py")
+        payload = json.loads(graph.to_json())
+        assert payload["routes"] == [
+            "GET /healthz",
+            "POST /v1/jobs/<job_id>/pause",
+        ]
+
+
 class TestCachingAndDeterminism:
     def test_same_tree_hits_cache(self, tmp_path):
         write(tmp_path, "src/repro/a.py", "def f():\n    return 1\n")

@@ -1,0 +1,178 @@
+"""The service crash drill: SIGKILL the process mid-queue, restart, finish.
+
+Mirrors ``tests/test_faults_chaos.py::TestKillAndResumeCli`` one layer
+up: instead of killing the batch-GCD CLI, it kills the whole service
+process — journal, claimed job, engine run and all — and asserts the
+restarted process recovers the queue, re-runs the interrupted job, and
+serves the same result an undisturbed run produces.
+"""
+
+import http.client
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.core.clustered import ClusteredBatchGcd
+from repro.crypto.primes import generate_prime
+
+
+def _weak_corpus(seed=2016, size=6, bits=40):
+    rng = random.Random(seed)
+    shared = generate_prime(bits, rng)
+    moduli = []
+    for index in range(size):
+        p = shared if index in (0, 3) else generate_prime(bits, rng)
+        moduli.append(p * generate_prime(bits, rng))
+    return moduli
+
+
+CORPUS = _weak_corpus()
+
+
+def _request(port, method, path, payload=None, timeout=10.0):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        conn.request(
+            method, path, body=None if payload is None else json.dumps(payload)
+        )
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+class _Service:
+    """One ``python -m repro.service`` child process."""
+
+    def __init__(self, state_dir: Path, *extra_argv: str):
+        env = dict(os.environ, PYTHONPATH="src")
+        env.pop("REPRO_FAULTS", None)
+        env.pop("REPRO_SERVICE_API_KEYS", None)
+        self.state_dir = state_dir
+        self.process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.service",
+                "--state-dir", str(state_dir), "--port", "0", *extra_argv,
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+
+    def wait_port(self, timeout=30.0) -> int:
+        """Poll endpoint.json until it names *this* process and serves."""
+        endpoint = self.state_dir / "endpoint.json"
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            assert self.process.poll() is None, "service process died at boot"
+            try:
+                info = json.loads(endpoint.read_text())
+                if info["pid"] == self.process.pid:
+                    status, _ = _request(info["port"], "GET", "/healthz", timeout=2.0)
+                    if status == 200:
+                        return info["port"]
+            except (OSError, ValueError, KeyError):
+                pass
+            time.sleep(0.05)
+        raise AssertionError("service never published a live endpoint")
+
+    def sigkill(self):
+        self.process.send_signal(signal.SIGKILL)
+        self.process.wait(timeout=30)
+
+    def sigterm(self) -> int:
+        self.process.send_signal(signal.SIGTERM)
+        return self.process.wait(timeout=30)
+
+
+class TestKillAndRestartService:
+    def test_sigkill_mid_job_restart_resumes_and_completes(self, tmp_path):
+        state_dir = tmp_path / "state"
+        payload = {"moduli": [f"{n:x}" for n in CORPUS]}
+
+        # Boot with a slow fault plan so the kill lands mid-engine-run.
+        victim = _Service(state_dir, "--fault-plan", "slow:seconds=0.5")
+        try:
+            port = victim.wait_port()
+            status, submitted = _request(port, "POST", "/v1/jobs", payload)
+            assert status == 202, submitted
+            job_id = submitted["job_id"]
+
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                _, body = _request(port, "GET", f"/v1/jobs/{job_id}/status")
+                if body["status"] == "running":
+                    break
+                assert body["status"] != "succeeded", "job finished before kill"
+                time.sleep(0.02)
+            assert body["status"] == "running", body
+        finally:
+            victim.sigkill()
+
+        # Restart plain (no fault plan): replay must requeue the claimed
+        # job with its crashed attempt counted, then finish it.
+        revived = _Service(state_dir)
+        try:
+            port = revived.wait_port()
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                _, body = _request(port, "GET", f"/v1/jobs/{job_id}/status")
+                if body["status"] in ("succeeded", "failed"):
+                    break
+                time.sleep(0.05)
+            assert body["status"] == "succeeded", body
+            assert body["attempts"] == 2  # crashed claim + the completing run
+
+            status, result = _request(port, "GET", f"/v1/jobs/{job_id}/result")
+            assert status == 200
+
+            reference = ClusteredBatchGcd(k=4).run(CORPUS)
+            assert result["divisors"] == [
+                [index, f"{reference.divisors[index]:x}"]
+                for index in reference.vulnerable_indices
+            ]
+            assert {0, 3} <= {index for index, _ in result["divisors"]}
+
+            # The journal survived both processes: stats agree.
+            _, stats = _request(port, "GET", "/v1/queue")
+            assert stats["by_status"]["succeeded"] == 1
+        finally:
+            assert revived.sigterm() == 0  # clean drain on SIGTERM
+
+
+class TestCleanShutdown:
+    def test_sigterm_exits_zero_and_journal_replays(self, tmp_path):
+        state_dir = tmp_path / "state"
+        service = _Service(state_dir)
+        try:
+            port = service.wait_port()
+            status, body = _request(
+                port, "POST", "/v1/jobs",
+                {"moduli": [f"{n:x}" for n in _weak_corpus(seed=9, size=3)]},
+            )
+            assert status == 202
+            job_id = body["job_id"]
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                _, job = _request(port, "GET", f"/v1/jobs/{job_id}")
+                if job["status"] == "succeeded":
+                    break
+                time.sleep(0.05)
+            assert job["status"] == "succeeded"
+        finally:
+            assert service.sigterm() == 0
+
+        # A fresh process over the same state dir sees the finished job.
+        revived = _Service(state_dir)
+        try:
+            port = revived.wait_port()
+            _, job = _request(port, "GET", f"/v1/jobs/{job_id}")
+            assert job["status"] == "succeeded"
+            assert "result" in job
+        finally:
+            assert revived.sigterm() == 0
