@@ -13,6 +13,7 @@ __all__ = ["load_all"]
 def load_all() -> None:
     """Import every rule family so its rules self-register."""
     from repro.devtools.checks import (  # noqa: F401  (import-for-effect)
+        asyncsafety,
         crossmodule,
         determinism,
         faults,

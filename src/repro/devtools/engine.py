@@ -316,17 +316,30 @@ class LintEngine:
     # -- trees ------------------------------------------------------------
 
     def lint_paths(
-        self, paths: Iterable[str | Path], project: bool = True
+        self,
+        paths: Iterable[str | Path],
+        project: bool = True,
+        only_files: Iterable[str | Path] | None = None,
     ) -> list[Finding]:
         """Lint every ``.py`` file under the given files/directories.
 
         With ``project=True`` (the default) the cross-module rules also
         run, over a whole-program graph built from the ``repro`` source
         files in the set — one extra pass total, shared by all of them.
+
+        ``only_files`` restricts the *per-file* rules to that subset
+        (the ``--changed-only`` seam); project rules always analyze the
+        full set, because a changed module can break an invariant whose
+        finding lands in an unchanged one.
         """
         findings: list[Finding] = []
         files = collect_files(paths)
-        for file in files:
+        if only_files is None:
+            per_file = files
+        else:
+            wanted = {Path(f).resolve() for f in only_files}
+            per_file = [file for file in files if file.resolve() in wanted]
+        for file in per_file:
             findings.extend(
                 self.lint_source(file.read_text(), file.as_posix())
             )

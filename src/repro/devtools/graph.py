@@ -24,6 +24,18 @@ submissions, ``argparse`` flag dests, ``StudyConfig``-shaped constructor
 keywords, dataclass fields, and the project-wide set of referenced names
 (spanning ``src``, ``tests``, ``benchmarks``, and ``examples``).
 
+For the async-safety rules (ASY*/XTNT*), the same pass additionally
+records per-function **call sites** (raw spelling, terminal attribute,
+bare/awaited flags), ``await`` line numbers, **offload boundaries**
+(callables handed to ``asyncio.to_thread``/``run_in_executor``/pool
+``submit``/``Thread(target=...)`` run *off* the event loop), and a
+lightweight **type sketch**: parameter annotations, ``x = Cls(...)``
+locals, and ``self.attr = Cls(...)`` instance attributes.  The sketch
+lets ``self._queue.submit()`` resolve through the receiver's class to
+``JobQueue.submit``, which is what makes event-loop reachability
+(:meth:`ProjectGraph.async_origins`) see through the service's
+composition seams.
+
 Builds are cached per run, keyed on every involved file's
 ``(path, mtime, size)``, so the lint CLI, the four cross-module rules,
 and ``python -m repro.devtools.graph`` share one pass.  The JSON and DOT
@@ -34,12 +46,14 @@ from __future__ import annotations
 
 import ast
 import json
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
 __all__ = [
     "ArgparseFlag",
+    "CallSite",
     "FunctionNode",
     "MetricCall",
     "ModuleNode",
@@ -64,6 +78,8 @@ _POOLISH_RECEIVERS = ("pool", "executor")
 #: seam: ``ResilientExecutor(pool_task=...)`` submits its argument to a
 #: ProcessPoolExecutor on the caller's behalf (repro.faults.recovery).
 _POOL_TASK_KWARGS = frozenset({"pool_task"})
+#: Constructors whose ``target=`` keyword runs on a spawned thread/process.
+_THREAD_CLASSES = frozenset({"Thread", "Process", "Timer"})
 _MUTATOR_METHODS = frozenset(
     {
         "append", "extend", "insert", "add", "update", "setdefault", "pop",
@@ -160,6 +176,18 @@ class RouteCall:
     lineno: int
 
 
+@dataclass(frozen=True, slots=True)
+class CallSite:
+    """One call expression inside a function body, with context flags."""
+
+    raw: str | None  #: dotted spelling of the callee (None = dynamic)
+    terminal: str | None  #: last Name/Attribute segment ("flush", "sleep")
+    lineno: int
+    col: int
+    bare: bool  #: the call is a bare expression statement (result dropped)
+    awaited: bool  #: the call is directly wrapped in ``await``
+
+
 @dataclass(slots=True)
 class FunctionNode:
     """One function or method in the project call graph."""
@@ -170,16 +198,29 @@ class FunctionNode:
     path: str
     lineno: int
     is_method: bool
+    is_async: bool = False
+    #: decorated with a ``route("METHOD", "/pattern")`` registration.
+    route_decorated: bool = False
     #: raw call targets as spelled ("helper", "mod.attr.fn", "self.m").
     raw_calls: list[str] = field(default_factory=list)
     #: raw callable-valued arguments (become *indirect* call edges).
     raw_indirect: list[str] = field(default_factory=list)
+    #: raw callables handed across an offload boundary (to_thread, pools).
+    raw_offload: list[str] = field(default_factory=list)
     #: module globals this function rebinds via a ``global`` declaration.
     global_writes: list[str] = field(default_factory=list)
     #: module-level mutable bindings this function mutates in place.
     container_writes: list[str] = field(default_factory=list)
+    #: every call expression in the body, in source order.
+    call_sites: list[CallSite] = field(default_factory=list)
+    #: line numbers holding an ``await`` expression.
+    await_lines: list[int] = field(default_factory=list)
+    #: local/parameter name -> raw class-like type spelling ("JobQueue").
+    local_types: dict[str, str] = field(default_factory=dict)
     #: resolved callee qualnames (filled by ProjectGraph._finalize).
     calls: tuple[str, ...] = ()
+    #: resolved callees that cross an offload boundary (subset of calls).
+    offloads: tuple[str, ...] = ()
 
 
 @dataclass(slots=True)
@@ -209,6 +250,9 @@ class ModuleNode:
     call_kwargs: set[str] = field(default_factory=set)
     #: (kwarg, lineno) pairs of StudyConfig(...)/config.with_(...) calls.
     config_kwargs: list[tuple[str, int]] = field(default_factory=list)
+    #: class name -> {attribute -> raw class-like type} from ``self.x = Cls()``
+    #: assignments and annotated ``self.x: Cls`` declarations.
+    attr_types: dict[str, dict[str, str]] = field(default_factory=dict)
 
 
 # ---------------------------------------------------------------------------
@@ -225,6 +269,8 @@ class _ModuleVisitor(ast.NodeVisitor):
         self._class_stack: list[str] = []
         self._func_stack: list[FunctionNode] = []
         self._global_decls: list[set[str]] = []
+        self._bare_calls: set[int] = set()
+        self._awaited_calls: set[int] = set()
 
     # -- imports ----------------------------------------------------------
 
@@ -280,15 +326,21 @@ class _ModuleVisitor(ast.NodeVisitor):
             path=self.mod.path,
             lineno=node.lineno,
             is_method=is_method,
+            is_async=isinstance(node, ast.AsyncFunctionDef),
         )
         self.functions.setdefault(func.qualname, func)
+        args = node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            annotated = _annotation_name(arg.annotation)
+            if annotated is not None:
+                func.local_types.setdefault(arg.arg, annotated)
         if self._func_stack:
             # A nested function is conservatively callable from its parent.
             self._func_stack[-1].raw_indirect.append(func.qualname)
         for decorator in node.decorator_list:
             self._record_call_target(decorator, indirect=True)
-            if isinstance(decorator, ast.Call):
-                self._maybe_route(decorator)
+            if isinstance(decorator, ast.Call) and self._maybe_route(decorator):
+                func.route_decorated = True
         self._func_stack.append(func)
         self._global_decls.append(set())
         try:
@@ -332,12 +384,69 @@ class _ModuleVisitor(ast.NodeVisitor):
                     )
                 elif _is_mutable_display(node.value):
                     self.mod.mutable_globals.add(target.id)
+        self._record_types(node.targets, self._value_type(node.value))
         self._record_stores(node.targets)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._record_types([node.target], _annotation_name(node.annotation))
         self.generic_visit(node)
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
         self._record_stores([node.target])
         self.generic_visit(node)
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        value = node.value
+        if isinstance(value, ast.Await):
+            value = value.value
+        if isinstance(value, ast.Call):
+            self._bare_calls.add(id(value))
+        self.generic_visit(node)
+
+    def visit_Await(self, node: ast.Await) -> None:
+        if self._func_stack:
+            func = self._func_stack[-1]
+            if node.lineno not in func.await_lines:
+                func.await_lines.append(node.lineno)
+        if isinstance(node.value, ast.Call):
+            self._awaited_calls.add(id(node.value))
+        self.generic_visit(node)
+
+    def _record_types(self, targets: Iterable[ast.expr], raw_type: str | None) -> None:
+        """Sketch ``x = Cls(...)`` locals and ``self.attr = Cls(...)`` attrs."""
+        if raw_type is None or not self._func_stack:
+            return
+        func = self._func_stack[-1]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                func.local_types.setdefault(target.id, raw_type)
+            elif (
+                self._class_stack
+                and isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                self.mod.attr_types.setdefault(
+                    self._class_stack[-1], {}
+                ).setdefault(target.attr, raw_type)
+
+    def _value_type(self, expr: ast.expr) -> str | None:
+        """Class-like raw type of an assigned value, if statically evident."""
+        if isinstance(expr, ast.Call):
+            raw = _dotted(expr.func)
+            return raw if _is_classlike(raw) else None
+        if isinstance(expr, ast.Name) and self._func_stack:
+            return self._func_stack[-1].local_types.get(expr.id)
+        if isinstance(expr, ast.BoolOp):
+            for value in expr.values:
+                found = self._value_type(value)
+                if found is not None:
+                    return found
+            return None
+        if isinstance(expr, ast.IfExp):
+            return self._value_type(expr.body) or self._value_type(expr.orelse)
+        return None
 
     def visit_Global(self, node: ast.Global) -> None:
         if self._global_decls:
@@ -370,6 +479,23 @@ class _ModuleVisitor(ast.NodeVisitor):
             terminal = node.func.id
         else:
             terminal = None
+
+        if self._func_stack:
+            func = self._func_stack[-1]
+            func.call_sites.append(
+                CallSite(
+                    raw=raw,
+                    terminal=terminal,
+                    lineno=node.lineno,
+                    col=node.col_offset,
+                    bare=id(node) in self._bare_calls,
+                    awaited=id(node) in self._awaited_calls,
+                )
+            )
+            for expr in self._offload_args(node, terminal):
+                target = _dotted(_unwrap_partial(expr))
+                if target is not None:
+                    func.raw_offload.append(target)
 
         if self._func_stack and isinstance(node.func, ast.Attribute):
             receiver = node.func.value
@@ -446,7 +572,28 @@ class _ModuleVisitor(ast.NodeVisitor):
                 self._record_call_target(arg, indirect=True)
         self.generic_visit(node)
 
-    def _maybe_route(self, node: ast.Call) -> None:
+    def _offload_args(self, node: ast.Call, terminal: str | None) -> list[ast.expr]:
+        """Argument expressions this call runs *off* the calling thread."""
+        out: list[ast.expr] = []
+        if terminal == "to_thread" and node.args:
+            out.append(node.args[0])
+        elif terminal == "run_in_executor" and len(node.args) >= 2:
+            out.append(node.args[1])
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _POOL_METHODS
+            and _looks_like_pool(node.func)
+            and node.args
+        ):
+            out.append(node.args[0])
+        for keyword in node.keywords:
+            if keyword.arg == "target" and terminal in _THREAD_CLASSES:
+                out.append(keyword.value)
+            elif keyword.arg in _POOL_TASK_KWARGS or keyword.arg == "initializer":
+                out.append(keyword.value)
+        return out
+
+    def _maybe_route(self, node: ast.Call) -> bool:
         """Record ``route("METHOD", "/pattern")``-shaped registrations."""
         func = node.func
         terminal = (
@@ -455,16 +602,16 @@ class _ModuleVisitor(ast.NodeVisitor):
             else None
         )
         if terminal not in _ROUTE_REGISTRARS or len(node.args) < 2:
-            return
+            return False
         first, second = node.args[0], node.args[1]
         if not (
             isinstance(first, ast.Constant) and isinstance(first.value, str)
             and isinstance(second, ast.Constant) and isinstance(second.value, str)
         ):
-            return
+            return False
         method = first.value.upper()
         if method not in _HTTP_METHODS or not second.value.startswith("/"):
-            return
+            return False
         entry = RouteCall(
             method=method,
             pattern=second.value,
@@ -473,6 +620,7 @@ class _ModuleVisitor(ast.NodeVisitor):
         )
         if entry not in self.mod.route_calls:
             self.mod.route_calls.append(entry)
+        return True
 
     def _record_call_target(self, expr: ast.expr, indirect: bool = False) -> None:
         if not self._func_stack:
@@ -512,6 +660,42 @@ def _dotted(expr: ast.expr) -> str | None:
         return None
     parts.append(node.id)
     return ".".join(reversed(parts))
+
+
+def _unwrap_partial(expr: ast.expr) -> ast.expr:
+    """``functools.partial(f, ...)`` stands for ``f`` at an offload seam."""
+    if (
+        isinstance(expr, ast.Call)
+        and _dotted(expr.func) in {"partial", "functools.partial"}
+        and expr.args
+    ):
+        return expr.args[0]
+    return expr
+
+
+def _is_classlike(raw: str | None) -> bool:
+    """Heuristic: a dotted spelling whose terminal looks like a class name."""
+    if raw is None:
+        return False
+    terminal = raw.rsplit(".", 1)[-1]
+    return terminal[:1].isupper() and terminal not in {"None", "True", "False"}
+
+
+def _annotation_name(expr: ast.expr | None) -> str | None:
+    """Class-like dotted name from an annotation (unwraps ``X | None``).
+
+    Subscripted generics (``Optional[X]``, ``list[X]``) and lowercase
+    builtins resolve to None — the type sketch only tracks receivers
+    whose methods the call graph can bind.
+    """
+    if expr is None:
+        return None
+    if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.BitOr):
+        return _annotation_name(expr.left) or _annotation_name(expr.right)
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return expr.value if _is_classlike(expr.value) else None
+    raw = _dotted(expr)
+    return raw if _is_classlike(raw) else None
 
 
 def _is_mutable_display(expr: ast.expr) -> bool:
@@ -644,6 +828,7 @@ class ProjectGraph:
         self.functions = functions
         self.referenced_names = referenced_names
         self.reference_paths = reference_paths
+        self._async_origins: dict[str, str] | None = None
         self._finalize()
 
     # -- resolution -------------------------------------------------------
@@ -695,24 +880,72 @@ class ProjectGraph:
     def _resolve_in_function(self, func: FunctionNode, raw: str) -> str | None:
         if raw.startswith("self.") and func.is_method:
             # Conservative method binding: self.m() targets the enclosing
-            # class's method when it exists.
+            # class's method when it exists; otherwise hop through the
+            # attribute's sketched type (self._queue.submit -> JobQueue.submit).
             cls_qual = func.qualname.rsplit(".", 1)[0]
-            candidate = f"{cls_qual}.{raw[len('self.'):]}"
+            remainder = raw[len("self."):]
+            candidate = f"{cls_qual}.{remainder}"
             if candidate in self.functions:
                 return candidate
-            return None
+            attr, _, rest = remainder.partition(".")
+            module = self.modules.get(func.module)
+            if module is None:
+                return None
+            cls_name = cls_qual.rsplit(".", 1)[-1]
+            raw_type = module.attr_types.get(cls_name, {}).get(attr)
+            if raw_type is None:
+                return None
+            return self._resolve_typed(func, raw_type, rest)
         if raw in self.functions:  # pre-resolved (nested-function edges)
             return raw
+        head, _, rest = raw.partition(".")
+        if head in func.local_types:
+            typed = self._resolve_typed(func, func.local_types[head], rest)
+            if typed is not None:
+                return typed
         return self.resolve(func.module, raw)
+
+    def _resolve_typed(
+        self, func: FunctionNode, raw_type: str, rest: str
+    ) -> str | None:
+        """Bind ``<typed receiver>.rest`` through the receiver's class."""
+        dotted = f"{raw_type}.{rest}" if rest else f"{raw_type}.__call__"
+        return self.resolve(func.module, dotted)
+
+    def resolve_call(self, func: FunctionNode, raw: str) -> str | None:
+        """Public seam for rules: resolve one raw call site in ``func``."""
+        return self._resolve_in_function(func, raw)
+
+    def resolve_name(self, module: str, raw: str) -> str:
+        """Alias-resolve a dotted spelling to its absolute form (best effort).
+
+        Unlike :meth:`resolve`, the result need not be a project function:
+        ``sleep`` after ``from time import sleep`` becomes ``time.sleep``.
+        Unknown heads come back unchanged.
+        """
+        mod = self.modules.get(module)
+        if mod is None:
+            return raw
+        head, _, rest = raw.partition(".")
+        target = mod.imports.get(head)
+        if target is None:
+            return raw
+        return f"{target}.{rest}" if rest else target
 
     def _finalize(self) -> None:
         for func in self.functions.values():
             resolved: list[str] = []
-            for raw in func.raw_calls + func.raw_indirect:
+            for raw in func.raw_calls + func.raw_indirect + func.raw_offload:
                 target = self._resolve_in_function(func, raw)
                 if target is not None and target != func.qualname:
                     resolved.append(target)
             func.calls = tuple(sorted(set(resolved)))
+            offloaded: list[str] = []
+            for raw in func.raw_offload:
+                target = self._resolve_in_function(func, raw)
+                if target is not None:
+                    offloaded.append(target)
+            func.offloads = tuple(sorted(set(offloaded)))
 
     # -- queries ----------------------------------------------------------
 
@@ -727,6 +960,34 @@ class ProjectGraph:
             seen.add(qualname)
             stack.extend(self.functions[qualname].calls)
         return seen
+
+    def async_origins(self) -> dict[str, str]:
+        """Map every event-loop-colored function to the async root reaching it.
+
+        Roots are all ``async def`` functions (mapped to themselves).
+        Traversal follows resolved call edges but never crosses an offload
+        boundary (``asyncio.to_thread``, ``run_in_executor``, pool
+        ``submit``/``map``, ``Thread(target=...)``, ``initializer=``) —
+        code past those runs off the event loop by construction.  BFS over
+        sorted roots and sorted edges keeps the attribution deterministic.
+        """
+        if self._async_origins is None:
+            origins: dict[str, str] = {}
+            queue: deque[str] = deque()
+            for qualname in sorted(self.functions):
+                if self.functions[qualname].is_async:
+                    origins[qualname] = qualname
+                    queue.append(qualname)
+            while queue:
+                qualname = queue.popleft()
+                func = self.functions[qualname]
+                for callee in func.calls:
+                    if callee in func.offloads or callee in origins:
+                        continue
+                    origins[callee] = origins[qualname]
+                    queue.append(callee)
+            self._async_origins = origins
+        return self._async_origins
 
     def pool_entry_points(self) -> dict[str, PoolSubmit]:
         """Resolved qualname -> the submission site that ships it."""
@@ -763,8 +1024,9 @@ class ProjectGraph:
 
     def to_payload(self) -> dict[str, object]:
         """Deterministic JSON-ready dump of the whole graph."""
+        origins = self.async_origins()
         return {
-            "schema_version": 1,
+            "schema_version": 2,
             "root": ".",
             "modules": {
                 name: {
@@ -784,6 +1046,19 @@ class ProjectGraph:
                 if func.calls
             },
             "pool_entry_points": sorted(self.pool_entry_points()),
+            "async_roots": sorted(
+                qualname
+                for qualname, func in self.functions.items()
+                if func.is_async
+            ),
+            "async_colored": sorted(origins),
+            "offload_boundaries": sorted(
+                {
+                    callee
+                    for func in self.functions.values()
+                    for callee in func.offloads
+                }
+            ),
             "metrics": sorted(
                 {call.name for call in self.metric_calls()}
             ),

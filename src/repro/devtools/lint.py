@@ -3,8 +3,9 @@
 Usage::
 
     python -m repro.devtools.lint [paths ...]
-        [--format text|json] [--baseline FILE] [--write-baseline]
-        [--update-baseline] [--no-project] [--list-rules]
+        [--format text|json|sarif] [--baseline FILE] [--write-baseline]
+        [--update-baseline] [--changed-only [BASE]] [--no-project]
+        [--list-rules]
 
 Exit codes: 0 = clean (every finding suppressed or baselined), 1 = new
 findings, 2 = bad invocation.  ``--write-baseline`` snapshots the current
@@ -13,15 +14,23 @@ fill in) and exits 0 — the workflow for adopting a new rule over existing
 code.  ``--update-baseline`` regenerates the file in place while
 *preserving* existing justifications (migrating them across line-text
 drift), and refuses — exit 2 — when an entry would lose one.
-``--no-project`` skips the cross-module rules (XPAR/XTEL/XCFG/XDEAD),
-which need the whole-program graph of :mod:`repro.devtools.graph`.
+``--no-project`` skips the cross-module rules (XPAR/XTEL/XCFG/XDEAD/
+XSVC/ASY/XTNT), which need the whole-program graph of
+:mod:`repro.devtools.graph`.  ``--changed-only [BASE]`` (default base
+``HEAD``) restricts the per-file rules to files ``git diff`` reports
+changed against BASE plus untracked files — the fast pre-commit loop;
+project rules still analyze the whole program.  ``--format sarif``
+emits a SARIF 2.1.0 log (:mod:`repro.devtools.sarif`) for code-scanning
+uploads.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro.devtools.baseline import DEFAULT_BASELINE_NAME, Baseline
@@ -45,9 +54,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="output format (default: text)",
+        help="output format (default: text; sarif emits a SARIF 2.1.0 log)",
+    )
+    parser.add_argument(
+        "--changed-only",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="BASE",
+        help="restrict per-file rules to files changed vs BASE (default "
+        "HEAD) plus untracked files; project rules still run whole-program",
     )
     parser.add_argument(
         "--baseline",
@@ -92,6 +110,27 @@ def _list_rules() -> None:
         print(f"{rule.code:<{width}}  [{rule.severity.value:<7}]  {rule.summary}")
 
 
+def _changed_files(base: str) -> set[Path] | None:
+    """Files ``git diff`` reports against ``base``, plus untracked ones."""
+    try:
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", base, "--"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    names = [*diff.stdout.splitlines(), *untracked.stdout.splitlines()]
+    return {Path(name) for name in names if name.endswith(".py")}
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     engine = LintEngine()
@@ -100,7 +139,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         _list_rules()
         return 0
 
-    findings = engine.lint_paths(args.paths, project=not args.no_project)
+    only_files: set[Path] | None = None
+    if args.changed_only is not None:
+        only_files = _changed_files(args.changed_only)
+        if only_files is None:
+            print(
+                "error: --changed-only needs a git checkout and a valid "
+                f"base ref (got {args.changed_only!r})",
+                file=sys.stderr,
+            )
+            return 2
+
+    findings = engine.lint_paths(
+        args.paths, project=not args.no_project, only_files=only_files
+    )
 
     if args.write_baseline:
         Baseline.from_findings(findings).write(args.baseline)
@@ -138,7 +190,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     new = baseline.filter_new(findings)
     stale = baseline.stale_entries(findings)
 
-    if args.format == "json":
+    if args.format == "sarif":
+        from repro.devtools.sarif import sarif_payload
+
+        print(json.dumps(sarif_payload(new), indent=2, sort_keys=True))
+    elif args.format == "json":
         print(
             json.dumps(
                 {

@@ -1,0 +1,89 @@
+"""SARIF 2.1.0 export for reprolint findings.
+
+SARIF (Static Analysis Results Interchange Format) is the OASIS
+interchange shape GitHub code scanning and most analysis dashboards
+ingest.  :func:`sarif_payload` renders one ``run`` of the ``reprolint``
+driver: the full rule catalog (so viewers can show summaries for rules
+with zero hits) plus one ``result`` per *new* finding — baselined and
+suppressed findings are filtered before this layer, matching the text
+and JSON formats.
+
+The payload is deterministic: rules sort by code, results arrive in the
+engine's (path, line, col, rule) order, and no timestamps or absolute
+paths are embedded.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.devtools.findings import Finding, Severity
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "sarif_payload"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def _rule_catalog() -> list[dict[str, object]]:
+    from repro.devtools.engine import registry
+
+    rules = sorted(
+        [*registry.rules(), *registry.project_rules()], key=lambda rule: rule.code
+    )
+    return [
+        {
+            "id": rule.code,
+            "shortDescription": {"text": rule.summary},
+            "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+        }
+        for rule in rules
+    ]
+
+
+def sarif_payload(findings: Sequence[Finding]) -> dict[str, object]:
+    """The SARIF 2.1.0 log document for one lint run's new findings."""
+    rules = _rule_catalog()
+    rule_index = {rule["id"]: index for index, rule in enumerate(rules)}
+    results: list[dict[str, object]] = []
+    for finding in findings:
+        result: dict[str, object] = {
+            "ruleId": finding.rule,
+            "level": _LEVELS[finding.severity],
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        index = rule_index.get(finding.rule)
+        if index is not None:  # PARSE has no registered rule object
+            result["ruleIndex"] = index
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

@@ -3,10 +3,14 @@
 No framework, no ``http.server`` — one coroutine per connection parses
 requests (request line, headers, ``Content-Length`` body; keep-alive
 supported), dispatches through a declarative route table, and writes
-JSON responses.  Queue operations are lock-guarded in-memory mutations
-plus one journal append, so handlers run them inline on the event loop;
-the *engine* work happens on the :class:`~repro.service.worker.ServiceWorker`
-thread, never on the loop.
+JSON responses.  Read-only queue queries are lock-guarded in-memory
+lookups and run inline on the event loop; every *mutating* queue call
+appends to the journal (a synchronous ``write``+``flush``), so handlers
+offload those through :func:`asyncio.to_thread` — reprolint's ASY001
+colors the call graph from every ``async def`` and fails CI if journal
+I/O ever becomes reachable from the loop again.  The *engine* work
+happens on the :class:`~repro.service.worker.ServiceWorker` thread,
+never on the loop.
 
 Routes are registered with the :func:`route` decorator; the table is the
 single source of truth for dispatch **and** for the documentation
@@ -169,7 +173,7 @@ class ServiceServer:
         )
         sockets = self._server.sockets or []
         self.bound_port = sockets[0].getsockname()[1] if sockets else None
-        self._write_endpoint_file()
+        await asyncio.to_thread(self._write_endpoint_file)
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -179,10 +183,12 @@ class ServiceServer:
             await self._server.serve_forever()
 
     async def stop(self) -> None:
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+        # Claim the server in one synchronous swap so two concurrent
+        # stop() calls cannot interleave across the await below.
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
 
     def _write_endpoint_file(self) -> None:
         """Atomically publish the bound address for drills and clients."""
@@ -348,7 +354,11 @@ class ServiceServer:
     @route("POST", "/v1/jobs")
     async def submit_job(self, request: Request) -> Response:
         moduli, webhook_url = parse_submission(request.json())
-        job, created = self._queue.submit(moduli, webhook_url)
+        # Mutations append to the journal (synchronous write+flush), so
+        # they run on a worker thread, never on the event loop (ASY001).
+        job, created = await asyncio.to_thread(
+            self._queue.submit, moduli, webhook_url
+        )
         payload = job.to_public_dict()
         payload["created"] = created
         return Response(202 if created else 200, payload)
@@ -390,15 +400,18 @@ class ServiceServer:
 
     @route("POST", "/v1/jobs/<job_id>/pause")
     async def pause_job(self, request: Request, job_id: str) -> Response:
-        return Response(200, self._queue.pause(job_id).to_public_dict())
+        job = await asyncio.to_thread(self._queue.pause, job_id)
+        return Response(200, job.to_public_dict())
 
     @route("POST", "/v1/jobs/<job_id>/resume")
     async def resume_job(self, request: Request, job_id: str) -> Response:
-        return Response(200, self._queue.resume(job_id).to_public_dict())
+        job = await asyncio.to_thread(self._queue.resume, job_id)
+        return Response(200, job.to_public_dict())
 
     @route("POST", "/v1/jobs/<job_id>/cancel")
     async def cancel_job(self, request: Request, job_id: str) -> Response:
-        return Response(200, self._queue.cancel(job_id).to_public_dict())
+        job = await asyncio.to_thread(self._queue.cancel, job_id)
+        return Response(200, job.to_public_dict())
 
     @route("GET", "/v1/queue")
     async def queue_stats(self, request: Request) -> Response:
@@ -406,10 +419,10 @@ class ServiceServer:
 
     @route("POST", "/v1/queue/pause")
     async def pause_queue(self, request: Request) -> Response:
-        self._queue.pause_all()
+        await asyncio.to_thread(self._queue.pause_all)
         return Response(200, self._queue.stats())
 
     @route("POST", "/v1/queue/resume")
     async def resume_queue(self, request: Request) -> Response:
-        self._queue.resume_all()
+        await asyncio.to_thread(self._queue.resume_all)
         return Response(200, self._queue.stats())

@@ -154,7 +154,8 @@ class TestOutputFormats:
         out = capsys.readouterr().out
         for code in ("DET001", "DET002", "DET003", "TEL001", "TEL002",
                      "PAR001", "PAR002", "NUM001",
-                     "XPAR001", "XTEL001", "XCFG001", "XDEAD001"):
+                     "XPAR001", "XTEL001", "XCFG001", "XDEAD001",
+                     "ASY001", "ASY002", "ASY003", "ASY004", "XTNT001"):
             assert code in out
 
     def test_default_paths_cover_all_four_trees(self, tree):

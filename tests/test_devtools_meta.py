@@ -11,6 +11,7 @@ linter catches it, so the gate cannot silently go blind.
 import json
 import subprocess
 import sys
+import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -86,3 +87,100 @@ class TestGateStillBites:
         result = run_lint("src", cwd=tmp_path)
         assert result.returncode == 1, result.stdout + result.stderr
         assert "XPAR001" in result.stdout
+
+    def plant(self, tmp_path, source):
+        victim = tmp_path / "src" / "repro" / "planted.py"
+        victim.parent.mkdir(parents=True)
+        victim.write_text(source)
+        return run_lint("src", cwd=tmp_path)
+
+    def test_planted_asy001_blocking_call_fails(self, tmp_path):
+        result = self.plant(
+            tmp_path,
+            "import time\n"
+            "\n"
+            "\n"
+            "async def _handler():\n"
+            "    return _work()\n"
+            "\n"
+            "\n"
+            "def _work():\n"
+            "    time.sleep(0.2)\n"
+            "    return 1\n",
+        )
+        assert result.returncode == 1, result.stdout + result.stderr
+        assert "ASY001" in result.stdout
+
+    def test_planted_asy002_unawaited_coroutine_fails(self, tmp_path):
+        result = self.plant(
+            tmp_path,
+            "async def _job():\n"
+            "    return 1\n"
+            "\n"
+            "\n"
+            "def _kick():\n"
+            "    _job()\n",
+        )
+        assert result.returncode == 1, result.stdout + result.stderr
+        assert "ASY002" in result.stdout
+
+    def test_planted_asy003_discarded_task_fails(self, tmp_path):
+        result = self.plant(
+            tmp_path,
+            "import asyncio\n"
+            "\n"
+            "\n"
+            "async def _job():\n"
+            "    return 1\n"
+            "\n"
+            "\n"
+            "async def _go():\n"
+            "    asyncio.create_task(_job())\n",
+        )
+        assert result.returncode == 1, result.stdout + result.stderr
+        assert "ASY003" in result.stdout
+
+    def test_planted_asy004_rmw_hazard_fails(self, tmp_path):
+        result = self.plant(
+            tmp_path,
+            "import asyncio\n"
+            "\n"
+            "\n"
+            "class _Counter:\n"
+            "    def __init__(self):\n"
+            "        self._n = 0\n"
+            "\n"
+            "    async def bump(self):\n"
+            "        n = self._n\n"
+            "        await asyncio.sleep(0)\n"
+            "        self._n = n + 1\n",
+        )
+        assert result.returncode == 1, result.stdout + result.stderr
+        assert "ASY004" in result.stdout
+
+    def test_planted_xtnt001_taint_fails(self, tmp_path):
+        result = self.plant(
+            tmp_path,
+            "def route(method, pattern):\n"
+            "    def deco(fn):\n"
+            "        return fn\n"
+            "    return deco\n"
+            "\n"
+            "\n"
+            '@route("GET", "/v1/jobs/<job_id>")\n'
+            "async def _get_job(job_id):\n"
+            "    return int(job_id, 16)\n",
+        )
+        assert result.returncode == 1, result.stdout + result.stderr
+        assert "XTNT001" in result.stdout
+
+
+class TestLintRuntimeBudget:
+    def test_full_run_stays_under_budget(self):
+        """The gate (all rules, whole-program graph, coloring, dataflow)
+        must stay cheap enough for the pre-commit loop."""
+        started = time.monotonic()
+        result = run_lint(*LINT_PATHS, "--format", "json")
+        elapsed = time.monotonic() - started
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert elapsed < 30.0, f"lint took {elapsed:.1f}s — budget is 30s"

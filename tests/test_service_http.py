@@ -375,3 +375,59 @@ class TestWebhookDelivery:
         worker.stop()
         assert reopened.get(job.job_id).webhook_state == "delivered"
         reopened.close()
+
+
+class TestEventLoopDiscipline:
+    """Regression cover for the ASY001 fixes: journal-backed queue
+    mutations must run via ``asyncio.to_thread``, never on the loop."""
+
+    def test_submit_runs_off_the_event_loop(self, app):
+        service, api = app
+        original = service.queue.submit
+        seen_threads = []
+
+        def spy(moduli, webhook_url=None):
+            seen_threads.append(threading.current_thread().name)
+            return original(moduli, webhook_url)
+
+        service.queue.submit = spy
+        try:
+            status, body = api.request(
+                "POST", "/v1/jobs", {"moduli": [f"{CORPUS[0]:x}"]}
+            )
+        finally:
+            service.queue.submit = original
+        assert status == 202, body
+        assert seen_threads, "handler never reached JobQueue.submit"
+        assert all(name != "repro-service-loop" for name in seen_threads), (
+            "journal write+flush executed on the event loop thread"
+        )
+        api.wait_status(body["job_id"], {"succeeded", "failed"})
+
+    def test_pause_and_resume_run_off_the_event_loop(self, app):
+        service, api = app
+        seen_threads = []
+        originals = {
+            "pause_all": service.queue.pause_all,
+            "resume_all": service.queue.resume_all,
+        }
+
+        def wrap(name):
+            def spy(*args, **kwargs):
+                seen_threads.append(threading.current_thread().name)
+                return originals[name](*args, **kwargs)
+
+            return spy
+
+        service.queue.pause_all = wrap("pause_all")
+        service.queue.resume_all = wrap("resume_all")
+        try:
+            status, _ = api.request("POST", "/v1/queue/pause")
+            assert status == 200
+            status, _ = api.request("POST", "/v1/queue/resume")
+            assert status == 200
+        finally:
+            service.queue.pause_all = originals["pause_all"]
+            service.queue.resume_all = originals["resume_all"]
+        assert len(seen_threads) == 2
+        assert all(name != "repro-service-loop" for name in seen_threads)

@@ -39,8 +39,11 @@ class TestKeystreamProperties:
         master = b"k" * 32
         ciphertext = keystream_encrypt(master, sequence, plaintext)
         assert keystream_encrypt(master, sequence, ciphertext) == plaintext
-        if plaintext:
-            assert ciphertext != plaintext or len(plaintext) == 0
+        if len(plaintext) >= 8:
+            # A single keystream byte can legitimately be 0x00 (XOR then
+            # fixes that byte), so "encryption changed the bytes" is only
+            # a sound property once the keystream would need a zero run.
+            assert ciphertext != plaintext
 
     @given(st.binary(min_size=1, max_size=64))
     @settings(max_examples=30)
