@@ -25,7 +25,8 @@ import sys
 import time
 from pathlib import Path
 
-from repro.core.clustered import SCHEDULERS, ClusteredBatchGcd
+from repro.core.clustered import SCHEDULERS
+from repro.core.select import ENGINE_NAMES, select_engine
 from repro.numt.backend import available_backends
 from repro.telemetry import Telemetry, use_telemetry
 
@@ -76,6 +77,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("input", help="file of hex moduli, one per line ('-' for stdin)")
     parser.add_argument("-o", "--output", help="output file (default stdout)")
+    parser.add_argument(
+        "--engine", choices=ENGINE_NAMES, default="clustered",
+        help="batch-GCD engine; 'auto' derives pooled vs in-process from "
+        "corpus size and cores, and prefers 'incremental' when "
+        "--store-dir is set (default: clustered)",
+    )
+    parser.add_argument(
+        "--store-dir", metavar="DIR",
+        help="persistent product-tree store for the incremental engine: "
+        "runs extending the stored corpus insert only the new moduli "
+        "(default: none)",
+    )
     parser.add_argument("--k", type=int, default=16, help="subset count (default 16)")
     parser.add_argument(
         "--processes", type=int, default=None,
@@ -143,7 +156,9 @@ def main(argv: list[str] | None = None) -> int:
     # CLI-level elapsed display wants real time whether or not telemetry
     # is enabled for the run.
     started = time.perf_counter()  # reprolint: disable=DET003
-    engine = ClusteredBatchGcd(
+    choice = select_engine(
+        len(moduli),
+        engine=args.engine,
         k=args.k,
         processes=args.processes,
         scheduler=args.scheduler,
@@ -153,8 +168,13 @@ def main(argv: list[str] | None = None) -> int:
         chunk_timeout=args.chunk_timeout,
         checkpoint_dir=args.checkpoint_dir,
         fault_plan=args.fault_plan,
+        store_dir=args.store_dir,
     )
-    with use_telemetry(telemetry), telemetry.span("batch_gcd", moduli=len(moduli), k=args.k):
+    engine = choice.engine
+    print(f"engine: {choice.name} ({choice.reason})", file=sys.stderr)
+    with use_telemetry(telemetry), telemetry.span(
+        "batch_gcd", moduli=len(moduli), k=args.k, engine=choice.name
+    ):
         result = engine.run(moduli)
     elapsed = time.perf_counter() - started  # reprolint: disable=DET003
 

@@ -19,6 +19,7 @@ import pathlib
 import sys
 
 from repro.core.clustered import SCHEDULERS
+from repro.core.select import ENGINE_NAMES
 from repro.numt.backend import available_backends
 from repro.pipeline import run_study
 from repro.reporting.study import (
@@ -92,6 +93,18 @@ def main(argv: list[str] | None = None) -> int:
         help="print a per-stage wall/CPU timing summary",
     )
     parser.add_argument(
+        "--batchgcd-engine", choices=ENGINE_NAMES, default=None,
+        metavar="NAME",
+        help="batch-GCD engine: classic, clustered, incremental, or auto "
+        "(derive pooled vs in-process from corpus size and cores; "
+        "default: auto)",
+    )
+    parser.add_argument(
+        "--batchgcd-store-dir", metavar="DIR",
+        help="persistent product-tree store for the incremental batch-GCD "
+        "engine (default: none)",
+    )
+    parser.add_argument(
         "--batchgcd-scheduler", choices=SCHEDULERS, default=None,
         metavar="NAME",
         help="clustered batch-GCD task-graph driver "
@@ -143,6 +156,10 @@ def main(argv: list[str] | None = None) -> int:
         format="%(asctime)s %(name)s %(message)s",
     )
     config = _PRESETS[args.preset](seed=args.seed)
+    if args.batchgcd_engine is not None:
+        config = config.with_(batchgcd_engine=args.batchgcd_engine)
+    if args.batchgcd_store_dir is not None:
+        config = config.with_(batchgcd_store_dir=args.batchgcd_store_dir)
     if args.batchgcd_scheduler is not None:
         config = config.with_(batchgcd_scheduler=args.batchgcd_scheduler)
     if args.numt_backend is not None:

@@ -12,6 +12,13 @@ greatest common divisor with the product of all the *other* moduli:
   modification (Figure 2) that trades a factor-k increase in total work for
   cluster-parallel execution, avoiding the giant central product that
   bottlenecks the classic algorithm.
+- :mod:`repro.core.incremental` — the serving-path engine: a persistent
+  product-tree store (:mod:`repro.numt.incremental`) answering "is this
+  new modulus weak against everything seen so far?" in one descent, with
+  O(log n) inserts instead of per-run full recomputes.
+- :mod:`repro.core.select` — the engine seam: resolves a study's engine
+  name (including ``"auto"``) to a constructed engine, deriving
+  in-process vs pooled execution from corpus size and core count.
 
 All engines produce a :class:`repro.core.results.BatchGcdResult`, which also
 performs factor recovery — including the pairwise fallback for moduli that
@@ -20,15 +27,39 @@ share *both* primes with other moduli (divisor == N).
 
 from repro.core.batchgcd import batch_gcd, batch_gcd_divisors
 from repro.core.clustered import ClusteredBatchGcd, clustered_batch_gcd
+from repro.core.incremental import (
+    INCREMENTAL_MAX_BATCH,
+    BulkEngine,
+    IncrementalBatchGcd,
+)
 from repro.core.naive import naive_pairwise_gcd
 from repro.core.results import BatchGcdResult, FactoredModulus
+from repro.core.select import (
+    AUTO_POOL_MAX_WORKERS,
+    AUTO_POOL_MIN_MODULI,
+    ENGINE_NAMES,
+    ClassicBatchGcd,
+    EngineChoice,
+    auto_processes,
+    select_engine,
+)
 
 __all__ = [
+    "AUTO_POOL_MAX_WORKERS",
+    "AUTO_POOL_MIN_MODULI",
     "BatchGcdResult",
+    "BulkEngine",
+    "ClassicBatchGcd",
     "ClusteredBatchGcd",
+    "ENGINE_NAMES",
+    "EngineChoice",
     "FactoredModulus",
+    "INCREMENTAL_MAX_BATCH",
+    "IncrementalBatchGcd",
+    "auto_processes",
     "batch_gcd",
     "batch_gcd_divisors",
     "clustered_batch_gcd",
     "naive_pairwise_gcd",
+    "select_engine",
 ]

@@ -63,6 +63,8 @@ _CONFIG_CLASS = "StudyConfig"
 _CLI_MODULES = ("repro.cli", "repro.batchgcd_cli")
 #: Engine-tuning fields with a deliberately different CLI spelling.
 _FLAG_ALIASES: dict[str, frozenset[str]] = {
+    "batchgcd_engine": frozenset({"engine"}),
+    "batchgcd_store_dir": frozenset({"store_dir"}),
     "batchgcd_k": frozenset({"k"}),
     "batchgcd_processes": frozenset({"processes"}),
     "batchgcd_scheduler": frozenset({"scheduler"}),

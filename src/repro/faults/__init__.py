@@ -15,11 +15,15 @@ reproduction's answer.  Three layers, each usable alone:
 - :mod:`repro.faults.checkpoint` — :class:`CheckpointStore`, subset-pass
   granular JSON checkpoints so a killed run resumes with a byte-identical
   final result.
+- :mod:`repro.faults.journal` — :class:`MutationJournal`, the write-ahead
+  append/commit journal the durable stores (service job queue, incremental
+  product-tree store) build their SIGKILL-mid-mutation recovery on.
 
 See ``docs/FAULTS.md`` for formats and semantics.
 """
 
 from repro.faults.checkpoint import CheckpointStore, corpus_digest
+from repro.faults.journal import MutationJournal
 from repro.faults.inject import (
     CRASH_EXIT_CODE,
     InjectedCrash,
@@ -50,6 +54,7 @@ __all__ = [
     "FaultPlan",
     "FaultRule",
     "InjectedCrash",
+    "MutationJournal",
     "RecoveryPolicy",
     "RecoveryStats",
     "ResilientExecutor",

@@ -1,0 +1,109 @@
+"""Append-only mutation journal: write-ahead durability for small stores.
+
+:class:`MutationJournal` is the write-ahead half of the crash-safety
+story shared by the durable stores in this codebase (the service job
+queue journals transitions; the incremental product-tree store journals
+inserts).  The contract is deliberately minimal:
+
+- **append before mutate** — a caller appends one JSON record describing
+  the mutation it is *about* to apply, applies it, and later calls
+  :meth:`commit` once the mutation is durably reflected elsewhere (e.g.
+  an atomically-renamed manifest).  A SIGKILL between append and commit
+  leaves the record behind, and :meth:`pending` surfaces it on the next
+  open so the mutation can be replayed.
+- **torn tails are expected** — a kill mid-append can leave a partial
+  final line.  Replay parses line by line and stops at the first
+  unparsable line; everything before it is trusted, everything after is
+  discarded.  Appends are newline-terminated *before* the payload is
+  flushed so a previous record can never be fused with the next one.
+- **commit truncates** — committed records carry no information (the
+  authoritative state lives in the caller's own files), so :meth:`commit`
+  rewrites the journal without them via a temp-file rename, keeping the
+  file bounded by the in-flight window rather than by history.
+
+Records are JSON objects with sorted keys; the caller owns the schema.
+Every record is stamped with a monotonically increasing ``_seq`` so
+replay order and the commit horizon are unambiguous.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = ["MutationJournal"]
+
+
+class MutationJournal:
+    """A torn-tail-tolerant, append-only JSONL write-ahead journal.
+
+    Args:
+        path: the journal file (parent directories are created on first
+            append).  The file itself appears on first append too — a
+            journal that never saw a mutation leaves nothing behind.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._next_seq = 0
+        for record in self._read():
+            self._next_seq = max(self._next_seq, int(record["_seq"]) + 1)
+
+    # -- reading ---------------------------------------------------------
+
+    def _read(self) -> Iterator[dict[str, Any]]:
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                return  # torn tail: trust nothing at or after the tear
+            if not isinstance(record, dict) or "_seq" not in record:
+                return
+            yield record
+
+    def pending(self) -> list[dict[str, Any]]:
+        """All durable, uncommitted records in append order."""
+        return sorted(self._read(), key=lambda r: int(r["_seq"]))
+
+    # -- writing ---------------------------------------------------------
+
+    def append(self, record: dict[str, Any]) -> int:
+        """Durably append one mutation record; returns its ``_seq``.
+
+        The record must be JSON-serialisable and must not contain the
+        reserved ``_seq`` key (the journal stamps it).
+        """
+        if "_seq" in record:
+            raise ValueError("'_seq' is reserved for the journal")
+        seq = self._next_seq
+        stamped = dict(record)
+        stamped["_seq"] = seq
+        line = json.dumps(stamped, sort_keys=True) + "\n"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._next_seq = seq + 1
+        return seq
+
+    def commit(self, through_seq: int) -> None:
+        """Drop every record with ``_seq <= through_seq`` (atomic rewrite)."""
+        keep = [r for r in self.pending() if int(r["_seq"]) > through_seq]
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        text = "".join(json.dumps(r, sort_keys=True) + "\n" for r in keep)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp.write_text(text)
+        tmp.replace(self.path)
+
+    def clear(self) -> None:
+        """Drop every record (the caller's state is fully committed)."""
+        self.commit(self._next_seq)

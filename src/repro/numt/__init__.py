@@ -14,12 +14,21 @@ everything the higher layers need:
 - :mod:`repro.numt.smooth` — smooth-part extraction, used to recognise
   bit-error artifacts whose spurious gcd divisors are products of many small
   primes (Section 3.3.5).
+- :mod:`repro.numt.incremental` — the appendable product tree and its
+  persistent on-disk store: O(log n) insert, single-descent membership
+  checks against the whole corpus (the serving-path engine's substrate).
 
-Everything operates on plain ``int`` values, has no I/O and records no
-telemetry of its own — callers that need per-phase timings wrap these
-primitives in spans (see how :mod:`repro.core.clustered` brackets
+With one deliberate exception, everything operates on plain ``int``
+values, has no I/O and records no telemetry of its own — callers that
+need per-phase timings wrap these primitives in spans (see how
+:mod:`repro.core.clustered` brackets
 :func:`product_tree` / :func:`remainder_tree` with
-``batch_gcd.task.*`` spans).  The tree functions are the hot path of the
+``batch_gcd.task.*`` spans).  The exception is
+:class:`~repro.numt.incremental.ProductTreeStore`, which is a durable
+store by design: it persists node shards to disk and records
+``batch_gcd.incremental.*`` spans (its pure in-memory half,
+:class:`~repro.numt.incremental.IncrementalProductTree`, keeps the
+package rule).  The tree functions are the hot path of the
 whole system: at the paper's scale the root product alone is ~2.6 GB of
 integer, which is exactly why the clustered engine splits it k ways.
 
@@ -44,6 +53,15 @@ from repro.numt.backend import (
     resolve_backend,
     set_backend,
     use_backend,
+)
+from repro.numt.incremental import (
+    IncrementalProductTree,
+    PartnerHit,
+    ProbeOutcome,
+    ProductTreeStore,
+    StoreCorruptError,
+    empty_digest,
+    extend_digest,
 )
 from repro.numt.primality import (
     is_probable_prime,
@@ -70,10 +88,17 @@ from repro.numt.trees import (
 
 __all__ = [
     "BigIntBackend",
+    "IncrementalProductTree",
+    "PartnerHit",
+    "ProbeOutcome",
+    "ProductTreeStore",
+    "StoreCorruptError",
     "available_backends",
     "barrett_reduce",
     "crt_pair",
     "egcd",
+    "empty_digest",
+    "extend_digest",
     "first_n_primes",
     "get_backend",
     "introot",

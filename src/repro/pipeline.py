@@ -42,8 +42,9 @@ from repro.analysis.transitions import (
     analyze_ip_reuse,
     analyze_transitions,
 )
-from repro.core.clustered import ClusteredBatchGcd, ClusterRunStats
+from repro.core.clustered import ClusterRunStats
 from repro.core.results import BatchGcdResult
+from repro.core.select import select_engine
 from repro.devices.catalog import DEVICE_CATALOG
 from repro.devices.models import (
     DeviceModel,
@@ -333,7 +334,9 @@ def _run_study_instrumented(config: StudyConfig, tel: Telemetry) -> StudyResult:
         processes=config.batchgcd_processes,
         scheduler=config.batchgcd_scheduler,
     ):
-        engine = ClusteredBatchGcd(
+        choice = select_engine(
+            len(moduli),
+            engine=config.batchgcd_engine,
             k=config.batchgcd_k,
             processes=config.batchgcd_processes,
             scheduler=config.batchgcd_scheduler,
@@ -343,7 +346,15 @@ def _run_study_instrumented(config: StudyConfig, tel: Telemetry) -> StudyResult:
             chunk_timeout=config.batchgcd_chunk_timeout,
             checkpoint_dir=config.batchgcd_checkpoint_dir,
             fault_plan=config.batchgcd_fault_plan,
+            store_dir=config.batchgcd_store_dir,
         )
+        engine = choice.engine
+        tel.annotate(
+            engine=choice.name,
+            engine_processes=choice.processes,
+            engine_reason=choice.reason,
+        )
+        logger.info("batch-GCD engine: %s (%s)", choice.name, choice.reason)
         batch_result = engine.run(moduli)
     timings["batch_gcd"] = time.perf_counter() - started
 

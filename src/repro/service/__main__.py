@@ -46,6 +46,17 @@ def build_parser() -> argparse.ArgumentParser:
         "$REPRO_SERVICE_API_KEYS, comma-separated)",
     )
     parser.add_argument(
+        "--engine-mode", choices=("clustered", "incremental"), default=None,
+        help="job execution mode: independent per-job clustered runs "
+        "(default) or one persistent incremental product-tree store "
+        "checking every modulus against all previously ingested ones",
+    )
+    parser.add_argument(
+        "--incremental-max-batch", type=int, default=None,
+        help="incremental mode: largest job served by per-modulus store "
+        "inserts; bigger jobs re-bootstrap via a clustered run",
+    )
+    parser.add_argument(
         "--k", type=int, default=None, help="clustered-engine subset count"
     )
     parser.add_argument(
@@ -89,6 +100,10 @@ def config_from_args(args: argparse.Namespace) -> ServiceConfig:
         "port": args.port,
         "api_keys": tuple(args.api_key) + keys_from_env(),
     }
+    if args.engine_mode is not None:
+        overrides["engine_mode"] = args.engine_mode
+    if args.incremental_max_batch is not None:
+        overrides["incremental_max_batch"] = args.incremental_max_batch
     if args.k is not None:
         overrides["engine_k"] = args.k
     if args.processes is not None:
@@ -118,7 +133,8 @@ def main(argv: list[str] | None = None) -> int:
     app = ServiceApp(config)
     print(
         f"repro.service: state_dir={config.state_dir} "
-        f"engine(k={config.engine_k}, scheduler={config.engine_scheduler}, "
+        f"engine(mode={config.engine_mode}, k={config.engine_k}, "
+        f"scheduler={config.engine_scheduler}, "
         f"processes={config.engine_processes})",
         file=sys.stderr,
     )

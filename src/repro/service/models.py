@@ -295,6 +295,17 @@ class ServiceConfig:
             port is published in ``<state_dir>/endpoint.json``).
         api_keys: accepted ``X-Api-Key`` values (empty = open service).
         max_body_bytes: request body bound (HTTP 413 above it).
+        engine_mode: job execution mode — ``"clustered"`` (the default:
+            each job is an independent full engine run over its own
+            corpus) or ``"incremental"`` (jobs accumulate into one
+            persistent product-tree store under
+            ``<state_dir>/incremental-store`` and every modulus is also
+            checked against all previously ingested moduli; small jobs
+            are served by per-modulus store inserts, bulk jobs by a
+            clustered run that re-bootstraps the store).
+        incremental_max_batch: under ``engine_mode="incremental"``, the
+            largest job served by per-modulus inserts; bigger jobs take
+            the bulk-rebootstrap path.
         engine_k: subset count for the clustered engine (capped at the
             job's corpus size).
         engine_processes: worker processes per job (None = in-process).
@@ -315,6 +326,8 @@ class ServiceConfig:
     port: int = 0
     api_keys: tuple[str, ...] = ()
     max_body_bytes: int = 8 * 1024 * 1024
+    engine_mode: str = "clustered"
+    incremental_max_batch: int = 64
     engine_k: int = 4
     engine_processes: int | None = None
     engine_scheduler: str = "streaming"
@@ -331,6 +344,11 @@ class ServiceConfig:
         """Engine knobs from a :class:`StudyConfig`, service knobs on top."""
         config = cls(
             state_dir=state_dir,
+            engine_mode=(
+                "incremental"
+                if study.batchgcd_engine == "incremental"
+                else "clustered"
+            ),
             engine_k=study.batchgcd_k,
             engine_processes=study.batchgcd_processes,
             engine_scheduler=study.batchgcd_scheduler,

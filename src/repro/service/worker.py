@@ -4,7 +4,7 @@ One :class:`ServiceWorker` thread drains the :class:`~repro.service.queue.JobQue
 
 1. **claim** the oldest runnable job (blocking on the queue's condition
    variable, not polling);
-2. **run** it through the :class:`KeyCheckRunner` — a
+2. **run** it through the :class:`KeyCheckRunner` — by default a
    :class:`~repro.core.clustered.ClusteredBatchGcd` engine run whose
    worker substrate is the fault-tolerant machinery of
    :mod:`repro.faults` (bounded chunk retry, pool rebuild, graceful
@@ -12,6 +12,11 @@ One :class:`ServiceWorker` thread drains the :class:`~repro.service.queue.JobQue
    :class:`~repro.faults.checkpoint.CheckpointStore` under
    ``<state_dir>/checkpoints/<job_id>/``, so a SIGKILL mid-run resumes
    the *same engine computation* on restart instead of recomputing;
+   under ``engine_mode="incremental"`` small jobs are instead served by
+   per-modulus inserts into the persistent
+   :class:`~repro.numt.incremental.ProductTreeStore` (checked against
+   every previously ingested modulus), with bulk jobs falling back to a
+   clustered run that re-bootstraps the store;
 3. **record** the outcome — the run executes under a private
    :class:`~repro.telemetry.Telemetry` registry whose
    :class:`~repro.telemetry.RunReport` is journalled with the job and
@@ -37,29 +42,76 @@ from pathlib import Path
 from typing import Any, Callable
 
 from repro.core.clustered import ClusteredBatchGcd
+from repro.core.results import BatchGcdResult
+from repro.numt.incremental import ProductTreeStore
 from repro.service.models import JobRecord, JobResult, ServiceConfig
 from repro.service.queue import JobQueue
 from repro.telemetry import Telemetry, use_telemetry
 
 __all__ = ["KeyCheckRunner", "ServiceWorker", "WebhookNotifier"]
 
+#: Store directory name under the service state dir (incremental mode).
+INCREMENTAL_STORE_DIR = "incremental-store"
+
 
 class KeyCheckRunner:
-    """Run one job's corpus through the clustered batch-GCD engine.
+    """Run one job's corpus through the configured batch-GCD path.
+
+    Under ``engine_mode="clustered"`` (the default) every job is an
+    independent :class:`~repro.core.clustered.ClusteredBatchGcd` run over
+    its own corpus.  Under ``engine_mode="incremental"`` jobs accumulate
+    into one persistent
+    :class:`~repro.numt.incremental.ProductTreeStore` under
+    ``<state_dir>/incremental-store``, so each modulus is also checked
+    against everything previously ingested: jobs of at most
+    ``incremental_max_batch`` moduli are served by per-modulus store
+    inserts (one O(log n) spine rebuild each instead of a full engine
+    run), while bulk jobs run the clustered engine over the union corpus
+    and re-bootstrap the store from its result.  Either way a job's
+    result indexes only its *own* moduli — the store supplies the
+    history they are checked against.  A SIGKILL mid-insert replays from
+    the store's journal, and a re-delivered job resumes idempotently
+    from its recorded per-job progress.
 
     Args:
-        config: engine knobs (k, processes, scheduler, backend, chunk
-            retry/timeout, fault plan).
+        config: engine knobs (mode, k, processes, scheduler, backend,
+            chunk retry/timeout, fault plan).
         checkpoint_root: per-job checkpoint directories live under here;
-            None disables engine checkpointing.
+            None disables engine checkpointing (clustered runs only).
+        telemetry: service-level metrics sink (the worker's registry);
+            incremental-path jobs count into ``service.jobs_incremental``.
     """
 
     def __init__(
-        self, config: ServiceConfig, checkpoint_root: str | Path | None = None
+        self,
+        config: ServiceConfig,
+        checkpoint_root: str | Path | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self._config = config
         self._checkpoint_root = (
             Path(checkpoint_root) if checkpoint_root is not None else None
+        )
+        self._telemetry = telemetry or Telemetry(enabled=False)
+
+    def _engine(self, corpus_size: int, checkpoint_dir: Path | None) -> ClusteredBatchGcd:
+        config = self._config
+        return ClusteredBatchGcd(
+            k=max(1, min(config.engine_k, corpus_size)),
+            processes=config.engine_processes,
+            scheduler=config.engine_scheduler,
+            backend=config.engine_backend,
+            max_retries=config.engine_max_retries,
+            chunk_timeout=config.engine_chunk_timeout,
+            checkpoint_dir=checkpoint_dir,
+            fault_plan=config.fault_plan,
+        )
+
+    def open_store(self) -> ProductTreeStore:
+        """The persistent corpus store (``engine_mode="incremental"``)."""
+        return ProductTreeStore(
+            Path(self._config.state_dir) / INCREMENTAL_STORE_DIR,
+            backend=self._config.engine_backend,
         )
 
     def __call__(self, job: JobRecord) -> tuple[JobResult, dict[str, Any]]:
@@ -70,36 +122,64 @@ class KeyCheckRunner:
             if self._checkpoint_root is not None
             else None
         )
-        engine = ClusteredBatchGcd(
-            k=max(1, min(config.engine_k, len(job.moduli))),
-            processes=config.engine_processes,
-            scheduler=config.engine_scheduler,
-            backend=config.engine_backend,
-            max_retries=config.engine_max_retries,
-            chunk_timeout=config.engine_chunk_timeout,
-            checkpoint_dir=checkpoint_dir,
-            fault_plan=config.fault_plan,
-        )
         job_telemetry = Telemetry()
         with use_telemetry(job_telemetry):
             with job_telemetry.span(
                 "service.job", job=job.job_id, moduli=len(job.moduli)
             ):
-                outcome = engine.run(job.moduli)
-        result = JobResult(
+                if config.engine_mode == "incremental":
+                    job_result = self._run_incremental(job, checkpoint_dir)
+                else:
+                    outcome = self._engine(len(job.moduli), checkpoint_dir).run(
+                        job.moduli
+                    )
+                    job_result = self._result_for(job, outcome, range(len(job.moduli)))
+        return job_result, job_telemetry.report().to_dict()
+
+    def _run_incremental(
+        self, job: JobRecord, checkpoint_dir: Path | None
+    ) -> JobResult:
+        store = self.open_store()
+        base, applied = store.job_progress(job.job_id) or (store.count, 0)
+        bulk = len(job.moduli) - applied > self._config.incremental_max_batch
+        if bulk:
+            # Bulk ingest: one clustered run over the union corpus, then
+            # adopt its divisors wholesale (the store is append-only and
+            # the already-applied part of this job is a corpus prefix).
+            corpus = store.moduli + list(job.moduli[applied:])
+            outcome = self._engine(len(corpus), checkpoint_dir).run(corpus)
+            jobs = store.jobs
+            jobs[job.job_id] = (base, len(job.moduli))
+            store.bootstrap(corpus, outcome.divisors, jobs=jobs)
+        else:
+            base, _count = store.apply_job(job.job_id, job.moduli)
+        self._telemetry.counter("service.jobs_incremental")
+        full = BatchGcdResult(store.moduli, store.divisors())
+        return self._result_for(
+            job, full, range(base, base + len(job.moduli))
+        )
+
+    @staticmethod
+    def _result_for(
+        job: JobRecord, outcome: BatchGcdResult, indices: range
+    ) -> JobResult:
+        """Project an engine result onto the job's own modulus order."""
+        job_moduli = set(job.moduli)
+        return JobResult(
             divisors=tuple(
-                (index, outcome.divisors[index])
-                for index in outcome.vulnerable_indices
+                (offset, outcome.divisors[index])
+                for offset, index in enumerate(indices)
+                if outcome.divisors[index] > 1
             ),
             factored=tuple(
                 sorted(
                     (fact.modulus, fact.p, fact.q)
                     for fact in outcome.resolve().values()
+                    if fact.modulus in job_moduli
                 )
             ),
             moduli_checked=len(job.moduli),
         )
-        return result, job_telemetry.report().to_dict()
 
 
 class WebhookNotifier:
@@ -204,11 +284,14 @@ class ServiceWorker(threading.Thread):
         idle_wait: float = 0.25,
     ) -> None:
         super().__init__(name="repro-service-worker", daemon=True)
+        service_telemetry = telemetry or Telemetry(enabled=False)
         if runner is None:
             if config is None:
                 raise ValueError("either a runner or a config is required")
             runner = KeyCheckRunner(
-                config, checkpoint_root=Path(config.state_dir) / "checkpoints"
+                config,
+                checkpoint_root=Path(config.state_dir) / "checkpoints",
+                telemetry=service_telemetry,
             )
         if notifier is None:
             notifier = WebhookNotifier(
@@ -218,7 +301,7 @@ class ServiceWorker(threading.Thread):
         self._queue = queue
         self._runner = runner
         self._notifier = notifier
-        self._telemetry = telemetry or Telemetry(enabled=False)
+        self._telemetry = service_telemetry
         self._idle_wait = idle_wait
         self._stop_event = threading.Event()
         self.jobs_run = 0

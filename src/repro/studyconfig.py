@@ -46,6 +46,14 @@ class StudyConfig:
             DESIGN.md.
         rimon_hosts: number of simulated Internet-Rimon-intercepted hosts.
         start, end: study window.
+        batchgcd_engine: batch-GCD engine — ``"classic"``,
+            ``"clustered"``, ``"incremental"`` or ``"auto"`` (the
+            default), which prefers the incremental engine when
+            ``batchgcd_store_dir`` is set and otherwise derives
+            in-process vs pooled clustered execution from corpus size
+            and core count (see :mod:`repro.core.select`).
+        batchgcd_store_dir: directory for the incremental engine's
+            persistent product-tree store (None = in-memory only).
         batchgcd_k: subset count for the clustered batch GCD.
         batchgcd_processes: worker processes (None = in-process).
         batchgcd_scheduler: task-graph driver for the clustered engine
@@ -79,6 +87,8 @@ class StudyConfig:
     rimon_hosts: int = 24
     start: Month = STUDY_START
     end: Month = STUDY_END
+    batchgcd_engine: str = "auto"
+    batchgcd_store_dir: str | None = None
     batchgcd_k: int = 16
     batchgcd_processes: int | None = None
     batchgcd_scheduler: str = "streaming"

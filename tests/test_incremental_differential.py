@@ -1,0 +1,275 @@
+"""Differential suite: the incremental engine vs every batch engine.
+
+Seeded dynamic corpora — insert-then-check sequences, duplicates, prime
+powers, nine-prime cliques — run through the incremental store/engine
+and through ``naive``/``classic``/``clustered_streaming``, asserting
+identical vulnerable sets everywhere and identical factors on squarefree
+corpora (well-formed RSA; on prime-power pathologies the divisor
+multiplicity caveat is the clustered engine's, shared and documented).
+Plus the resume drill: a real ``SIGKILL`` mid-insert, recovered on the
+next open.
+"""
+
+import math
+import os
+import random
+import signal
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.core.batchgcd import batch_gcd
+from repro.core.clustered import ClusteredBatchGcd
+from repro.core.incremental import IncrementalBatchGcd
+from repro.core.naive import naive_pairwise_gcd
+from repro.crypto.primes import generate_prime
+from repro.numt.incremental import ProductTreeStore
+
+REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def _flags(result):
+    return [d > 1 for d in result.divisors]
+
+
+def _incremental_insert_run(moduli):
+    """The serving-path shape: insert one at a time, read the final state."""
+    store = ProductTreeStore()
+    for m in moduli:
+        store.insert(m)
+    from repro.core.results import BatchGcdResult
+
+    return BatchGcdResult(store.moduli, store.divisors())
+
+
+def _reference_engines():
+    return [
+        ("naive", naive_pairwise_gcd),
+        ("classic", batch_gcd),
+        (
+            "clustered_streaming",
+            lambda m: ClusteredBatchGcd(k=3, scheduler="streaming").run(m),
+        ),
+    ]
+
+
+def assert_incremental_agrees(moduli, squarefree=False):
+    incremental = _incremental_insert_run(moduli)
+    engine_run = IncrementalBatchGcd().run(moduli)
+    for label, run in _reference_engines():
+        reference = run(moduli)
+        assert _flags(incremental) == _flags(reference), (
+            f"insert-path flags diverge from {label}"
+        )
+        assert _flags(engine_run) == _flags(reference), (
+            f"engine flags diverge from {label}"
+        )
+    classic = batch_gcd(moduli)
+    if squarefree:
+        assert incremental.divisors == classic.divisors
+        assert sorted(
+            (f.modulus, f.p, f.q) for f in incremental.resolve().values()
+        ) == sorted(
+            (f.modulus, f.p, f.q) for f in classic.resolve().values()
+        )
+    return incremental
+
+
+class TestDynamicCorpora:
+    def test_insert_then_check_sequence(self):
+        # Every prefix of a dynamic corpus must agree with a batch run
+        # over that prefix: this is the store's serving contract.
+        rng = random.Random(31)
+        pool = [generate_prime(32, rng) for _ in range(8)]
+        store = ProductTreeStore()
+        corpus = []
+        for step in range(30):
+            a, b = rng.sample(range(8), 2)
+            m = pool[a] * pool[b]
+            outcome = store.insert(m)
+            corpus.append(m)
+            classic = batch_gcd(corpus)
+            assert (outcome.divisor > 1) == (classic.divisors[-1] > 1), (
+                f"step {step}"
+            )
+            assert [d > 1 for d in store.divisors()] == _flags(classic)
+
+    def test_squarefree_dynamic_corpus_exact(self):
+        rng = random.Random(32)
+        pool = [generate_prime(36, rng) for _ in range(12)]
+        moduli = []
+        for _ in range(40):
+            a, b = rng.sample(range(12), 2)
+            moduli.append(pool[a] * pool[b])
+        moduli.append(moduli[7])  # exact duplicate stays squarefree
+        assert_incremental_agrees(moduli, squarefree=True)
+
+    def test_duplicates(self):
+        rng = random.Random(33)
+        p, q, r, s = (generate_prime(36, rng) for _ in range(4))
+        dup = p * q
+        incremental = assert_incremental_agrees(
+            [dup, r * s, dup, dup], squarefree=True
+        )
+        assert _flags(incremental) == [True, False, True, True]
+
+    def test_prime_powers(self):
+        rng = random.Random(34)
+        p, q, r, s = (generate_prime(36, rng) for _ in range(4))
+        assert_incremental_agrees([p * p, p * q, q * r])
+        isolated = assert_incremental_agrees([p * p, q * r, q * s])
+        assert _flags(isolated)[0] is False
+        assert_incremental_agrees([p * p, p * p, q * r])
+
+    def test_nine_prime_cliques(self):
+        rng = random.Random(35)
+        pool = [generate_prime(24, rng) for _ in range(12)]
+        clique = [math.prod(rng.sample(pool, 9)) for _ in range(3)]
+        clean = [
+            generate_prime(40, rng) * generate_prime(40, rng)
+            for _ in range(3)
+        ]
+        moduli = [
+            clique[0], clean[0], clique[1], clean[1], clique[2], clean[2],
+        ]
+        incremental = assert_incremental_agrees(moduli)
+        assert _flags(incremental) == [True, False, True, False, True, False]
+
+    @pytest.mark.parametrize("seed", [71, 72, 73, 74])
+    def test_random_pathological_mixes(self, seed):
+        rng = random.Random(seed)
+        pool = [generate_prime(28, rng) for _ in range(6)]
+        moduli = []
+        for _ in range(rng.randrange(8, 16)):
+            shape = rng.random()
+            if shape < 0.4 or not moduli:
+                moduli.append(
+                    generate_prime(32, rng) * generate_prime(32, rng)
+                )
+            elif shape < 0.6:
+                moduli.append(rng.choice(pool) * rng.choice(pool))
+            elif shape < 0.75:
+                moduli.append(rng.choice(moduli))
+            else:
+                moduli.append(math.prod(rng.sample(pool, 5)))
+        assert_incremental_agrees(moduli)
+
+
+class TestEngineExtension:
+    def test_persistent_extension_matches_full_recompute(self, tmp_path):
+        rng = random.Random(41)
+        pool = [generate_prime(36, rng) for _ in range(14)]
+        moduli = []
+        for _ in range(70):
+            a, b = rng.sample(range(14), 2)
+            moduli.append(pool[a] * pool[b])
+        engine = IncrementalBatchGcd(store_dir=tmp_path / "store")
+        engine.run(moduli[:50])
+        assert engine.last_mode == "bootstrap"
+        grown = engine.run(moduli)
+        assert engine.last_mode == "incremental"
+        reference = batch_gcd(moduli)
+        assert grown.divisors == reference.divisors
+        assert sorted(grown.resolve()) == sorted(reference.resolve())
+
+    def test_oversized_extension_rebootstraps(self, tmp_path):
+        rng = random.Random(42)
+        moduli = [
+            generate_prime(32, rng) * generate_prime(32, rng)
+            for _ in range(20)
+        ]
+        engine = IncrementalBatchGcd(
+            store_dir=tmp_path / "store", max_incremental_batch=4
+        )
+        engine.run(moduli[:10])
+        engine.run(moduli)  # 10 new > 4
+        assert engine.last_mode == "bootstrap"
+        assert engine.open_store().count == 20
+
+    def test_mismatched_corpus_leaves_store_alone(self, tmp_path):
+        rng = random.Random(43)
+        moduli = [
+            generate_prime(32, rng) * generate_prime(32, rng)
+            for _ in range(8)
+        ]
+        engine = IncrementalBatchGcd(store_dir=tmp_path / "store")
+        engine.run(moduli)
+        other = list(reversed(moduli))
+        result = engine.run(other)
+        assert engine.last_mode == "bulk-mismatch"
+        assert result.divisors == batch_gcd(other).divisors
+        assert engine.open_store().moduli == moduli
+
+
+_KILL_CHILD = textwrap.dedent(
+    """
+    import os, signal, sys
+    from repro.numt.incremental import ProductTreeStore
+
+    store_dir, kill_at = sys.argv[1], int(sys.argv[2])
+    moduli = [int(line, 16) for line in sys.stdin.read().split()]
+
+    store = ProductTreeStore(store_dir)
+    inserted = store.count
+    original = store._write_manifest
+
+    def manifest_then_maybe_die():
+        # SIGKILL *before* the manifest commit of the insert that brings
+        # the corpus to kill_at moduli: the journal and level appends
+        # for that insert are on disk, the manifest is not — the
+        # canonical mid-insert death.  (The corpus list grows before the
+        # manifest write, so store.count is already the new size here.)
+        if store.count == kill_at:
+            os.kill(os.getpid(), signal.SIGKILL)
+        original()
+
+    store._write_manifest = manifest_then_maybe_die
+    for m in moduli[inserted:]:
+        store.insert(m)
+    print(store.count)
+    """
+)
+
+
+class TestSigkillResumeDrill:
+    def test_sigkill_mid_insert_resumes_cleanly(self, tmp_path):
+        rng = random.Random(51)
+        pool = [generate_prime(32, rng) for _ in range(8)]
+        moduli = []
+        for _ in range(24):
+            a, b = rng.sample(range(8), 2)
+            moduli.append(pool[a] * pool[b])
+        moduli[15] = moduli[4]  # the killed insert lands on a duplicate
+
+        store_dir = tmp_path / "store"
+        env = dict(os.environ, PYTHONPATH=REPO_SRC)
+        feed = "\n".join(f"{m:x}" for m in moduli)
+
+        first = subprocess.run(
+            [sys.executable, "-c", _KILL_CHILD, str(store_dir), "16"],
+            input=feed, capture_output=True, text=True, env=env,
+        )
+        assert first.returncode == -signal.SIGKILL
+
+        # The next open replays the journalled insert, then the child
+        # finishes the remaining moduli on top of the recovered state.
+        second = subprocess.run(
+            [sys.executable, "-c", _KILL_CHILD, str(store_dir), "-1"],
+            input=feed, capture_output=True, text=True, env=env,
+        )
+        assert second.returncode == 0, second.stderr
+        assert second.stdout.strip() == str(len(moduli))
+
+        recovered = ProductTreeStore(store_dir)
+        clean = ProductTreeStore()
+        for m in moduli:
+            clean.insert(m)
+        assert recovered.moduli == moduli
+        assert recovered.divisors() == clean.divisors()
+        assert recovered.digest == clean.digest
+        assert [d > 1 for d in recovered.divisors()] == _flags(
+            batch_gcd(moduli)
+        )
