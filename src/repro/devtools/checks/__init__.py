@@ -16,6 +16,7 @@ def load_all() -> None:
         asyncsafety,
         crossmodule,
         determinism,
+        durability,
         faults,
         numerics,
         parallel,

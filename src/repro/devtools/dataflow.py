@@ -33,11 +33,15 @@ from pathlib import Path
 from typing import Callable, Iterable
 
 __all__ = [
+    "CfgNode",
     "Hazard",
     "TaintFinding",
+    "build_cfg",
     "function_at",
+    "node_reachability",
     "rmw_hazards",
     "taint_findings",
+    "walk_statement_exprs",
 ]
 
 FunctionAst = ast.FunctionDef | ast.AsyncFunctionDef
@@ -216,6 +220,27 @@ def _header_exprs(stmt: ast.stmt) -> list[ast.AST]:
 def _walk_exprs(stmt: ast.stmt) -> Iterable[ast.AST]:
     for root in _header_exprs(stmt):
         yield from ast.walk(root)
+
+
+# -- public seams for other analyses (effects, durability) ------------------
+
+#: A CFG node: one statement plus its successor indices.
+CfgNode = _Node
+
+
+def build_cfg(body: list[ast.stmt]) -> list[_Node]:
+    """Statement-level CFG over a function body (see :class:`_CfgBuilder`)."""
+    return _CfgBuilder().build(body)
+
+
+def node_reachability(nodes: list[_Node]) -> list[set[int]]:
+    """Strict successor-closure reachability per CFG node."""
+    return _reachability(nodes)
+
+
+def walk_statement_exprs(stmt: ast.stmt) -> Iterable[ast.AST]:
+    """Walk the expressions a CFG node evaluates itself (not nested bodies)."""
+    return _walk_exprs(stmt)
 
 
 # ---------------------------------------------------------------------------

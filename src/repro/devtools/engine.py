@@ -180,10 +180,16 @@ registry = RuleRegistry()
 class _Walker(ast.NodeVisitor):
     """One pre-order pass: update context, dispatch rules, descend."""
 
-    def __init__(self, reg: RuleRegistry, ctx: ModuleContext) -> None:
+    def __init__(
+        self,
+        reg: RuleRegistry,
+        ctx: ModuleContext,
+        timings: dict[str, float] | None = None,
+    ) -> None:
         self._registry = reg
         self.ctx = ctx
         self.raw_findings: list[tuple[Rule, ast.AST, str]] = []
+        self._timings = timings
 
     # -- context bookkeeping ---------------------------------------------
 
@@ -249,19 +255,42 @@ class _Walker(ast.NodeVisitor):
             self.generic_visit(node)
 
     def _dispatch(self, node: ast.AST) -> None:
+        if self._timings is None:
+            for rule in self._registry.rules_for(type(node)):
+                for found_node, message in rule.check(node, self.ctx):
+                    self.raw_findings.append((rule, found_node, message))
+            return
+        import time
+
         for rule in self._registry.rules_for(type(node)):
+            # Wall-clock per rule for the --stats report: a measurement of
+            # the linter itself, never of reproduced results, so the
+            # duration-clock discipline does not apply.
+            started = time.perf_counter()  # reprolint: disable=DET003
             for found_node, message in rule.check(node, self.ctx):
                 self.raw_findings.append((rule, found_node, message))
+            elapsed = time.perf_counter() - started  # reprolint: disable=DET003
+            self._timings[rule.code] = self._timings.get(rule.code, 0.0) + elapsed
 
 
 class LintEngine:
-    """Lints sources with a registry's rules and applies suppressions."""
+    """Lints sources with a registry's rules and applies suppressions.
 
-    def __init__(self, reg: RuleRegistry | None = None) -> None:
+    With ``collect_timings=True``, per-rule wall time accumulates in
+    :attr:`rule_timings` (rule code -> seconds; the whole-program graph
+    build is accounted under ``"(graph build)"``) — the ``--stats`` seam.
+    Timing is opt-in so the default path pays no clock overhead per node.
+    """
+
+    def __init__(
+        self, reg: RuleRegistry | None = None, collect_timings: bool = False
+    ) -> None:
         from repro.devtools import checks
 
         checks.load_all()
         self._registry = reg if reg is not None else registry
+        self._collect_timings = collect_timings
+        self.rule_timings: dict[str, float] = {}
 
     # -- single file ------------------------------------------------------
 
@@ -292,7 +321,11 @@ class LintEngine:
                     line_text=ctx.line_text(line),
                 )
             ]
-        walker = _Walker(self._registry, ctx)
+        walker = _Walker(
+            self._registry,
+            ctx,
+            timings=self.rule_timings if self._collect_timings else None,
+        )
         walker.visit(tree)
         findings = []
         for rule, node, message in walker.raw_findings:
@@ -356,7 +389,15 @@ class LintEngine:
             return []
         if not any(graphmod.is_repro_source_path(file) for file in files):
             return []
+        import time
+
+        started = time.perf_counter()  # reprolint: disable=DET003 (linter self-measurement)
         graph = graphmod.build_graph(files)
+        if self._collect_timings:
+            elapsed = time.perf_counter() - started  # reprolint: disable=DET003
+            self.rule_timings["(graph build)"] = (
+                self.rule_timings.get("(graph build)", 0.0) + elapsed
+            )
         suppressions: dict[str, SuppressionIndex] = {}
         source_lines: dict[str, list[str]] = {}
 
@@ -372,7 +413,14 @@ class LintEngine:
 
         findings: list[Finding] = []
         for rule in self._registry.project_rules():
-            for path, line, col, message in rule.check_project(graph):
+            started = time.perf_counter()  # reprolint: disable=DET003
+            results = list(rule.check_project(graph))
+            if self._collect_timings:
+                elapsed = time.perf_counter() - started  # reprolint: disable=DET003
+                self.rule_timings[rule.code] = (
+                    self.rule_timings.get(rule.code, 0.0) + elapsed
+                )
+            for path, line, col, message in results:
                 load(path)
                 if suppressions[path].is_suppressed(rule.code, line):
                     continue

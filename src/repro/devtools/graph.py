@@ -829,6 +829,7 @@ class ProjectGraph:
         self.referenced_names = referenced_names
         self.reference_paths = reference_paths
         self._async_origins: dict[str, str] | None = None
+        self._effect_index: object | None = None
         self._finalize()
 
     # -- resolution -------------------------------------------------------
@@ -989,6 +990,20 @@ class ProjectGraph:
             self._async_origins = origins
         return self._async_origins
 
+    def effect_index(self) -> "object":
+        """The filesystem-effect summaries for this graph (built lazily).
+
+        Returns an :class:`repro.devtools.effects.EffectIndex`.  Imported
+        lazily because :mod:`repro.devtools.effects` depends on this
+        module's node types; built once per graph and shared by the five
+        DUR rules and the JSON export.
+        """
+        if self._effect_index is None:
+            from repro.devtools.effects import EffectIndex
+
+            self._effect_index = EffectIndex(self)
+        return self._effect_index
+
     def pool_entry_points(self) -> dict[str, PoolSubmit]:
         """Resolved qualname -> the submission site that ships it."""
         entries: dict[str, PoolSubmit] = {}
@@ -1026,7 +1041,7 @@ class ProjectGraph:
         """Deterministic JSON-ready dump of the whole graph."""
         origins = self.async_origins()
         return {
-            "schema_version": 2,
+            "schema_version": 3,
             "root": ".",
             "modules": {
                 name: {
@@ -1065,6 +1080,10 @@ class ProjectGraph:
             "routes": sorted(
                 {f"{call.method} {call.pattern}" for call in self.route_calls()}
             ),
+            # Filesystem-effect summaries (schema 3): per-function own and
+            # transitive effect kinds, sorted at every level so the export
+            # is byte-identical across runs.
+            "effects": self.effect_index().to_payload(),
         }
 
     def to_json(self) -> str:

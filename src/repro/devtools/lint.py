@@ -99,6 +99,12 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule catalog and exit",
     )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="report per-rule wall time (text: a table after the summary; "
+        "json: a 'stats' key; ignored for sarif)",
+    )
     return parser
 
 
@@ -133,7 +139,7 @@ def _changed_files(base: str) -> set[Path] | None:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
-    engine = LintEngine()
+    engine = LintEngine(collect_timings=args.stats)
 
     if args.list_rules:
         _list_rules()
@@ -195,16 +201,19 @@ def main(argv: Sequence[str] | None = None) -> int:
 
         print(json.dumps(sarif_payload(new), indent=2, sort_keys=True))
     elif args.format == "json":
-        print(
-            json.dumps(
-                {
-                    "findings": [finding.to_dict() for finding in new],
-                    "baselined": len(findings) - len(new),
-                    "stale_baseline_entries": [list(key) for key in stale],
-                },
-                indent=2,
-            )
-        )
+        payload: dict[str, object] = {
+            "findings": [finding.to_dict() for finding in new],
+            "baselined": len(findings) - len(new),
+            "stale_baseline_entries": [list(key) for key in stale],
+        }
+        if args.stats:
+            payload["stats"] = {
+                "rule_seconds": {
+                    code: round(seconds, 6)
+                    for code, seconds in sorted(engine.rule_timings.items())
+                }
+            }
+        print(json.dumps(payload, indent=2))
     else:
         for finding in new:
             print(finding.render())
@@ -215,6 +224,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(summary)
         for rule, path, line_text in stale:
             print(f"  stale: {rule} {path}: {line_text!r}")
+        if args.stats and engine.rule_timings:
+            print("per-rule wall time:")
+            width = max(len(code) for code in engine.rule_timings)
+            ordered = sorted(
+                engine.rule_timings.items(), key=lambda item: (-item[1], item[0])
+            )
+            for code, seconds in ordered:
+                print(f"  {code:<{width}}  {seconds:8.3f}s")
 
     return 1 if new else 0
 

@@ -29,6 +29,9 @@ SARIF_SCHEMA_URI = (
 
 _LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
 
+#: Where each rule family is documented (repo-relative, viewer-clickable).
+_HELP_URI = "docs/STATIC_ANALYSIS.md"
+
 
 def _rule_catalog() -> list[dict[str, object]]:
     from repro.devtools.engine import registry
@@ -41,6 +44,7 @@ def _rule_catalog() -> list[dict[str, object]]:
             "id": rule.code,
             "shortDescription": {"text": rule.summary},
             "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+            "helpUri": _HELP_URI,
         }
         for rule in rules
     ]

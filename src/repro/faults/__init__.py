@@ -18,11 +18,16 @@ reproduction's answer.  Three layers, each usable alone:
 - :mod:`repro.faults.journal` — :class:`MutationJournal`, the write-ahead
   append/commit journal the durable stores (service job queue, incremental
   product-tree store) build their SIGKILL-mid-mutation recovery on.
+- :mod:`repro.faults.fsio` — the shared durable-write primitives
+  (:func:`fsync_file`, :func:`fsync_dir`, :func:`atomic_write_text`)
+  every persistence protocol above routes its commit points through;
+  machine-checked by the DUR rules of reprolint.
 
 See ``docs/FAULTS.md`` for formats and semantics.
 """
 
 from repro.faults.checkpoint import CheckpointStore, corpus_digest
+from repro.faults.fsio import atomic_write_text, fsync_dir, fsync_file
 from repro.faults.journal import MutationJournal
 from repro.faults.inject import (
     CRASH_EXIT_CODE,
@@ -58,7 +63,10 @@ __all__ = [
     "RecoveryPolicy",
     "RecoveryStats",
     "ResilientExecutor",
+    "atomic_write_text",
     "corpus_digest",
+    "fsync_dir",
+    "fsync_file",
     "corrupt_chunk_results",
     "load_fault_plan",
     "resolve_fault_plan",

@@ -34,6 +34,7 @@ import json
 from pathlib import Path
 from typing import Iterable, Mapping, Sequence
 
+from repro.faults.fsio import atomic_write_text as _atomic_write
 from repro.telemetry import get_telemetry
 
 __all__ = ["CheckpointStore", "corpus_digest"]
@@ -48,12 +49,6 @@ def corpus_digest(moduli: Sequence[int]) -> str:
     for n in moduli:
         h.update(f"{n:x}\n".encode("ascii"))
     return h.hexdigest()
-
-
-def _atomic_write(path: Path, text: str) -> None:
-    tmp = path.with_suffix(path.suffix + ".tmp")
-    tmp.write_text(text)
-    tmp.replace(path)
 
 
 class CheckpointStore:

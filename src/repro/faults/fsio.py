@@ -1,0 +1,75 @@
+"""Durable filesystem primitives shared by every persistence protocol.
+
+The repo grew five hand-rolled write protocols (checkpoint shards, the
+mutation journal, product-tree manifests, the service job-queue journal,
+``endpoint.json`` publish) and each one needs the same three moves done
+in the same order to survive a crash:
+
+- :func:`fsync_file` — flush the user-space buffer *and* fsync the file
+  descriptor.  A SIGKILL loses whatever sits in the Python-level buffer;
+  a power loss additionally loses whatever sits in the page cache.
+  ``flush()`` alone only defends against the first.
+- :func:`atomic_write_text` — the commit-point discipline: write a temp
+  file **in the same directory**, fsync it, then :func:`os.replace` onto
+  the final path, then fsync the directory so the new directory entry is
+  itself durable.  A reader never observes a torn file, and a crash at
+  any step leaves either the old committed state or the new one.
+- :func:`fsync_dir` — make a completed rename durable.  The kernel keeps
+  the new directory entry after a SIGKILL, but only a directory fsync
+  pins it across power loss.
+
+The DUR rules in :mod:`repro.devtools.checks.durability` machine-check
+that persistence code either routes through these helpers or reproduces
+the same discipline inline; the crash drills in
+``tests/test_faults_durability_drills.py`` demonstrate the data loss each
+rule prevents.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import IO
+
+__all__ = ["atomic_write_text", "fsync_dir", "fsync_file"]
+
+
+def fsync_file(handle: IO) -> None:
+    """Flush the user-space buffer and fsync the descriptor.
+
+    The pair is the unit of durability: ``flush()`` moves bytes from the
+    Python buffer to the kernel (SIGKILL-safe), ``os.fsync`` moves them
+    from the page cache to the disk (power-loss-safe).
+    """
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+def fsync_dir(path: str | Path) -> None:
+    """Fsync a directory so renames/creations inside it are durable."""
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    fd = os.open(os.fspath(path), flags)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Durably replace ``path`` with ``text`` via temp-file + atomic rename.
+
+    The temp file lives in the same directory (``<name>.tmp``) so the
+    rename cannot cross filesystems, and it is fsynced *before* the
+    rename — otherwise the rename can land while the content is still in
+    the page cache and a power loss commits an empty or torn file.  The
+    directory entry is fsynced after, so the commit itself is durable.
+    Parent directories are created on demand.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    tmp = target.with_suffix(target.suffix + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        fsync_file(handle)
+    os.replace(tmp, target)
+    fsync_dir(target.parent)

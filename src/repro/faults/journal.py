@@ -96,12 +96,24 @@ class MutationJournal:
         return seq
 
     def commit(self, through_seq: int) -> None:
-        """Drop every record with ``_seq <= through_seq`` (atomic rewrite)."""
+        """Drop every record with ``_seq <= through_seq`` (atomic rewrite).
+
+        The rewrite is fsynced before the rename so a power loss cannot
+        commit a torn journal over a good one.  The rename itself is
+        *not* followed by a directory fsync: losing it merely resurrects
+        already-committed records, and replay is idempotent, so the
+        extra fsync would buy nothing (the documented DUR004 exemption).
+        """
         keep = [r for r in self.pending() if int(r["_seq"]) > through_seq]
         tmp = self.path.with_suffix(self.path.suffix + ".tmp")
         text = "".join(json.dumps(r, sort_keys=True) + "\n" for r in keep)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp.write_text(text)
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        # Losing this rename to a power loss only re-exposes committed
+        # records to an idempotent replay.  # reprolint: disable=DUR004
         tmp.replace(self.path)
 
     def clear(self) -> None:

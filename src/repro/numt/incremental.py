@@ -62,6 +62,12 @@ import math
 from pathlib import Path
 from typing import Any, Iterable, NamedTuple, Sequence
 
+#: Commit-point writes (hits, manifest, level rewrites) go through the
+#: shared durable primitive: temp-in-same-dir, fsync, atomic rename,
+#: directory fsync.  Imported as an alias (not rebound) so the program
+#: graph resolves call sites through it.  See repro.faults.fsio.
+from repro.faults.fsio import atomic_write_text as _atomic_write
+from repro.faults.fsio import fsync_file
 from repro.faults.journal import MutationJournal
 from repro.numt.backend import BigIntBackend, resolve_backend
 from repro.numt.trees import product_tree
@@ -561,6 +567,11 @@ class ProductTreeStore:
             )
             with open(self._level_path(level), "a", encoding="utf-8") as fh:
                 fh.write(lines)
+                # The manifest commits count=N on the strength of these
+                # appended spine records; without the fsync a power loss
+                # after the (fsynced) manifest rename could surface a
+                # manifest that promises leaves the level files lost.
+                fsync_file(fh)
             self._level_records[level] += len(indices)
             live = len(self._tree.levels[level])
             if self._level_records[level] > _COMPACT_FACTOR * live + 16:
@@ -737,8 +748,3 @@ class ProductTreeStore:
         return replayed
 
 
-def _atomic_write(path: Path, text: str) -> None:
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_suffix(path.suffix + ".tmp")
-    tmp.write_text(text)
-    tmp.replace(path)

@@ -42,6 +42,7 @@ import threading
 from pathlib import Path
 from typing import Any, Iterator
 
+from repro.faults.fsio import fsync_file
 from repro.service.models import (
     WEBHOOK_DELIVERED,
     WEBHOOK_GAVE_UP,
@@ -126,7 +127,7 @@ class JobQueue:
             return
         if torn:
             self._journal_file.write("\n")
-            self._journal_file.flush()
+            fsync_file(self._journal_file)
 
     # -- journal ---------------------------------------------------------
 
@@ -134,7 +135,9 @@ class JobQueue:
         """Write one event line; callers hold the lock."""
         record = {"v": _SCHEMA_VERSION, "event": event, **payload}
         self._journal_file.write(json.dumps(record, sort_keys=True) + "\n")
-        self._journal_file.flush()
+        # flush alone only survives SIGKILL; the fsync makes the journal
+        # the write-ahead authority across power loss too.
+        fsync_file(self._journal_file)
 
     def _read_journal(self) -> Iterator[dict[str, Any]]:
         try:

@@ -37,6 +37,7 @@ from pathlib import Path
 from typing import Any, Awaitable, Callable
 from urllib.parse import urlsplit
 
+from repro.faults.fsio import atomic_write_text
 from repro.service.auth import HEADER, ApiKeyAuth
 from repro.service.models import ServiceConfig, SubmissionError, parse_submission
 from repro.service.queue import InvalidTransition, JobQueue
@@ -194,9 +195,8 @@ class ServiceServer:
         """Atomically publish the bound address for drills and clients."""
         state_dir = Path(self._config.state_dir)
         state_dir.mkdir(parents=True, exist_ok=True)
-        target = state_dir / "endpoint.json"
-        tmp = target.with_suffix(".json.tmp")
-        tmp.write_text(
+        atomic_write_text(
+            state_dir / "endpoint.json",
             json.dumps(
                 {
                     "host": self._config.host,
@@ -204,9 +204,8 @@ class ServiceServer:
                     "pid": os.getpid(),
                 },
                 sort_keys=True,
-            )
+            ),
         )
-        tmp.replace(target)
 
     # -- connection handling --------------------------------------------
 

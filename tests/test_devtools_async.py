@@ -177,7 +177,7 @@ class TestAsyncColoring:
     def test_payload_carries_async_facts(self, tmp_path):
         write(tmp_path, "src/repro/svc.py", SVC)
         payload = json.loads(build(tmp_path, "src/repro/svc.py").to_json())
-        assert payload["schema_version"] == 2
+        assert payload["schema_version"] == 3
         assert payload["async_roots"] == ["repro.svc.handler"]
         assert "repro.svc.direct" in payload["async_colored"]
         assert "repro.svc.offloaded" in payload["offload_boundaries"]

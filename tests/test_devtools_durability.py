@@ -1,0 +1,312 @@
+"""Fixture tests for the crash-consistency rules (DUR001-DUR005).
+
+Each rule gets a positive plant (the violation fires), a negative plant
+(the disciplined shape stays clean), and a suppressed plant (an inline
+``# reprolint: disable=DURxxx`` silences the finding).  Plants run
+through the real in-process engine — per-file pass, whole-program graph,
+effect index, suppressions — exactly the pipeline the CI gate uses.
+"""
+
+import textwrap
+
+from repro.devtools.engine import LintEngine
+
+
+def lint_plant(tmp_path, source):
+    victim = tmp_path / "src" / "repro" / "planted.py"
+    victim.parent.mkdir(parents=True, exist_ok=True)
+    (victim.parent / "__init__.py").write_text("")
+    victim.write_text(textwrap.dedent(source))
+    findings = LintEngine().lint_paths([tmp_path / "src"])
+    return {finding.rule for finding in findings}, findings
+
+
+#: Write + flush + fsync + rename + directory fsync: the full discipline.
+SAFE_PUBLISH = """
+import os
+
+
+def publish(directory, payload):
+    tmp = directory / "data.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, directory / "data.json")
+    fd = os.open(directory, os.O_RDONLY | os.O_DIRECTORY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+"""
+
+
+class TestDur001UnsyncedRenameSource:
+    POSITIVE = """
+    import os
+
+
+    def publish(directory, payload):
+        tmp = directory / "data.tmp"
+        tmp.write_text(payload)
+        os.replace(tmp, directory / "data.json")
+    """
+
+    def test_write_text_then_rename_fires(self, tmp_path):
+        rules, findings = lint_plant(tmp_path, self.POSITIVE)
+        assert "DUR001" in rules
+        (finding,) = [f for f in findings if f.rule == "DUR001"]
+        assert "write_text" in finding.message
+
+    def test_unflushed_handle_then_rename_fires(self, tmp_path):
+        rules, _ = lint_plant(
+            tmp_path,
+            """
+            import os
+
+
+            def publish(directory, payload):
+                tmp = directory / "data.tmp"
+                with open(tmp, "w", encoding="utf-8") as handle:
+                    handle.write(payload)
+                os.replace(tmp, directory / "data.json")
+            """,
+        )
+        assert "DUR001" in rules
+
+    def test_journal_write_without_fsync_fires(self, tmp_path):
+        rules, findings = lint_plant(
+            tmp_path,
+            """
+            class Queue:
+                def __init__(self, journal_file):
+                    self._journal_file = journal_file
+
+                def append(self, line):
+                    self._journal_file.write(line)
+                    self._journal_file.flush()
+            """,
+        )
+        assert "DUR001" in rules
+        (finding,) = [f for f in findings if f.rule == "DUR001"]
+        assert "journal" in finding.message
+
+    def test_fsynced_rename_source_is_clean(self, tmp_path):
+        rules, _ = lint_plant(tmp_path, SAFE_PUBLISH)
+        assert "DUR001" not in rules
+
+    def test_inline_disable_suppresses(self, tmp_path):
+        rules, _ = lint_plant(
+            tmp_path,
+            """
+            import os
+
+
+            def publish(directory, payload):
+                tmp = directory / "data.tmp"
+                tmp.write_text(payload)
+                os.replace(tmp, directory / "data.json")  # reprolint: disable=DUR001
+            """,
+        )
+        assert "DUR001" not in rules
+
+
+class TestDur002CommitPointInPlace:
+    POSITIVE = """
+    def commit(directory, payload):
+        (directory / "manifest.json").write_text(payload)
+    """
+
+    def test_in_place_manifest_write_fires(self, tmp_path):
+        rules, findings = lint_plant(tmp_path, self.POSITIVE)
+        assert "DUR002" in rules
+        (finding,) = [f for f in findings if f.rule == "DUR002"]
+        assert "manifest" in finding.message
+
+    def test_commit_point_path_handed_to_in_place_writer_fires(self, tmp_path):
+        rules, _ = lint_plant(
+            tmp_path,
+            """
+            def _dump(path, payload):
+                path.write_text(payload)
+
+
+            def commit(directory, payload):
+                _dump(directory / "manifest.json", payload)
+            """,
+        )
+        assert "DUR002" in rules
+
+    def test_temp_plus_rename_is_clean(self, tmp_path):
+        rules, _ = lint_plant(
+            tmp_path,
+            SAFE_PUBLISH.replace('"data.json"', '"manifest.json"'),
+        )
+        assert "DUR002" not in rules
+
+    def test_inline_disable_suppresses(self, tmp_path):
+        rules, _ = lint_plant(
+            tmp_path,
+            """
+            def commit(directory, payload):
+                # reprolint: disable=DUR002
+                (directory / "manifest.json").write_text(payload)
+            """,
+        )
+        assert "DUR002" not in rules
+
+
+class TestDur003JournalOrdering:
+    POSITIVE = """
+    from repro.faults.journal import MutationJournal
+
+
+    class Store:
+        def __init__(self, directory):
+            self._journal = MutationJournal(directory / "journal.jsonl")
+            self._path = directory / "state.json"
+
+        def mutate(self, record, fast):
+            if fast:
+                self._journal.append({"r": record})
+            self._path.write_text(record)
+    """
+
+    def test_mutation_bypassing_the_append_fires(self, tmp_path):
+        rules, findings = lint_plant(tmp_path, self.POSITIVE)
+        assert "DUR003" in rules
+        (finding,) = [f for f in findings if f.rule == "DUR003"]
+        assert "append" in finding.message
+
+    def test_journal_first_is_clean(self, tmp_path):
+        rules, _ = lint_plant(
+            tmp_path,
+            """
+            from repro.faults.journal import MutationJournal
+
+
+            class Store:
+                def __init__(self, directory):
+                    self._journal = MutationJournal(directory / "journal.jsonl")
+                    self._path = directory / "state.json"
+
+                def mutate(self, record):
+                    self._journal.append({"r": record})
+                    self._path.write_text(record)
+            """,
+        )
+        assert "DUR003" not in rules
+
+    def test_optional_journal_guard_blesses_both_arms(self, tmp_path):
+        """`if self._journal is not None:` is the memory-only escape hatch."""
+        rules, _ = lint_plant(
+            tmp_path,
+            """
+            class Store:
+                def __init__(self, directory, journal):
+                    self._journal = journal
+                    self._path = directory / "state.json"
+
+                def mutate(self, record):
+                    if self._journal is not None:
+                        self._journal.append({"r": record})
+                    self._path.write_text(record)
+            """,
+        )
+        assert "DUR003" not in rules
+
+    def test_inline_disable_suppresses(self, tmp_path):
+        rules, _ = lint_plant(
+            tmp_path,
+            self.POSITIVE.replace(
+                "self._path.write_text(record)",
+                "self._path.write_text(record)  # reprolint: disable=DUR003",
+            ),
+        )
+        assert "DUR003" not in rules
+
+
+class TestDur004RenameWithoutDirFsync:
+    POSITIVE = """
+    import os
+
+
+    def publish(directory, payload):
+        tmp = directory / "data.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, directory / "data.json")
+    """
+
+    def test_rename_with_no_dir_fsync_warns(self, tmp_path):
+        rules, findings = lint_plant(tmp_path, self.POSITIVE)
+        assert "DUR004" in rules
+        # The file itself was fsynced, so the stricter DUR001 stays quiet.
+        assert "DUR001" not in rules
+        (finding,) = [f for f in findings if f.rule == "DUR004"]
+        assert "power loss" in finding.message
+
+    def test_directory_fsync_is_clean(self, tmp_path):
+        rules, _ = lint_plant(tmp_path, SAFE_PUBLISH)
+        assert "DUR004" not in rules
+
+    def test_inline_disable_suppresses(self, tmp_path):
+        rules, _ = lint_plant(
+            tmp_path,
+            self.POSITIVE.replace(
+                'os.replace(tmp, directory / "data.json")',
+                'os.replace(tmp, directory / "data.json")'
+                "  # reprolint: disable=DUR004",
+            ),
+        )
+        assert "DUR004" not in rules
+
+
+class TestDur005TornTailReader:
+    POSITIVE = """
+    import json
+
+
+    def load(path):
+        records = []
+        for line in path.read_text().splitlines():
+            records.append(json.loads(line))
+        return records
+    """
+
+    def test_unguarded_line_loop_fires(self, tmp_path):
+        rules, findings = lint_plant(tmp_path, self.POSITIVE)
+        assert "DUR005" in rules
+        (finding,) = [f for f in findings if f.rule == "DUR005"]
+        assert "torn" in finding.message
+
+    def test_guarded_line_loop_is_clean(self, tmp_path):
+        rules, _ = lint_plant(
+            tmp_path,
+            """
+            import json
+
+
+            def load(path):
+                records = []
+                for line in path.read_text().splitlines():
+                    try:
+                        records.append(json.loads(line))
+                    except ValueError:
+                        break
+                return records
+            """,
+        )
+        assert "DUR005" not in rules
+
+    def test_inline_disable_suppresses(self, tmp_path):
+        rules, _ = lint_plant(
+            tmp_path,
+            self.POSITIVE.replace(
+                "records.append(json.loads(line))",
+                "records.append(json.loads(line))  # reprolint: disable=DUR005",
+            ),
+        )
+        assert "DUR005" not in rules

@@ -428,7 +428,7 @@ class TestCachingAndDeterminism:
         graph = build(tmp_path, "src/repro/b.py")
         assert graph.to_json() == graph.to_json()
         payload = json.loads(graph.to_json())
-        assert payload["schema_version"] == 2
+        assert payload["schema_version"] == 3
         assert "repro.b" in payload["modules"]
 
     def test_dot_export_shapes(self, tmp_path):

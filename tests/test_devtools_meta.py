@@ -174,6 +174,83 @@ class TestGateStillBites:
         assert result.returncode == 1, result.stdout + result.stderr
         assert "XTNT001" in result.stdout
 
+    def test_planted_dur001_unsynced_rename_source_fails(self, tmp_path):
+        result = self.plant(
+            tmp_path,
+            "import os\n"
+            "\n"
+            "\n"
+            "def publish(directory, payload):\n"
+            '    tmp = directory / "data.tmp"\n'
+            "    tmp.write_text(payload)\n"
+            '    os.replace(tmp, directory / "data.json")\n',
+        )
+        assert result.returncode == 1, result.stdout + result.stderr
+        assert "DUR001" in result.stdout
+
+    def test_planted_dur002_in_place_commit_point_fails(self, tmp_path):
+        result = self.plant(
+            tmp_path,
+            "def commit(directory, payload):\n"
+            '    (directory / "manifest.json").write_text(payload)\n',
+        )
+        assert result.returncode == 1, result.stdout + result.stderr
+        assert "DUR002" in result.stdout
+
+    def test_planted_dur003_mutation_before_append_fails(self, tmp_path):
+        result = self.plant(
+            tmp_path,
+            "from repro.faults.journal import MutationJournal\n"
+            "\n"
+            "\n"
+            "class Store:\n"
+            "    def __init__(self, directory):\n"
+            '        self._journal = MutationJournal(directory / "journal.jsonl")\n'
+            '        self._path = directory / "state.json"\n'
+            "\n"
+            "    def mutate(self, record, fast):\n"
+            "        if fast:\n"
+            '            self._journal.append({"r": record})\n'
+            "        self._path.write_text(record)\n",
+        )
+        assert result.returncode == 1, result.stdout + result.stderr
+        assert "DUR003" in result.stdout
+
+    def test_planted_dur004_rename_without_dir_fsync_fails(self, tmp_path):
+        result = self.plant(
+            tmp_path,
+            "import os\n"
+            "\n"
+            "\n"
+            "def publish(directory, payload):\n"
+            '    tmp = directory / "data.tmp"\n'
+            '    with open(tmp, "w", encoding="utf-8") as handle:\n'
+            "        handle.write(payload)\n"
+            "        handle.flush()\n"
+            "        os.fsync(handle.fileno())\n"
+            '    os.replace(tmp, directory / "data.json")\n',
+        )
+        assert result.returncode == 1, result.stdout + result.stderr
+        assert "DUR004" in result.stdout
+        # The source file *was* fsynced — only the directory entry is at
+        # risk, so the stricter DUR001 must stay quiet.
+        assert "DUR001" not in result.stdout
+
+    def test_planted_dur005_torn_tail_reader_fails(self, tmp_path):
+        result = self.plant(
+            tmp_path,
+            "import json\n"
+            "\n"
+            "\n"
+            "def load(path):\n"
+            "    records = []\n"
+            "    for line in path.read_text().splitlines():\n"
+            "        records.append(json.loads(line))\n"
+            "    return records\n",
+        )
+        assert result.returncode == 1, result.stdout + result.stderr
+        assert "DUR005" in result.stdout
+
 
 class TestLintRuntimeBudget:
     def test_full_run_stays_under_budget(self):
@@ -184,3 +261,17 @@ class TestLintRuntimeBudget:
         elapsed = time.monotonic() - started
         assert result.returncode == 0, result.stdout + result.stderr
         assert elapsed < 30.0, f"lint took {elapsed:.1f}s — budget is 30s"
+
+    def test_no_single_rule_dominates(self):
+        """--stats: every rule (and the graph build) stays under 10s, so
+        one expensive rule cannot quietly eat the whole 30s budget."""
+        result = run_lint(*LINT_PATHS, "--format", "json", "--stats")
+        assert result.returncode == 0, result.stdout + result.stderr
+        rule_seconds = json.loads(result.stdout)["stats"]["rule_seconds"]
+        assert rule_seconds, "stats were requested but not reported"
+        over = {
+            code: seconds
+            for code, seconds in rule_seconds.items()
+            if seconds >= 10.0
+        }
+        assert not over, f"rules over the 10s per-rule budget: {over}"

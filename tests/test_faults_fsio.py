@@ -1,0 +1,84 @@
+"""Unit tests for the durable filesystem primitives (`repro.faults.fsio`)."""
+
+import os
+
+import pytest
+
+from repro.faults.fsio import atomic_write_text, fsync_dir, fsync_file
+
+
+class TestFsyncFile:
+    def test_flushes_and_fsyncs_the_descriptor(self, tmp_path, monkeypatch):
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd))
+        )
+        target = tmp_path / "out.txt"
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write("payload")
+            fsync_file(handle)
+            # The flush happened before the fsync: the bytes are already
+            # visible to an independent reader while the handle is open.
+            assert target.read_text() == "payload"
+            assert synced == [handle.fileno()]
+
+
+class TestFsyncDir:
+    def test_syncs_a_directory_descriptor(self, tmp_path, monkeypatch):
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd))
+        )
+        fsync_dir(tmp_path)
+        assert len(synced) == 1
+
+    def test_rejects_missing_directories(self, tmp_path):
+        with pytest.raises(OSError):
+            fsync_dir(tmp_path / "nope")
+
+
+class TestAtomicWriteText:
+    def test_writes_content_with_no_temp_residue(self, tmp_path):
+        target = tmp_path / "state" / "manifest.json"
+        atomic_write_text(target, '{"count": 1}')
+        assert target.read_text() == '{"count": 1}'
+        assert list(target.parent.iterdir()) == [target]
+
+    def test_replaces_existing_content(self, tmp_path):
+        target = tmp_path / "manifest.json"
+        atomic_write_text(target, "old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_fsyncs_before_the_rename(self, tmp_path, monkeypatch):
+        """The ordering is the whole point: content durable, then commit."""
+        events = []
+        real_fsync, real_replace = os.fsync, os.replace
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (events.append("fsync"), real_fsync(fd))
+        )
+        monkeypatch.setattr(
+            os,
+            "replace",
+            lambda src, dst: (events.append("replace"), real_replace(src, dst)),
+        )
+        atomic_write_text(tmp_path / "manifest.json", "payload")
+        # File fsync, atomic rename, directory fsync — in that order.
+        assert events == ["fsync", "replace", "fsync"]
+
+    def test_temp_file_lives_in_the_target_directory(self, tmp_path, monkeypatch):
+        """Same-directory temp means the rename can never cross devices."""
+        seen = []
+        real_replace = os.replace
+        monkeypatch.setattr(
+            os,
+            "replace",
+            lambda src, dst: (seen.append((src, dst)), real_replace(src, dst)),
+        )
+        target = tmp_path / "manifest.json"
+        atomic_write_text(target, "payload")
+        ((src, dst),) = [seen[0]]
+        assert os.path.dirname(os.fspath(src)) == os.fspath(tmp_path)
+        assert os.fspath(dst) == os.fspath(target)
