@@ -9,7 +9,11 @@ streaming task graph's win:
   subset and product (k**2 big-int serialisations) and rebuilds its
   subset's product tree from scratch (k**2 builds);
 - **streaming** (the overhaul): per-subset trees built once, one-shot
-  worker broadcast, index-pair task payloads, bounded in-flight window.
+  worker broadcast, index-pair task payloads, bounded in-flight window;
+- **alltoall** (the sharded engine): compact per-shard products exchanged
+  all-to-all, foreign passes served by gcd-descent instead of a full
+  remainder tree — the ``crossover`` section records where it meets the
+  streaming scheduler (n=600 vs the full corpus).
 
 Scale is selected by ``REPRO_BENCH_BATCHGCD_SCALE``:
 
@@ -35,6 +39,7 @@ import time
 
 import pytest
 
+from repro.core.alltoall import AllToAllBatchGcd
 from repro.core.batchgcd import batch_gcd
 from repro.core.clustered import ClusteredBatchGcd
 from repro.core.naive import naive_pairwise_gcd
@@ -99,6 +104,7 @@ def bench_record():
         "backends_available": available_backends(),
         "engines": {},
         "headline": {},
+        "crossover": {},
         "ipc": {},
         "telemetry_overhead": {},
     }
@@ -130,8 +136,13 @@ def test_all_engines_agree_and_are_recorded(subsample, bench_record):
         "clustered_streaming_pool": lambda m: ClusteredBatchGcd(
             k=8, processes=PARAMS["processes"], scheduler="streaming"
         ).run(m),
+        "alltoall": lambda m: AllToAllBatchGcd(shards=8).run(m),
+        "alltoall_pool": lambda m: AllToAllBatchGcd(
+            shards=8, processes=PARAMS["processes"]
+        ).run(m),
     }
     reference = None
+    divisors = {}
     for name, run in legs.items():
         result, wall = _timed(run, subsample)
         bench_record["engines"][name] = {
@@ -139,18 +150,29 @@ def test_all_engines_agree_and_are_recorded(subsample, bench_record):
             "moduli": len(subsample),
             "vulnerable": result.vulnerable_count(),
         }
+        divisors[name] = result.divisors
         flags = [d > 1 for d in result.divisors]
         if reference is None:
             reference = flags
         assert flags == reference, f"{name} disagrees with naive"
+    # Stronger than flag parity: shards=8 mirrors the k=8 subset
+    # decomposition, so the divisor lists must be byte-identical.
+    assert divisors["alltoall"] == divisors["clustered_streaming"]
+    assert divisors["alltoall_pool"] == divisors["clustered_streaming"]
 
 
 def test_backends_identical_results(subsample, bench_record):
-    """Every importable big-int backend produces identical divisors."""
+    """Every importable big-int backend produces identical divisors.
+
+    The all-to-all engine runs the same sweep (at ``shards=8``, matching
+    the streaming legs' ``k=8``), so its divisors must also be identical
+    across backends *and* to the streaming reference.
+    """
     reference = None
     for name in ("python", "gmpy2"):
         if name not in available_backends():
             bench_record["engines"][f"streaming_backend_{name}"] = "unavailable"
+            bench_record["engines"][f"alltoall_backend_{name}"] = "unavailable"
             continue
         engine = ClusteredBatchGcd(k=8, scheduler="streaming", backend=name)
         result, wall = _timed(engine.run, subsample)
@@ -161,6 +183,13 @@ def test_backends_identical_results(subsample, bench_record):
         if reference is None:
             reference = result.divisors
         assert result.divisors == reference, f"backend {name} diverges"
+        alltoall = AllToAllBatchGcd(shards=8, backend=name)
+        result, wall = _timed(alltoall.run, subsample)
+        bench_record["engines"][f"alltoall_backend_{name}"] = {
+            "wall_seconds": round(wall, 4),
+            "cpu_seconds": round(alltoall.last_stats.cpu_seconds, 4),
+        }
+        assert result.divisors == reference, f"alltoall backend {name} diverges"
 
 
 def test_ipc_payload_asymmetry(corpus, bench_record):
@@ -228,6 +257,54 @@ def test_headline_pooled_speedup(corpus, bench_record):
         # Committed-artifact criterion is >= 1.5x; assert with noise
         # headroom so a loaded machine doesn't flake the suite.
         assert speedup >= 1.2, f"streaming speedup regressed: {speedup:.2f}x"
+
+
+def test_alltoall_crossover(corpus, bench_record):
+    """Where the sharded all-to-all engine meets the streaming scheduler.
+
+    Records a ``crossover`` entry per corpus size (``n600`` and the full
+    corpus, ``n8000`` at bench scale): median walls for streaming ``k=8``
+    vs all-to-all ``shards=8`` and their ratio.  The compact-product
+    exchange pays off as the corpus grows — foreign passes gcd-descend
+    into a shard tree instead of computing a full remainder tree — so the
+    ratio should move in the all-to-all engine's favour from the small
+    size to the large one.  Divisor equality is asserted at every size;
+    the trend is recorded, not asserted (a loaded runner cannot honestly
+    assert a ratio).
+    """
+    reps = PARAMS["reps"]
+    sizes = [PARAMS["subsample"], len(corpus)]
+    for size in sizes:
+        moduli = corpus if size == len(corpus) else _make_corpus(
+            size, PARAMS["prime_bits"]
+        )
+        walls = {"clustered_streaming": [], "alltoall": []}
+        results = {}
+        for _ in range(reps):
+            engine = ClusteredBatchGcd(k=8, scheduler="streaming")
+            result, wall = _timed(engine.run, moduli)
+            walls["clustered_streaming"].append(wall)
+            results["clustered_streaming"] = result
+            engine = AllToAllBatchGcd(shards=8)
+            result, wall = _timed(engine.run, moduli)
+            walls["alltoall"].append(wall)
+            results["alltoall"] = result
+        assert (
+            results["alltoall"].divisors
+            == results["clustered_streaming"].divisors
+        ), f"alltoall diverges from clustered_streaming at n={size}"
+        clustered_wall = statistics.median(walls["clustered_streaming"])
+        alltoall_wall = statistics.median(walls["alltoall"])
+        bench_record["crossover"][f"n{size}"] = {
+            "moduli": size,
+            "k": 8,
+            "shards": 8,
+            "reps": reps,
+            "clustered_streaming_wall_seconds": round(clustered_wall, 4),
+            "alltoall_wall_seconds": round(alltoall_wall, 4),
+            "alltoall_over_clustered": round(alltoall_wall / clustered_wall, 4),
+            "vulnerable": results["alltoall"].vulnerable_count(),
+        }
 
 
 def test_telemetry_overhead_budget(subsample, bench_record):

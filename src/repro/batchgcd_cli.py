@@ -81,7 +81,8 @@ def main(argv: list[str] | None = None) -> int:
         "--engine", choices=ENGINE_NAMES, default="clustered",
         help="batch-GCD engine; 'auto' derives pooled vs in-process from "
         "corpus size and cores, and prefers 'incremental' when "
-        "--store-dir is set (default: clustered)",
+        "--store-dir is set or 'alltoall' when --shards is set "
+        "(default: clustered)",
     )
     parser.add_argument(
         "--store-dir", metavar="DIR",
@@ -90,6 +91,12 @@ def main(argv: list[str] | None = None) -> int:
         "(default: none)",
     )
     parser.add_argument("--k", type=int, default=16, help="subset count (default 16)")
+    parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="logical node count for the all-to-all engine's simulated "
+        "sharded deployment; rejected (not ignored) with engines that "
+        "have no shard axis (default: none)",
+    )
     parser.add_argument(
         "--processes", type=int, default=None,
         help="worker processes (default: in-process)",
@@ -169,6 +176,7 @@ def main(argv: list[str] | None = None) -> int:
         checkpoint_dir=args.checkpoint_dir,
         fault_plan=args.fault_plan,
         store_dir=args.store_dir,
+        shards=args.shards,
     )
     engine = choice.engine
     print(f"engine: {choice.name} ({choice.reason})", file=sys.stderr)

@@ -95,8 +95,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--batchgcd-engine", choices=ENGINE_NAMES, default=None,
         metavar="NAME",
-        help="batch-GCD engine: classic, clustered, incremental, or auto "
-        "(derive pooled vs in-process from corpus size and cores; "
+        help="batch-GCD engine: classic, clustered, incremental, alltoall, "
+        "or auto (derive pooled vs in-process from corpus size and cores; "
         "default: auto)",
     )
     parser.add_argument(
@@ -113,6 +113,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--batchgcd-k", type=int, default=None, metavar="K",
         help="clustered batch-GCD subset count (default: preset value)",
+    )
+    parser.add_argument(
+        "--batchgcd-shards", type=int, default=None, metavar="N",
+        help="logical node count for the all-to-all batch-GCD engine's "
+        "simulated sharded deployment; rejected (not ignored) with "
+        "engines that have no shard axis (default: none)",
     )
     parser.add_argument(
         "--batchgcd-processes", type=int, default=None, metavar="N",
@@ -166,6 +172,8 @@ def main(argv: list[str] | None = None) -> int:
         config = config.with_(batchgcd_backend=args.numt_backend)
     if args.batchgcd_k is not None:
         config = config.with_(batchgcd_k=args.batchgcd_k)
+    if args.batchgcd_shards is not None:
+        config = config.with_(batchgcd_shards=args.batchgcd_shards)
     if args.batchgcd_processes is not None:
         config = config.with_(batchgcd_processes=args.batchgcd_processes)
     if args.batchgcd_inflight is not None:

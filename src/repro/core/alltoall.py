@@ -1,0 +1,496 @@
+"""The Pelofske all-to-all GCD engine over a simulated sharded deployment.
+
+Where the clustered engine (:mod:`repro.core.clustered`) runs a remainder
+tree for every (subset, product) pair, the all-to-all algorithm
+(Pelofske, "An Efficient All-to-All GCD Algorithm for Low Entropy RSA Key
+Factorization", arXiv 2405.03166) partitions the corpus across ``N``
+logical nodes and settles cross-shard work with *product GCDs*:
+
+1. each shard builds a product tree over its own moduli once; the root is
+   its **compact product** (:mod:`repro.numt.sharding`);
+2. the compact products are exchanged **all-to-all** — every shard
+   receives every other shard's product, one big integer per pair, and
+   the engine accounts the simulated interconnect traffic
+   (``batch_gcd.ipc_crossshard_bytes``);
+3. each shard checks its moduli against every foreign product with one
+   root GCD: ``gcd(P_s, P_j) == 1`` prunes the whole pair (the common
+   case in a low-entropy hunt — most shards share nothing), otherwise a
+   coprime-pruned descent of the shard's own tree attributes the shared
+   content to individual moduli (:func:`repro.numt.sharding.gcd_descent_hits`);
+4. the shard's *own* moduli are checked against each other with the
+   classic in-shard squared remainder tree — identical to the clustered
+   engine's own-subset pass;
+5. per-shard sparse hit sets merge into the canonical
+   :class:`~repro.core.results.BatchGcdResult` through the shared
+   order-independent lcm fold (:func:`repro.core.results.merge_sparse_hits`).
+
+Equivalence: the partition (round-robin ``corpus[s::N]``), the per-pass
+contributions (own pass ``gcd(N, (P_s mod N**2)/N)``; foreign pass
+``gcd(N, P_j)`` — see the descent-correctness note in
+:mod:`repro.numt.sharding`), and the aggregation are all exactly the
+clustered engine's, so for **every** corpus and shard count the result is
+byte-identical to ``ClusteredBatchGcd(k=N)`` — which the differential
+harness (``tests/harness_differential.py``) asserts corpus by corpus.
+
+Execution reuses the fault substrate end to end: the ``N**2`` shard
+passes run in chunks through :class:`~repro.faults.recovery.ResilientExecutor`
+(per-chunk timeout, bounded retry, pool rebuild with re-broadcast,
+graceful in-process degradation), an optional
+:class:`~repro.faults.checkpoint.CheckpointStore` persists completed
+passes for byte-identical resume, and a seeded
+:class:`~repro.faults.plan.FaultPlan` injects deterministic chaos.
+Pooled runs broadcast the shard trees and products once through the
+executor initializer, exactly like the streaming scheduler.
+
+Telemetry: one ``batch_gcd.alltoall.shard_tree`` span per shard build,
+the shared ``batch_gcd.task`` span/timer per (shard, product) pass, the
+``batch_gcd.ipc_crossshard_bytes`` counter for the product exchange, and
+``batch_gcd.alltoall.pruned_pairs`` counting cross-shard pairs settled
+by the root GCD alone.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.core.clustered import ClusterRunStats
+from repro.core.results import BatchGcdResult, merge_sparse_hits
+from repro.faults.checkpoint import CheckpointStore, corpus_digest
+from repro.faults.inject import corrupt_chunk_results, trigger_fault
+from repro.faults.plan import FaultPlan, resolve_fault_plan
+from repro.faults.recovery import (
+    ChunkResultError,
+    RecoveryPolicy,
+    ResilientExecutor,
+)
+from repro.numt.backend import BigIntBackend, resolve_backend
+from repro.numt.sharding import (
+    ShardProduct,
+    exchange_all_to_all,
+    gcd_descent_hits,
+    partition_round_robin,
+)
+from repro.numt.trees import product_tree, remainder_tree_squared
+from repro.telemetry import RunReport, Telemetry, get_telemetry, use_telemetry
+
+__all__ = ["DEFAULT_SHARDS", "AllToAllBatchGcd", "alltoall_batch_gcd"]
+
+#: Default logical node count for the simulated deployment: small enough
+#: that per-shard products stay compact at interactive corpus sizes,
+#: large enough to exercise the exchange on every run.
+DEFAULT_SHARDS = 4
+
+#: Per-process broadcast state, installed once by :func:`_pool_init_alltoall`
+#: (the streaming scheduler's idiom: holding trees and products at module
+#: level keeps task payloads down to index pairs).
+_ALLTOALL_STATE: dict[str, Any] | None = None
+
+
+def _pool_init_alltoall(
+    trees: list[list[list[int]]],
+    products: list[int],
+    backend_name: str,
+    instrument: bool,
+    fault_plan: FaultPlan | None,
+) -> None:
+    """Process-pool initializer: receive the one-shot shard broadcast."""
+    global _ALLTOALL_STATE
+    _ALLTOALL_STATE = {
+        "trees": trees,
+        "products": products,
+        "backend": resolve_backend(backend_name),
+        "instrument": instrument,
+        "fault_plan": fault_plan,
+    }
+
+
+def _pass_divisors(
+    state: dict[str, Any], shard: int, other: int
+) -> list[tuple[int, int]]:
+    """One (shard, product) pass against broadcast state, sparse result.
+
+    The own pass (``shard == other``) is the classic in-shard squared
+    remainder tree; a foreign pass is the all-to-all root GCD plus
+    coprime-pruned descent.  Either way the result is ``(position,
+    divisor)`` pairs for the shard's moduli sharing content with the
+    other side.
+    """
+    backend: BigIntBackend = state["backend"]
+    gcd = backend.gcd
+    unwrap = backend.unwrap
+    tree = state["trees"][shard]
+    telemetry = get_telemetry()
+    if shard == other:
+        leaves = tree[0]
+        with telemetry.span("batch_gcd.task.remainder_tree", own=True):
+            remainders = remainder_tree_squared(tree)
+        return [
+            (pos, unwrap(d))
+            for pos, (n, z) in enumerate(zip(leaves, remainders))
+            if (d := gcd(n, z // n)) > 1
+        ]
+    found = gcd_descent_hits(tree, state["products"][other], gcd=gcd)
+    telemetry.counter("batch_gcd.alltoall.pruned_pairs", int(not found))
+    return [(pos, unwrap(d)) for pos, d in found]
+
+
+def _execute_chunk(
+    state: dict[str, Any], pairs: Sequence[tuple[int, int]]
+) -> tuple[list[tuple[int, int, list[tuple[int, int]], float]], dict[str, Any] | None]:
+    """Run a chunk of (shard, product) index pairs against broadcast state."""
+    if not state["instrument"]:
+        clock = get_telemetry().clock
+        results = []
+        for i, j in pairs:
+            started = clock.wall()
+            found = _pass_divisors(state, i, j)
+            results.append((i, j, found, clock.wall() - started))
+        return results, None
+    telemetry = Telemetry()
+    clock = telemetry.clock
+    results = []
+    with use_telemetry(telemetry):
+        for i, j in pairs:
+            started = clock.wall()
+            with telemetry.span(
+                "batch_gcd.task",
+                subset=i,
+                product=j,
+                own=i == j,
+                subset_size=len(state["trees"][i][0]),
+                product_bits=int(state["products"][j].bit_length()),
+            ):
+                found = _pass_divisors(state, i, j)
+            seconds = clock.wall() - started
+            telemetry.observe("batch_gcd.task", seconds, seconds)
+            results.append((i, j, found, seconds))
+    return results, telemetry.report().to_dict()
+
+
+def _faulted_chunk(
+    state: dict[str, Any],
+    plan: FaultPlan | None,
+    chunk_id: int,
+    attempt: int,
+    pairs: Sequence[tuple[int, int]],
+    *,
+    pooled: bool,
+) -> tuple[list[tuple[int, int, list[tuple[int, int]], float]], dict[str, Any] | None]:
+    """Execute one chunk attempt through the fault seam."""
+    rule = trigger_fault(plan, chunk_id, attempt, pooled=pooled)
+    results, report = _execute_chunk(state, pairs)
+    if rule is not None and rule.kind == "corrupt":
+        results = corrupt_chunk_results(results)
+    return results, report
+
+
+def _run_alltoall_chunk(
+    chunk_id: int, attempt: int, pairs: Sequence[tuple[int, int]]
+) -> tuple[list[tuple[int, int, list[tuple[int, int]], float]], dict[str, Any] | None]:
+    """Process-pool entry point (top level so it pickles): index pairs only."""
+    assert _ALLTOALL_STATE is not None, "worker used before broadcast"
+    return _faulted_chunk(
+        _ALLTOALL_STATE,
+        _ALLTOALL_STATE["fault_plan"],
+        chunk_id,
+        attempt,
+        pairs,
+        pooled=True,
+    )
+
+
+def _verify_alltoall_chunk(
+    chunk_id: int, pairs: Sequence[tuple[int, int]], result: Any
+) -> None:
+    """Completeness check: one record per submitted (shard, product) pair."""
+    results, _report = result
+    got = {(i, j) for i, j, _found, _seconds in results}
+    expected = set(pairs)
+    if got != expected:
+        raise ChunkResultError(
+            f"chunk {chunk_id} returned passes {sorted(got)} "
+            f"for submitted {sorted(expected)}"
+        )
+
+
+class AllToAllBatchGcd:
+    """The sharded all-to-all batch-GCD engine (simulated multi-node).
+
+    Args:
+        shards: logical node count ``N`` the corpus is partitioned
+            across (capped at the corpus size, like the clustered
+            engine's ``k``).
+        processes: worker processes for the ``N**2`` shard passes.
+            ``None`` runs in-process; values >= 1 use a process pool fed
+            by a one-shot tree/product broadcast.
+        backend: big-int backend name (``"python"``, ``"gmpy2"``), an
+            already-resolved :class:`~repro.numt.backend.BigIntBackend`,
+            or ``None`` for ``$REPRO_NUMT_BACKEND`` / the active default.
+        max_inflight: bound on simultaneously submitted pass chunks
+            (``None`` = twice the worker count).
+        max_retries: chunk re-submissions before degrading to in-process
+            execution (see :class:`~repro.faults.recovery.RecoveryPolicy`).
+        chunk_timeout: seconds before an in-flight chunk is abandoned and
+            retried (``None`` disables; pooled runs only).
+        checkpoint_dir: directory for shard-pass checkpoints (``None``
+            disables checkpointing).
+        fault_plan: a :class:`~repro.faults.plan.FaultPlan`, spec string,
+            or plan-file path to inject deterministic faults; ``None``
+            defers to ``$REPRO_FAULTS`` (and stays off without it).
+        recovery: a fully-specified
+            :class:`~repro.faults.recovery.RecoveryPolicy` overriding
+            ``max_retries``/``chunk_timeout`` (backoff tuning for tests).
+    """
+
+    def __init__(
+        self,
+        shards: int = DEFAULT_SHARDS,
+        processes: int | None = None,
+        backend: str | BigIntBackend | None = None,
+        max_inflight: int | None = None,
+        max_retries: int = 2,
+        chunk_timeout: float | None = None,
+        checkpoint_dir: str | Path | None = None,
+        fault_plan: FaultPlan | str | None = None,
+        recovery: RecoveryPolicy | None = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if processes is not None and processes < 1:
+            raise ValueError("processes must be >= 1 or None")
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1 or None")
+        self.shards = shards
+        self.processes = processes
+        self.backend = backend
+        self.max_inflight = max_inflight
+        self.checkpoint_dir = checkpoint_dir
+        self.fault_plan = fault_plan
+        self.recovery = recovery or RecoveryPolicy(
+            max_retries=max_retries, chunk_timeout=chunk_timeout
+        )
+        self.last_stats: ClusterRunStats | None = None
+
+    def run(self, moduli: Sequence[int]) -> BatchGcdResult:
+        """Run the sharded all-to-all computation over a corpus.
+
+        Raises:
+            ValueError: if any modulus is < 2.
+        """
+        if any(m < 2 for m in moduli):
+            raise ValueError("all moduli must be >= 2")
+        corpus = list(moduli)
+        if len(corpus) < 2:
+            self.last_stats = ClusterRunStats(
+                self.shards, 0, 0.0, 0.0, scheduler="alltoall"
+            )
+            return BatchGcdResult(corpus, [1] * len(corpus))
+        backend = resolve_backend(self.backend)
+        plan = resolve_fault_plan(self.fault_plan)
+        telemetry = get_telemetry()
+        clock = telemetry.clock
+        instrument = telemetry.enabled
+        started = clock.wall()
+
+        # Phase 1: partition and build one tree per shard (its root is
+        # the compact product the shard will broadcast).
+        shard_views = partition_round_robin(corpus, self.shards)
+        n_shards = len(shard_views)
+        trees: list[list[list[int]]] = []
+        tree_build_seconds = 0.0
+        with telemetry.span(
+            "batch_gcd.products",
+            k=n_shards,
+            moduli=len(corpus),
+            scheduler="alltoall",
+        ):
+            for shard in shard_views:
+                build_start = clock.wall()
+                with telemetry.span(
+                    "batch_gcd.alltoall.shard_tree",
+                    shard=shard.index,
+                    leaves=len(shard.moduli),
+                ):
+                    tree = product_tree(list(shard.moduli), backend=backend)
+                    telemetry.annotate(
+                        root_bits=int(tree[-1][0].bit_length())
+                    )
+                tree_build_seconds += clock.wall() - build_start
+                trees.append(tree)
+        products = [tree[-1][0] for tree in trees]
+        prologue_seconds = clock.wall() - started
+        telemetry.gauge(
+            "batch_gcd.max_product_bits",
+            max(int(p.bit_length()) for p in products),
+        )
+
+        # Phase 2: all-to-all exchange of the compact products.  The
+        # simulated interconnect cost is what a real deployment would
+        # move — every product re-sent to each of the other shards.
+        shard_products = [
+            ShardProduct(
+                shard=shard.index,
+                count=len(shard.moduli),
+                product=int(backend.unwrap(products[shard.index])),
+            )
+            for shard in shard_views
+        ]
+        _inboxes, crossshard_bytes = exchange_all_to_all(shard_products)
+        telemetry.counter(
+            "batch_gcd.ipc_crossshard_bytes", crossshard_bytes
+        )
+
+        # Phase 3: the N**2 shard passes — own pass first per shard, then
+        # its foreign checks — driven through the recovery seam.
+        tasks: list[tuple[int, int]] = []
+        for s in range(n_shards):
+            tasks.append((s, s))
+            tasks.extend((s, j) for j in range(n_shards) if j != s)
+
+        partials: dict[tuple[int, int], list[tuple[int, int]]] = {}
+        store = self._checkpoint_store(corpus, n_shards, backend)
+        if store is not None:
+            partials.update(store.load())
+        remaining_tasks = [t for t in tasks if t not in partials]
+        chunk_size = max(1, n_shards // 4)
+        chunks = [
+            remaining_tasks[c : c + chunk_size]
+            for c in range(0, len(remaining_tasks), chunk_size)
+        ]
+        telemetry.gauge("batch_gcd.queue_depth", len(remaining_tasks))
+
+        cpu_seconds = prologue_seconds
+        remaining = len(remaining_tasks)
+        broadcast_bytes = 0
+        task_bytes = 0
+        checkpoint_written = 0
+
+        state = {
+            "trees": trees,
+            "products": products,
+            "backend": backend,
+            "instrument": instrument,
+            "fault_plan": plan,
+        }
+
+        def consume(
+            chunk_id: int,
+            outcome: tuple[
+                list[tuple[int, int, list[tuple[int, int]], float]],
+                dict[str, Any] | None,
+            ],
+            queued_seconds: float,
+        ) -> None:
+            nonlocal cpu_seconds, remaining, checkpoint_written
+            results, report = outcome
+            completed: dict[tuple[int, int], list[tuple[int, int]]] = {}
+            for i, j, found, seconds in results:
+                partials[(i, j)] = found
+                completed[(i, j)] = found
+                cpu_seconds += seconds
+            remaining -= len(results)
+            telemetry.gauge("batch_gcd.queue_depth", remaining)
+            telemetry.observe("batch_gcd.queue_latency", queued_seconds)
+            if report is not None:
+                telemetry.merge_report(RunReport.from_dict(report))
+            if store is not None:
+                store.record(completed)
+                checkpoint_written += len(completed)
+
+        def local_chunk(chunk_id: int, attempt: int, pairs):
+            return _faulted_chunk(
+                state, plan, chunk_id, attempt, pairs, pooled=False
+            )
+
+        def fallback_chunk(chunk_id: int, pairs):
+            return _execute_chunk(state, pairs)
+
+        pool_factory = None
+        on_submit = None
+        if self.processes is not None:
+            broadcast = (trees, products, backend.name, instrument, plan)
+            if instrument:
+                broadcast_bytes = len(pickle.dumps(broadcast))
+                telemetry.counter(
+                    "batch_gcd.ipc_broadcast_bytes", broadcast_bytes
+                )
+
+            def pool_factory() -> ProcessPoolExecutor:
+                return ProcessPoolExecutor(
+                    max_workers=self.processes,
+                    initializer=_pool_init_alltoall,
+                    initargs=broadcast,
+                )
+
+            if instrument:
+
+                def on_submit(chunk_id: int, pairs) -> None:
+                    nonlocal task_bytes
+                    payload = len(pickle.dumps(pairs))
+                    task_bytes += payload
+                    telemetry.counter("batch_gcd.ipc_task_bytes", payload)
+
+        recovery = ResilientExecutor(
+            payloads=list(enumerate(chunks)),
+            policy=self.recovery,
+            fallback=fallback_chunk,
+            pool_factory=pool_factory,
+            pool_task=_run_alltoall_chunk,
+            local_task=local_chunk,
+            verify=_verify_alltoall_chunk,
+            window=(
+                (self.max_inflight or 2 * self.processes)
+                if self.processes is not None
+                else 1
+            ),
+            on_submit=on_submit,
+        )
+        recovery_stats = recovery.run(consume)
+
+        divisors = merge_sparse_hits(corpus, n_shards, partials.items())
+        self.last_stats = ClusterRunStats(
+            k=n_shards,
+            tasks=len(tasks),
+            wall_seconds=clock.wall() - started,
+            cpu_seconds=cpu_seconds,
+            product_build_seconds=prologue_seconds,
+            scheduler="alltoall",
+            tree_builds=n_shards,
+            tree_build_seconds=tree_build_seconds,
+            ipc_broadcast_bytes=broadcast_bytes,
+            ipc_task_bytes=task_bytes,
+            ipc_crossshard_bytes=crossshard_bytes,
+            checkpoint_loaded=len(tasks) - len(remaining_tasks),
+            checkpoint_written=checkpoint_written,
+        )
+        self.last_stats.apply_recovery(recovery_stats)
+        telemetry.counter("batch_gcd.tasks", len(tasks))
+        return BatchGcdResult(corpus, divisors)
+
+    def _checkpoint_store(
+        self, corpus: list[int], n_shards: int, backend: BigIntBackend
+    ) -> CheckpointStore | None:
+        if self.checkpoint_dir is None:
+            return None
+        return CheckpointStore(
+            self.checkpoint_dir,
+            digest=corpus_digest(corpus),
+            k=n_shards,
+            scheduler="alltoall",
+            backend=backend.name,
+        )
+
+
+def alltoall_batch_gcd(
+    moduli: Sequence[int],
+    shards: int = DEFAULT_SHARDS,
+    processes: int | None = None,
+    backend: str | BigIntBackend | None = None,
+) -> BatchGcdResult:
+    """Convenience wrapper: run :class:`AllToAllBatchGcd` once."""
+    return AllToAllBatchGcd(
+        shards=shards, processes=processes, backend=backend
+    ).run(moduli)

@@ -89,7 +89,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Sequence
 
-from repro.core.results import BatchGcdResult
+from repro.core.results import BatchGcdResult, merge_sparse_hits
 from repro.faults.checkpoint import CheckpointStore, corpus_digest
 from repro.faults.inject import corrupt_chunk_results, trigger_fault
 from repro.faults.plan import FaultPlan, resolve_fault_plan
@@ -147,6 +147,9 @@ class ClusterRunStats:
             instrumented pooled streaming runs, else 0.
         ipc_task_bytes: pickled size of all task payloads.  Only measured
             on instrumented pooled streaming runs, else 0.
+        ipc_crossshard_bytes: bytes of compact shard products crossing
+            the simulated interconnect (all-to-all engine only, measured
+            on every run; 0 for the clustered schedulers).
         retries: chunk re-submissions after a failure or timeout.
         pool_rebuilds: process pools rebuilt after a dead worker.
         chunk_timeouts: in-flight chunks abandoned for exceeding the
@@ -170,6 +173,7 @@ class ClusterRunStats:
     tree_build_seconds: float = 0.0
     ipc_broadcast_bytes: int = 0
     ipc_task_bytes: int = 0
+    ipc_crossshard_bytes: int = 0
     retries: int = 0
     pool_rebuilds: int = 0
     chunk_timeouts: int = 0
@@ -847,15 +851,7 @@ class ClusteredBatchGcd:
         partials: dict[tuple[int, int], list[tuple[int, int]]],
     ) -> list[int]:
         """lcm-combine sparse streaming partials for every modulus."""
-        import math
-
-        combined = [1] * len(corpus)
-        for (i, _j), found in partials.items():
-            for pos, d in found:
-                corpus_index = i + pos * k
-                current = combined[corpus_index]
-                combined[corpus_index] = current * d // math.gcd(current, d)
-        return [math.gcd(d, n) for d, n in zip(combined, corpus)]
+        return merge_sparse_hits(corpus, k, partials.items())
 
 
 def clustered_batch_gcd(

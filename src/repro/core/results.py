@@ -21,7 +21,7 @@ from typing import Iterable, Sequence
 
 from repro.numt.primality import is_probable_prime
 
-__all__ = ["FactoredModulus", "BatchGcdResult"]
+__all__ = ["FactoredModulus", "BatchGcdResult", "merge_sparse_hits"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -164,6 +164,36 @@ def _pairwise_split(n: int, candidates: Sequence[int]) -> int | None:
         if 1 < g < n:
             return g
     return None
+
+
+def merge_sparse_hits(
+    moduli: Sequence[int],
+    stride: int,
+    hits: Iterable[tuple[tuple[int, int], Sequence[tuple[int, int]]]],
+) -> list[int]:
+    """Merge sparse per-pass hit sets into one aligned divisor list.
+
+    This is the canonical aggregation shared by the clustered and
+    all-to-all engines: each pass ``(owner, other)`` contributes
+    ``(position, divisor)`` records for the owning subset/shard, whose
+    ``position``-th modulus sits at corpus index
+    ``owner + position * stride`` under the round-robin partition.
+    Contributions for the same modulus combine by lcm and the total is
+    capped back to an actual divisor of the modulus (divisors from
+    different passes can overlap in prime content).
+
+    The lcm fold is commutative and associative and the cap is applied
+    once at the end, so the result is independent of the order hit sets
+    are merged in — the property that lets a sharded deployment combine
+    per-shard results as they arrive.
+    """
+    combined = [1] * len(moduli)
+    for (owner, _other), found in hits:
+        for pos, divisor in found:
+            index = owner + pos * stride
+            current = combined[index]
+            combined[index] = current * divisor // math.gcd(current, divisor)
+    return [math.gcd(d, n) for d, n in zip(combined, moduli)]
 
 
 def combine_results(results: Iterable[BatchGcdResult]) -> BatchGcdResult:

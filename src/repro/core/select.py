@@ -9,15 +9,22 @@ serving path where runs extend a persistent corpus.  This module owns
 the decision so the pipeline, the CLIs and the service all pick the same
 way:
 
-- ``engine="classic"`` / ``"clustered"`` / ``"incremental"`` select
-  explicitly;
+- ``engine="classic"`` / ``"clustered"`` / ``"incremental"`` /
+  ``"alltoall"`` select explicitly;
 - ``engine="auto"`` (the default study setting) picks the incremental
-  engine when a persistent ``store_dir`` is configured, and otherwise
+  engine when a persistent ``store_dir`` is configured, the sharded
+  all-to-all engine when a ``shards`` count is configured, and otherwise
   clustered — in-process for small corpora or single-core hosts, pooled
   streaming with a derived worker count once the corpus is large enough
   (:data:`AUTO_POOL_MIN_MODULI`) for the pool to amortise its startup.
 
 An explicit ``processes`` always wins over the derived worker count.
+
+Selection never falls back silently: a request that cannot be satisfied
+as stated — ``shards`` with an engine that has no shard axis, a
+persistent ``store_dir`` with the storeless all-to-all engine, or
+``auto`` given both (so either resolution would drop one knob) — raises
+``ValueError`` naming the conflict instead of guessing.
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Sequence
 
+from repro.core.alltoall import DEFAULT_SHARDS, AllToAllBatchGcd
 from repro.core.batchgcd import batch_gcd
 from repro.core.clustered import ClusteredBatchGcd, ClusterRunStats
 from repro.core.incremental import IncrementalBatchGcd
@@ -45,7 +53,7 @@ __all__ = [
 ]
 
 #: Engine names accepted by StudyConfig.batchgcd_engine and the CLIs.
-ENGINE_NAMES = ("auto", "classic", "clustered", "incremental")
+ENGINE_NAMES = ("auto", "classic", "clustered", "incremental", "alltoall")
 
 #: Smallest corpus for which ``auto`` reaches for a process pool: below
 #: this, pool startup dominates (measured crossover in BENCH_batchgcd.json
@@ -138,6 +146,7 @@ def select_engine(
     checkpoint_dir: str | Path | None = None,
     fault_plan: Any = None,
     store_dir: str | Path | None = None,
+    shards: int | None = None,
     cores: int | None = None,
 ) -> EngineChoice:
     """Resolve an engine name (possibly ``"auto"``) to a ready engine.
@@ -147,21 +156,80 @@ def select_engine(
         engine: one of :data:`ENGINE_NAMES`.
         k / processes / scheduler / backend / max_inflight / max_retries
             / chunk_timeout / checkpoint_dir / fault_plan: the clustered
-            engine's knobs, passed through when it is selected.
+            engine's knobs, passed through when it is selected (the
+            fault knobs also apply to the all-to-all engine).
         store_dir: persistent store directory for the incremental engine;
             also what makes ``auto`` prefer it.
+        shards: logical node count for the all-to-all engine; also what
+            makes ``auto`` prefer it (``None`` when it is named
+            explicitly means :data:`~repro.core.alltoall.DEFAULT_SHARDS`).
         cores: core-count override for tests (``None`` = os.cpu_count()).
 
     Raises:
-        ValueError: on an unknown engine name.
+        ValueError: on an unknown engine name, or on a request that
+            cannot be satisfied as stated — selection never silently
+            drops a knob to make a request fit (``shards`` with a
+            shardless engine, ``store_dir`` with the storeless all-to-all
+            engine, or ``auto`` given both).
     """
     if engine not in ENGINE_NAMES:
         raise ValueError(
             f"unknown engine {engine!r} (choose from {ENGINE_NAMES})"
         )
+    if shards is not None and shards < 1:
+        raise ValueError("shards must be >= 1")
+    if shards is not None and engine in ("classic", "clustered", "incremental"):
+        raise ValueError(
+            f"engine {engine!r} has no shard axis: shards={shards} would be "
+            "ignored (use engine='alltoall', or drop the shard count)"
+        )
+    if engine == "alltoall" and store_dir is not None:
+        raise ValueError(
+            "the alltoall engine has no persistent store: "
+            f"store_dir={str(store_dir)!r} would be ignored (use "
+            "engine='incremental', or drop the store)"
+        )
+    if engine == "auto" and store_dir is not None and shards is not None:
+        raise ValueError(
+            "auto cannot satisfy both a persistent store "
+            f"(store_dir={str(store_dir)!r} -> incremental) and a shard "
+            f"count (shards={shards} -> alltoall); name the engine "
+            "explicitly and drop the other knob"
+        )
     resolved = engine
     if engine == "auto":
-        resolved = "incremental" if store_dir is not None else "clustered"
+        if store_dir is not None:
+            resolved = "incremental"
+        elif shards is not None:
+            resolved = "alltoall"
+        else:
+            resolved = "clustered"
+    if resolved == "alltoall":
+        pool, pool_reason = (
+            auto_processes(corpus_size, requested=processes, cores=cores)
+            if engine == "auto"
+            else (processes, "alltoall engine requested")
+        )
+        reason = (
+            f"auto: shard count {shards} configured -> alltoall ({pool_reason})"
+            if engine == "auto"
+            else pool_reason
+        )
+        return EngineChoice(
+            "alltoall",
+            AllToAllBatchGcd(
+                shards=shards if shards is not None else DEFAULT_SHARDS,
+                processes=pool,
+                backend=backend,
+                max_inflight=max_inflight,
+                max_retries=max_retries,
+                chunk_timeout=chunk_timeout,
+                checkpoint_dir=checkpoint_dir,
+                fault_plan=fault_plan,
+            ),
+            pool,
+            reason,
+        )
     if resolved == "classic":
         return EngineChoice(
             "classic", ClassicBatchGcd(backend=backend), None,

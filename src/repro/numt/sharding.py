@@ -1,0 +1,175 @@
+"""Corpus sharding and cross-shard product exchange (Pelofske all-to-all).
+
+The all-to-all GCD algorithm (Pelofske, arXiv 2405.03166) partitions a
+key corpus across nodes, has every node build one *compact product* of
+its shard, exchanges those products all-to-all, and settles most
+cross-shard pairs with a **single GCD of two products**: when
+``gcd(P_s, P_j) == 1`` no modulus of shard ``s`` shares anything with
+shard ``j`` and the whole pair is pruned.  Only the rare non-coprime
+pair pays a drill-down, which descends shard ``s``'s product tree
+carrying the (small) shared content and prunes every coprime subtree.
+
+This module is the pure substrate for that deployment shape — the
+partition rule, the exchange record/accounting, and the pruned descent —
+shared by the :class:`repro.core.alltoall.AllToAllBatchGcd` engine and
+reusable by a real multi-node runner later.  Everything here follows the
+``numt`` package rule: plain values, no I/O, no telemetry.
+
+Correctness of the descent (the reason the all-to-all engine is provably
+byte-identical to the clustered engine at equal shard count): with
+``g = gcd(node, P_j)`` at any tree node, a child ``c`` of that node
+satisfies ``gcd(c, g) == gcd(c, P_j)`` — every prime's multiplicity in
+``c`` is at most its multiplicity in the parent — so by induction each
+reached leaf ``N_i`` yields exactly ``gcd(N_i, P_j)``, the clustered
+engine's foreign-pass contribution, while unreached (pruned) leaves are
+exactly those with ``gcd(N_i, P_j) == 1``.
+
+The partition is the clustered engine's round-robin rule: shard ``s``
+holds ``corpus[s::shards]``, so shard membership of corpus index ``i``
+is ``i % shards`` and the global index of the shard's ``pos``-th modulus
+is ``s + pos * shards`` — a pure function of ``(len(corpus), shards)``,
+which makes the partition deterministic and every modulus land in
+exactly one shard by construction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+__all__ = [
+    "Shard",
+    "ShardProduct",
+    "exchange_all_to_all",
+    "gcd_descent_hits",
+    "partition_round_robin",
+    "shard_of",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Shard:
+    """One logical node's slice of the corpus.
+
+    Attributes:
+        index: shard id in ``range(stride)``.
+        stride: total shard count (the round-robin stride).
+        moduli: the shard's corpus slice, ``corpus[index::stride]``.
+    """
+
+    index: int
+    stride: int
+    moduli: tuple[int, ...]
+
+    def global_index(self, pos: int) -> int:
+        """Corpus index of the shard's ``pos``-th modulus."""
+        return self.index + pos * self.stride
+
+
+@dataclass(frozen=True, slots=True)
+class ShardProduct:
+    """The compact record one shard broadcasts to every other shard.
+
+    Attributes:
+        shard: originating shard id.
+        count: number of moduli folded into the product.
+        product: the shard's full modulus product (its tree root).
+    """
+
+    shard: int
+    count: int
+    product: int
+
+    @property
+    def wire_bytes(self) -> int:
+        """Serialized size of the product on the exchange wire."""
+        return (int(self.product).bit_length() + 7) // 8
+
+
+def shard_of(index: int, shards: int) -> int:
+    """Shard id owning corpus index ``index`` under round-robin partition."""
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    return index % shards
+
+
+def partition_round_robin(
+    corpus: Sequence[int], shards: int
+) -> list[Shard]:
+    """Partition a corpus round-robin across ``shards`` logical nodes.
+
+    The shard count is capped at the corpus size (matching the clustered
+    engine's ``k = min(k, n)`` rule) so no shard is ever empty; with an
+    empty corpus a single empty shard is returned.
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    stride = max(1, min(shards, len(corpus)))
+    return [
+        Shard(index=s, stride=stride, moduli=tuple(corpus[s::stride]))
+        for s in range(stride)
+    ]
+
+
+def exchange_all_to_all(
+    products: Sequence[ShardProduct],
+) -> tuple[dict[int, list[ShardProduct]], int]:
+    """Simulate the all-to-all product exchange between shards.
+
+    Every shard sends its compact product to every *other* shard.
+
+    Returns:
+        ``(inboxes, total_bytes)`` — per-shard inbox of foreign products
+        (sorted by originating shard) and the total bytes crossing the
+        simulated interconnect (each product is re-sent once per
+        recipient, which is how a real deployment would pay for it).
+    """
+    ordered = sorted(products, key=lambda record: record.shard)
+    inboxes: dict[int, list[ShardProduct]] = {
+        record.shard: [] for record in ordered
+    }
+    total_bytes = 0
+    for record in ordered:
+        for receiver in inboxes:
+            if receiver == record.shard:
+                continue
+            inboxes[receiver].append(record)
+            total_bytes += record.wire_bytes
+    return inboxes, total_bytes
+
+
+def gcd_descent_hits(
+    levels: list[list[int]],
+    foreign: int,
+    gcd: Callable[[int, int], int] = math.gcd,
+) -> list[tuple[int, int]]:
+    """Leaves of a product tree sharing content with a foreign product.
+
+    Computes ``gcd(leaf, foreign)`` for every leaf of ``levels`` (a tree
+    from :func:`repro.numt.trees.product_tree`) by descending from the
+    root with the running shared content, pruning every subtree coprime
+    with it.  One root GCD settles the common case — two shards sharing
+    nothing — without touching a single leaf.
+
+    Returns:
+        Sorted ``(position, divisor)`` pairs for leaves with divisor > 1.
+    """
+    root = levels[-1][0]
+    shared = gcd(root, foreign)
+    if shared <= 1:
+        return []
+    frontier = {0: shared}
+    for level in reversed(levels[:-1]):
+        descended: dict[int, int] = {}
+        for parent, content in frontier.items():
+            for child in (2 * parent, 2 * parent + 1):
+                if child >= len(level):
+                    continue
+                g = gcd(level[child], content)
+                if g > 1:
+                    descended[child] = g
+        frontier = descended
+        if not frontier:
+            return []
+    return sorted(frontier.items())

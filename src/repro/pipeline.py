@@ -347,6 +347,7 @@ def _run_study_instrumented(config: StudyConfig, tel: Telemetry) -> StudyResult:
             checkpoint_dir=config.batchgcd_checkpoint_dir,
             fault_plan=config.batchgcd_fault_plan,
             store_dir=config.batchgcd_store_dir,
+            shards=config.batchgcd_shards,
         )
         engine = choice.engine
         tel.annotate(

@@ -47,14 +47,22 @@ class StudyConfig:
         rimon_hosts: number of simulated Internet-Rimon-intercepted hosts.
         start, end: study window.
         batchgcd_engine: batch-GCD engine — ``"classic"``,
-            ``"clustered"``, ``"incremental"`` or ``"auto"`` (the
-            default), which prefers the incremental engine when
-            ``batchgcd_store_dir`` is set and otherwise derives
-            in-process vs pooled clustered execution from corpus size
-            and core count (see :mod:`repro.core.select`).
+            ``"clustered"``, ``"incremental"``, ``"alltoall"`` or
+            ``"auto"`` (the default), which prefers the incremental
+            engine when ``batchgcd_store_dir`` is set, the sharded
+            all-to-all engine when ``batchgcd_shards`` is set, and
+            otherwise derives in-process vs pooled clustered execution
+            from corpus size and core count (see
+            :mod:`repro.core.select`).
         batchgcd_store_dir: directory for the incremental engine's
             persistent product-tree store (None = in-memory only).
         batchgcd_k: subset count for the clustered batch GCD.
+        batchgcd_shards: logical node count for the all-to-all engine's
+            simulated sharded deployment (None = not configured; an
+            explicit ``engine="alltoall"`` then uses
+            :data:`repro.core.alltoall.DEFAULT_SHARDS`).  Setting it
+            with an engine that has no shard axis is a configuration
+            error — selection raises rather than ignoring it.
         batchgcd_processes: worker processes (None = in-process).
         batchgcd_scheduler: task-graph driver for the clustered engine
             (``"streaming"`` or ``"fanout"``; see
@@ -90,6 +98,7 @@ class StudyConfig:
     batchgcd_engine: str = "auto"
     batchgcd_store_dir: str | None = None
     batchgcd_k: int = 16
+    batchgcd_shards: int | None = None
     batchgcd_processes: int | None = None
     batchgcd_scheduler: str = "streaming"
     batchgcd_backend: str | None = None

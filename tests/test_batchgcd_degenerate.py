@@ -3,11 +3,18 @@
 The paper's corpora are full of pathologies — byte-identical duplicate
 keys across hosts, the 9-prime IBM remote-supervisor moduli (Section
 3.3.2), and corrupted records that are prime powers rather than
-semiprimes.  The naive pairwise engine, the classic Bernstein engine, and
-both clustered schedulers (in-process and pooled) must agree on the
-vulnerable/clean verdict for every modulus; on non-squarefree inputs the
-reported *divisor* may legitimately differ in multiplicity, but never the
-flag.
+semiprimes.  The naive pairwise engine, the classic Bernstein engine,
+both clustered schedulers (in-process and pooled), and the sharded
+all-to-all engine must agree on the vulnerable/clean verdict for every
+modulus; on non-squarefree inputs the reported *divisor* may
+legitimately differ in multiplicity, but never the flag.
+
+The all-to-all engine carries a stronger contract than flag agreement:
+at ``shards=N`` it must be **byte-identical** to the streaming clustered
+engine at ``k=N`` — same divisor list, same recovered factors — on every
+one of these corpora, at every shard count (including a count that does
+not divide the corpus size).  :class:`TestAllToAllShardCounts` sweeps
+that contract over the same degenerate corpora the flag tests use.
 """
 
 import math
@@ -15,6 +22,8 @@ import random
 
 import pytest
 
+from tests.harness_differential import assert_alltoall_parity
+from repro.core.alltoall import alltoall_batch_gcd
 from repro.core.batchgcd import batch_gcd
 from repro.core.clustered import ClusteredBatchGcd
 from repro.core.naive import naive_pairwise_gcd
@@ -49,6 +58,11 @@ def _engines():
             lambda m: ClusteredBatchGcd(
                 k=3, processes=2, scheduler="fanout"
             ).run(m),
+        ),
+        ("alltoall", lambda m: alltoall_batch_gcd(m, shards=3)),
+        (
+            "alltoall-pool",
+            lambda m: alltoall_batch_gcd(m, shards=3, processes=2),
         ),
     ]
 
@@ -241,3 +255,66 @@ class TestPropertyDifferential:
                 f"{scheduler} resume diverged (seed {seed})"
             )
             assert _flags(result) == classic_flags
+
+
+def _degenerate_corpora():
+    """(name, moduli) for each pathology shape used by the flag tests."""
+
+    def duplicates():
+        rng = random.Random(5)
+        p, q, r, s = (generate_prime(40, rng) for _ in range(4))
+        dup = p * q
+        return [dup, r * s, dup, dup]
+
+    def duplicates_and_shared():
+        rng = random.Random(6)
+        p, q, r, s = (generate_prime(40, rng) for _ in range(4))
+        return [p * q, p * r, q * r, s * s, p * q]
+
+    def prime_squares():
+        rng = random.Random(7)
+        p, q, r = (generate_prime(40, rng) for _ in range(3))
+        return [p * p, p * q, q * r, p * p, r * r]
+
+    def ibm_clique():
+        rng = random.Random(10)
+        pool = [generate_prime(24, rng) for _ in range(12)]
+        clique = [math.prod(rng.sample(pool, 9)) for _ in range(3)]
+        clean = [
+            generate_prime(40, rng) * generate_prime(40, rng)
+            for _ in range(3)
+        ]
+        return [m for pair in zip(clique, clean) for m in pair]
+
+    return [
+        ("duplicates", duplicates()),
+        ("duplicates-and-shared", duplicates_and_shared()),
+        ("prime-squares", prime_squares()),
+        ("ibm-clique", ibm_clique()),
+        ("random-101", _random_pathological_corpus(random.Random(101))),
+        ("random-202", _random_pathological_corpus(random.Random(202))),
+    ]
+
+
+class TestAllToAllShardCounts:
+    """alltoall(shards=N) == clustered(k=N), byte for byte, on every corpus.
+
+    N=7 deliberately does not divide most corpus sizes, so the
+    round-robin partition leaves uneven shards and the product tree's
+    odd-tail promotion is exercised on every level.
+    """
+
+    CORPORA = _degenerate_corpora()
+
+    @pytest.mark.parametrize(
+        "name,moduli", CORPORA, ids=[n for n, _ in CORPORA]
+    )
+    @pytest.mark.parametrize("shards", [1, 2, 3, 7])
+    def test_byte_identical_to_clustered(self, name, moduli, shards):
+        result = assert_alltoall_parity(moduli, shards=shards)
+        assert _flags(result) == _flags(batch_gcd(moduli))
+
+    @pytest.mark.parametrize("shards", [2, 7])
+    def test_pooled_byte_identical_to_clustered(self, shards):
+        moduli = _random_pathological_corpus(random.Random(303))
+        assert_alltoall_parity(moduli, shards=shards, processes=2)

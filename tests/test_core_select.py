@@ -4,6 +4,7 @@ import random
 
 import pytest
 
+from repro.core.alltoall import DEFAULT_SHARDS
 from repro.core.batchgcd import batch_gcd
 from repro.core.select import (
     AUTO_POOL_MAX_WORKERS,
@@ -78,11 +79,23 @@ class TestSelectEngine:
         choice = select_engine(10_000, engine="clustered", cores=8)
         assert choice.processes is None  # no auto-derivation when explicit
 
+    def test_auto_with_shards_prefers_alltoall(self):
+        choice = select_engine(100, engine="auto", shards=3)
+        assert choice.name == "alltoall"
+        assert choice.engine.shards == 3
+        assert "auto" in choice.reason
+
+    def test_explicit_alltoall_defaults_shards(self):
+        choice = select_engine(100, engine="alltoall")
+        assert choice.name == "alltoall"
+        assert choice.engine.shards == DEFAULT_SHARDS
+
     def test_every_name_resolves(self, tmp_path):
+        # store_dir only makes sense for the incremental resolution; the
+        # all-to-all engine rejects it rather than ignoring it.
         for name in ENGINE_NAMES:
-            choice = select_engine(
-                10, engine=name, store_dir=tmp_path / name
-            )
+            store = tmp_path / name if name in ("auto", "incremental") else None
+            choice = select_engine(10, engine=name, store_dir=store)
             assert choice.name in ENGINE_NAMES and choice.name != "auto"
             assert hasattr(choice.engine, "run")
 
@@ -90,14 +103,65 @@ class TestSelectEngine:
         moduli = _corpus(1)
         reference = batch_gcd(moduli)
         for name in ENGINE_NAMES:
+            store = tmp_path / name if name in ("auto", "incremental") else None
             choice = select_engine(
-                len(moduli), engine=name, k=3, store_dir=tmp_path / name
+                len(moduli), engine=name, k=3, store_dir=store
             )
             result = choice.engine.run(moduli)
             assert [d > 1 for d in result.divisors] == [
                 d > 1 for d in reference.divisors
             ], name
             assert choice.engine.last_stats is not None
+
+
+class TestNoSilentFallback:
+    """An unsatisfiable explicit request must raise, never be reinterpreted.
+
+    The coverage gap this closes: nothing previously pinned down what
+    happens when an explicit ``alltoall``/``incremental``-style request
+    carries a knob the resolved engine cannot honour — selection could
+    have silently dropped the knob and run a different configuration
+    than the one asked for.
+    """
+
+    @pytest.mark.parametrize("engine", ["classic", "clustered", "incremental"])
+    def test_shards_with_shardless_engine_raises_with_reason(self, engine):
+        with pytest.raises(ValueError, match="no shard axis"):
+            select_engine(100, engine=engine, shards=3)
+
+    def test_alltoall_with_store_dir_raises_with_reason(self, tmp_path):
+        with pytest.raises(ValueError, match="no persistent store"):
+            select_engine(
+                100, engine="alltoall", store_dir=tmp_path / "store"
+            )
+
+    def test_auto_with_both_store_and_shards_raises(self, tmp_path):
+        # Either resolution would silently drop one knob, so auto must
+        # refuse and name the conflict instead of picking.
+        with pytest.raises(ValueError, match="cannot satisfy both"):
+            select_engine(
+                100,
+                engine="auto",
+                store_dir=tmp_path / "store",
+                shards=3,
+            )
+
+    def test_invalid_shard_count_raises(self):
+        with pytest.raises(ValueError, match="shards"):
+            select_engine(100, engine="alltoall", shards=0)
+
+    def test_auto_without_conflicts_still_resolves(self, tmp_path):
+        # The guard must not over-trigger: each knob alone routes auto.
+        assert select_engine(100, engine="auto").name == "clustered"
+        assert (
+            select_engine(100, engine="auto", shards=2).name == "alltoall"
+        )
+        assert (
+            select_engine(
+                100, engine="auto", store_dir=tmp_path / "s"
+            ).name
+            == "incremental"
+        )
 
 
 class TestClassicFacade:

@@ -1,14 +1,19 @@
-"""Chaos matrix: every fault kind, both schedulers, identical results.
+"""Chaos matrix: every fault kind, every chunked engine, identical results.
 
 The acceptance bar for the fault seam is behavioural: under any plan the
 engine can survive, the final :class:`BatchGcdResult` must be *identical*
 to the fault-free run, and the recovery counters must match what the
 plan's :meth:`~repro.faults.plan.FaultPlan.schedule` predicts.  The
 matrix here runs crash / corrupt / slow / timeout faults through both
-schedulers in-process (exact counter arithmetic) and through real
-process pools (worker death, pool rebuilds), and finishes with the
-end-to-end drill: SIGKILL the CLI mid-computation, resume from its
-checkpoint, and compare output byte-for-byte against an undisturbed run.
+clustered schedulers *and* the sharded all-to-all engine in-process
+(exact counter arithmetic) and through real process pools (worker death,
+pool rebuilds), and finishes with the end-to-end drill: SIGKILL the CLI
+mid-computation, resume from its checkpoint, and compare output
+byte-for-byte against an undisturbed run.
+
+The all-to-all engine rides the same arithmetic because at ``shards=3``
+its pass graph is the same shape as clustered ``k=3``: nine single-pass
+chunks with ids 0..8.
 """
 
 import os
@@ -21,6 +26,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.core.alltoall import AllToAllBatchGcd
 from repro.core.batchgcd import batch_gcd
 from repro.core.clustered import ClusteredBatchGcd
 from repro.crypto.primes import generate_prime
@@ -51,16 +57,32 @@ def _corpus(seed=21, size=18, bits=40):
 MODULI = _corpus()
 BASELINE = batch_gcd(MODULI)
 
-#: k=3 gives chunk size 1 under streaming, so both schedulers run 9
-#: chunks with ids 0..8 — the plan arithmetic below relies on it.
+#: k=3 gives chunk size 1 under streaming (and shards=3 under alltoall),
+#: so every engine runs 9 chunks with ids 0..8 — the plan arithmetic
+#: below relies on it.
 K = 3
 N_CHUNKS = K * K
 
+#: Engine labels the chaos matrix sweeps (clustered schedulers plus the
+#: sharded all-to-all engine at the matching shard count).
+ENGINES = ("streaming", "fanout", "alltoall")
 
-def _run(scheduler, plan, processes=None, recovery=FAST, **kwargs):
-    engine = ClusteredBatchGcd(
+
+def _make_engine(scheduler, plan, processes=None, recovery=FAST, **kwargs):
+    if scheduler == "alltoall":
+        return AllToAllBatchGcd(
+            shards=K, processes=processes, fault_plan=plan,
+            recovery=recovery, **kwargs,
+        )
+    return ClusteredBatchGcd(
         k=K, processes=processes, scheduler=scheduler, fault_plan=plan,
         recovery=recovery, **kwargs,
+    )
+
+
+def _run(scheduler, plan, processes=None, recovery=FAST, **kwargs):
+    engine = _make_engine(
+        scheduler, plan, processes=processes, recovery=recovery, **kwargs
     )
     result = engine.run(MODULI)
     assert result.divisors == BASELINE.divisors, (
@@ -72,7 +94,7 @@ def _run(scheduler, plan, processes=None, recovery=FAST, **kwargs):
 class TestInProcessFaultMatrix:
     """Single-threaded runs: counter arithmetic is exact."""
 
-    @pytest.mark.parametrize("scheduler", ["streaming", "fanout"])
+    @pytest.mark.parametrize("scheduler", ENGINES)
     def test_crash_every_chunk_once(self, scheduler):
         plan = FaultPlan(seed=1, rules=(FaultRule(kind="crash", times=1),))
         stats = _run(scheduler, plan)
@@ -80,14 +102,14 @@ class TestInProcessFaultMatrix:
         assert stats.crashed_chunks == N_CHUNKS
         assert stats.inprocess_fallbacks == 0
 
-    @pytest.mark.parametrize("scheduler", ["streaming", "fanout"])
+    @pytest.mark.parametrize("scheduler", ENGINES)
     def test_corrupt_every_chunk_once(self, scheduler):
         plan = FaultPlan(seed=1, rules=(FaultRule(kind="corrupt", times=1),))
         stats = _run(scheduler, plan)
         assert stats.retries == N_CHUNKS
         assert stats.corrupt_chunks == N_CHUNKS
 
-    @pytest.mark.parametrize("scheduler", ["streaming", "fanout"])
+    @pytest.mark.parametrize("scheduler", ENGINES)
     def test_slow_chunks_complete_without_retry(self, scheduler):
         plan = FaultPlan(
             seed=1, rules=(FaultRule(kind="slow", seconds=0.005),)
@@ -95,7 +117,7 @@ class TestInProcessFaultMatrix:
         stats = _run(scheduler, plan)
         assert stats.retries == 0 and stats.crashed_chunks == 0
 
-    @pytest.mark.parametrize("scheduler", ["streaming", "fanout"])
+    @pytest.mark.parametrize("scheduler", ENGINES)
     def test_seeded_mixed_plan_matches_schedule(self, scheduler):
         plan = FaultPlan(
             seed=9,
@@ -114,7 +136,7 @@ class TestInProcessFaultMatrix:
         assert stats.retries == expected_retries
         assert stats.crashed_chunks == expected_crashes
 
-    @pytest.mark.parametrize("scheduler", ["streaming", "fanout"])
+    @pytest.mark.parametrize("scheduler", ENGINES)
     def test_exhausted_retries_degrade_but_stay_correct(self, scheduler):
         plan = FaultPlan(
             seed=2, rules=(FaultRule(kind="crash", times=10, chunks=(0, 4)),)
@@ -152,6 +174,16 @@ class TestPooledFaultMatrix:
         assert stats.pool_rebuilds == 1
         assert stats.retries == 1
 
+    def test_alltoall_worker_death_rebuilds_pool(self):
+        plan = FaultPlan(
+            seed=3, rules=(FaultRule(kind="crash", times=1, chunks=(2,)),)
+        )
+        stats = _run(
+            "alltoall", plan, processes=1, max_inflight=1,
+        )
+        assert stats.pool_rebuilds == 1
+        assert stats.retries == 1
+
     def test_fanout_worker_death_rebuilds_pool(self):
         plan = FaultPlan(
             seed=3, rules=(FaultRule(kind="crash", times=1, chunks=(0,)),)
@@ -179,20 +211,17 @@ class TestPooledFaultMatrix:
 
 
 class TestCheckpointResume:
-    @pytest.mark.parametrize("scheduler", ["streaming", "fanout"])
+    @pytest.mark.parametrize("scheduler", ENGINES)
     def test_faulty_checkpointed_rerun_is_byte_identical(
         self, scheduler, tmp_path
     ):
         plan = FaultPlan(seed=5, rules=(FaultRule(kind="crash", times=1),))
-        first = ClusteredBatchGcd(
-            k=K, scheduler=scheduler, fault_plan=plan, recovery=FAST,
-            checkpoint_dir=tmp_path,
+        first = _make_engine(
+            scheduler, plan, checkpoint_dir=tmp_path,
         )
         r1 = first.run(MODULI)
         assert first.last_stats.checkpoint_written == N_CHUNKS
-        second = ClusteredBatchGcd(
-            k=K, scheduler=scheduler, checkpoint_dir=tmp_path
-        )
+        second = _make_engine(scheduler, None, checkpoint_dir=tmp_path)
         r2 = second.run(MODULI)
         assert second.last_stats.checkpoint_loaded == N_CHUNKS
         assert second.last_stats.checkpoint_written == 0
